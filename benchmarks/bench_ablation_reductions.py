@@ -1,0 +1,175 @@
+"""Ablations beyond the paper's figures (DESIGN.md §5).
+
+Three design-choice studies the paper motivates but does not plot:
+
+1. **CTA granularity** — local resolution "offers tunability regarding
+   hardware and thread group granularity" (Section 6): sweep the CTA
+   size for the work-efficient prefix sum and for segmented
+   pre-aggregation.
+2. **Decoupled look-back vs LRGP** — the Section 10 comparison against
+   Merrill & Garland's single-pass scan: look-back keeps strict order
+   but spins on predecessor state in global memory; LRGP pays one
+   atomic per group and runs out of order.
+3. **Skewed grouping keys** — "the ability to control scratchpad
+   memory opens up a new design space for grouping algorithms (e.g.
+   handling frequent items)": Zipf-skewed keys hammer one hash-table
+   entry under C2; C3's pre-aggregation absorbs the hot key.
+"""
+
+import numpy as np
+
+from common import BENCH_SF, emit, ssb_database
+
+from repro.analysis import format_table
+from repro.hardware import GTX970, KernelCostModel, TrafficMeter
+from repro.primitives import (
+    atomic_hash_aggregate,
+    lookback_positions,
+    lrgp_positions,
+    segmented_hash_aggregate,
+)
+
+CTA_SIZES = (64, 128, 256, 512, 1024)
+
+
+def _kernel_ms(meter: TrafficMeter) -> float:
+    return KernelCostModel(GTX970).breakdown(meter, "compound").total * 1e3
+
+
+def _cta_sweep(flags: np.ndarray, rng: np.random.Generator) -> str:
+    rows = []
+    for cta_size in CTA_SIZES:
+        meter = TrafficMeter()
+        lrgp_positions(meter, flags, GTX970, rng, "work_efficient", cta_size=cta_size)
+        rows.append(
+            [
+                cta_size,
+                meter.atomic_count,
+                meter.barriers,
+                round(meter.bytes_at(_onchip()) / 1e6, 3),
+                round(_kernel_ms(meter), 4),
+            ]
+        )
+    return format_table(
+        ["CTA size", "global atomics", "barriers", "on-chip (MB)", "time (ms)"],
+        rows,
+        title="Ablation 1a — work-efficient prefix sum vs CTA size",
+        float_format="{:.4f}",
+    )
+
+
+def _grouping_cta_sweep(codes: np.ndarray) -> str:
+    rows = []
+    for cta_size in CTA_SIZES:
+        meter = TrafficMeter()
+        cost = segmented_hash_aggregate(meter, codes, 64, 12, GTX970, cta_size=cta_size)
+        rows.append(
+            [cta_size, cost.global_atomics, cost.max_chain, round(_kernel_ms(meter), 4)]
+        )
+    return format_table(
+        ["CTA size", "global atomics", "max chain", "time (ms)"],
+        rows,
+        title="Ablation 1b — segmented pre-aggregation (64 groups) vs CTA size",
+        float_format="{:.4f}",
+    )
+
+
+def _lookback_vs_lrgp(flags: np.ndarray, rng: np.random.Generator) -> str:
+    rows = []
+    meter = TrafficMeter()
+    lookback_positions(meter, flags, rng)
+    rows.append(
+        [
+            "decoupled look-back",
+            "ordered",
+            meter.atomic_count,
+            round(meter.bytes_at(_global()) / 1e6, 4),
+            round(_kernel_ms(meter), 4),
+        ]
+    )
+    meter = TrafficMeter()
+    lrgp_positions(meter, flags, GTX970, rng, "simd")
+    rows.append(
+        [
+            "LRGP (Resolution:SIMD)",
+            "semi-ordered",
+            meter.atomic_count,
+            round(meter.bytes_at(_global()) / 1e6, 4),
+            round(_kernel_ms(meter), 4),
+        ]
+    )
+    return format_table(
+        ["technique", "output order", "atomics", "global (MB)", "time (ms)"],
+        rows,
+        title="Ablation 2 — single-pass scan alternatives (Section 10)",
+        float_format="{:.4f}",
+    )
+
+
+def _skew_study(n: int, rng: np.random.Generator) -> str:
+    rows = []
+    for label, codes in (
+        ("uniform, 64 groups", rng.integers(0, 64, n)),
+        ("zipf-skewed, 64 groups", np.minimum(rng.zipf(1.3, n) - 1, 63)),
+        ("one hot key (99%)", np.where(rng.random(n) < 0.99, 0, rng.integers(1, 64, n))),
+    ):
+        meter_c2 = TrafficMeter()
+        c2 = atomic_hash_aggregate(meter_c2, codes.astype(np.int64), 64, 12)
+        meter_c3 = TrafficMeter()
+        c3 = segmented_hash_aggregate(meter_c3, codes.astype(np.int64), 64, 12, GTX970)
+        rows.append(
+            [
+                label,
+                c2.max_chain,
+                round(_kernel_ms(meter_c2), 4),
+                c3.max_chain,
+                round(_kernel_ms(meter_c3), 4),
+                f"{_kernel_ms(meter_c2) / _kernel_ms(meter_c3):.1f}x",
+            ]
+        )
+    return format_table(
+        [
+            "key distribution", "C2 max chain", "C2 (ms)",
+            "C3 max chain", "C3 (ms)", "C3 speedup",
+        ],
+        rows,
+        title="Ablation 3 — grouping-key skew (frequent items, Section 6.1)",
+        float_format="{:.4f}",
+    )
+
+
+def _global():
+    from repro.hardware import MemoryLevel
+
+    return MemoryLevel.GLOBAL
+
+
+def _onchip():
+    from repro.hardware import MemoryLevel
+
+    return MemoryLevel.ONCHIP
+
+
+def run_ablations() -> str:
+    rng = np.random.default_rng(21)
+    database = ssb_database()
+    n = database["lineorder"].num_rows
+    flags = rng.random(n) < 0.5
+    codes = rng.integers(0, 64, n)
+    parts = [
+        _cta_sweep(flags, rng),
+        _grouping_cta_sweep(codes),
+        _lookback_vs_lrgp(flags, rng),
+        _skew_study(n, rng),
+    ]
+    header = f"Design-choice ablations (extension; SF {BENCH_SF}, n = {n})\n"
+    return header + "\n\n".join(parts)
+
+
+def test_ablation_reductions(benchmark):
+    report = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    emit("ablation_reductions", report)
+
+
+if __name__ == "__main__":
+    emit("ablation_reductions", run_ablations())

@@ -1,0 +1,25 @@
+"""Experiment 1 / Figure 17: pipelined prefix sum techniques across
+selectivities on all four coprocessors. Expected shapes: Pipelined
+grows with selectivity, Resolution stays flat and approaches the
+memory-bound line on the GTX970.
+
+Thin wrapper over :func:`repro.experiments.fig17_prefix_sum`; run standalone with
+``python bench_fig17_prefix_sum.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig17_prefix_sum
+
+
+def run() -> str:
+    return fig17_prefix_sum(scale_factor=BENCH_SF).text()
+
+
+def test_fig17_prefix_sum(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig17_prefix_sum", report)
+
+
+if __name__ == "__main__":
+    emit("fig17_prefix_sum", run())

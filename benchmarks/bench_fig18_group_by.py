@@ -1,0 +1,25 @@
+"""Experiment 2 / Figure 18: pipelined grouped aggregation across
+group counts. Expected shapes: op-at-a-time flat (sort-dominated);
+Pipelined collapses below ~64 groups (contention cliff) but wins at
+large counts; Resolution removes the cliff.
+
+Thin wrapper over :func:`repro.experiments.fig18_group_by`; run standalone with
+``python bench_fig18_group_by.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig18_group_by
+
+
+def run() -> str:
+    return fig18_group_by(scale_factor=BENCH_SF).text()
+
+
+def test_fig18_group_by(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig18_group_by", report)
+
+
+if __name__ == "__main__":
+    emit("fig18_group_by", run())

@@ -1,0 +1,24 @@
+"""Experiment 3 / Figure 19: SSB on the GTX970. Expected shapes:
+op-at-a-time exceeds PCIe time for most queries; Fully pipelined is
+consistently below it (paper: 12 of 12, 9.7%-78.1% of PCIe).
+
+Thin wrapper over :func:`repro.experiments.fig19_ssb`; run standalone with
+``python bench_fig19_ssb.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig19_ssb
+
+
+def run() -> str:
+    return fig19_ssb(scale_factor=BENCH_SF).text()
+
+
+def test_fig19_ssb(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig19_ssb", report)
+
+
+if __name__ == "__main__":
+    emit("fig19_ssb", run())

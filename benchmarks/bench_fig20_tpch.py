@@ -1,0 +1,24 @@
+"""Experiment 4 / Figure 20: TPC-H on the GTX970. Expected shapes:
+HorseQC up to 8.6x over op-at-a-time; saturates PCIe for 8 of 11
+queries (not Q1/Q13/Q18 — unfiltered grouped aggregations).
+
+Thin wrapper over :func:`repro.experiments.fig20_tpch`; run standalone with
+``python bench_fig20_tpch.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig20_tpch
+
+
+def run() -> str:
+    return fig20_tpch(scale_factor=BENCH_SF).text()
+
+
+def test_fig20_tpch(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig20_tpch", report)
+
+
+if __name__ == "__main__":
+    emit("fig20_tpch", run())

@@ -1,0 +1,24 @@
+"""Experiment 5 / Figure 21: end-to-end star-join scalability with
+streamed fact blocks. Expected shapes: linear growth in SF; blocks
+>= 2 MB-class saturate PCIe; small blocks lag on per-block overhead.
+
+Thin wrapper over :func:`repro.experiments.fig21_scalability`; run standalone with
+``python bench_fig21_scalability.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig21_scalability
+
+
+def run() -> str:
+    return fig21_scalability().text()
+
+
+def test_fig21_scalability(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig21_scalability", report)
+
+
+if __name__ == "__main__":
+    emit("fig21_scalability", run())

@@ -1,0 +1,25 @@
+"""Experiment 6 / Figure 22: end-to-end TPC-H, MonetDB-like vs
+CoGaDB-like vs HorseQC. Expected shapes: HorseQC up to 5.8x over
+CoGaDB-like and 26.9x over MonetDB-like; the CPU is closest on the
+cheapest queries.
+
+Thin wrapper over :func:`repro.experiments.fig22_end_to_end`; run standalone with
+``python bench_fig22_end_to_end.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig22_end_to_end
+
+
+def run() -> str:
+    return fig22_end_to_end(scale_factor=BENCH_SF).text()
+
+
+def test_fig22_end_to_end(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig22_end_to_end", report)
+
+
+if __name__ == "__main__":
+    emit("fig22_end_to_end", run())

@@ -1,0 +1,24 @@
+"""Appendix G.1 / Figure 27: single-tuple aggregation across all
+coprocessors. Expected shapes: Resolution saturates PCIe everywhere;
+plain-add atomics cheaper than prefix-sum fetch-adds.
+
+Thin wrapper over :func:`repro.experiments.fig27_single_aggregation`; run standalone with
+``python bench_fig27_single_aggregation.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig27_single_aggregation
+
+
+def run() -> str:
+    return fig27_single_aggregation(scale_factor=BENCH_SF).text()
+
+
+def test_fig27_single_aggregation(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig27_single_aggregation", report)
+
+
+if __name__ == "__main__":
+    emit("fig27_single_aggregation", run())

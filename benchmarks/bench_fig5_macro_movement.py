@@ -1,0 +1,24 @@
+"""Figure 5: data movement for SSB Q3.1 under kernel-at-a-time vs
+batch processing. Paper: batch cuts PCIe ~8.8x while GPU global
+volume stays identical.
+
+Thin wrapper over :func:`repro.experiments.fig5_macro_movement`; run standalone with
+``python bench_fig5_macro_movement.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig5_macro_movement
+
+
+def run() -> str:
+    return fig5_macro_movement(scale_factor=BENCH_SF).text()
+
+
+def test_fig5_macro_movement(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig5_macro_movement", report)
+
+
+if __name__ == "__main__":
+    emit("fig5_macro_movement", run())

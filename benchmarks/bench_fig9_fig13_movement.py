@@ -1,0 +1,24 @@
+"""Figures 9 & 13: data movement under the compiled micro models.
+Paper: multi-pass cuts GPU-global traffic ~1.9x vs batch; the
+compound kernel a further ~2.4x (4.7x vs operator-at-a-time).
+
+Thin wrapper over :func:`repro.experiments.fig9_fig13_micro_movement`; run standalone with
+``python bench_fig9_fig13_movement.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import fig9_fig13_micro_movement
+
+
+def run() -> str:
+    return fig9_fig13_micro_movement(scale_factor=BENCH_SF).text()
+
+
+def test_fig9_fig13_movement(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig9_fig13_movement", report)
+
+
+if __name__ == "__main__":
+    emit("fig9_fig13_movement", run())

@@ -1,0 +1,27 @@
+"""Table 1: number of passes for benchmark queries.
+
+Paper: 'Out of 25 queries, 9 are definitely limited by GPU global
+memory' (Section 2.3). Reproduced by executing every SSB query and the
+Table 1 TPC-H subset under operator-at-a-time and dividing measured
+GPU-global-memory volume by PCIe volume.
+
+Thin wrapper over :func:`repro.experiments.table1_passes`; run standalone with
+``python bench_table1_passes.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import table1_passes
+
+
+def run() -> str:
+    return table1_passes(scale_factor=BENCH_SF).text()
+
+
+def test_table1_passes(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1_passes", report)
+
+
+if __name__ == "__main__":
+    emit("table1_passes", run())

@@ -1,0 +1,23 @@
+"""Table 2: the coprocessors used in the evaluation (simulated
+device inventory with published + calibration values).
+
+Thin wrapper over :func:`repro.experiments.table2_devices`; run standalone with
+``python bench_table2_devices.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import table2_devices
+
+
+def run() -> str:
+    return table2_devices().text()
+
+
+def test_table2_devices(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table2_devices", report)
+
+
+if __name__ == "__main__":
+    emit("table2_devices", run())

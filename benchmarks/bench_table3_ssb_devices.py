@@ -1,0 +1,24 @@
+"""Appendix G.2 / Table 3: SSB with Resolution:WE on every
+coprocessor, with the paper's per-query time/throughput/bandwidth
+columns (A10 at half SF, as in the paper).
+
+Thin wrapper over :func:`repro.experiments.table3_ssb_devices`; run standalone with
+``python bench_table3_ssb_devices.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import table3_ssb_devices
+
+
+def run() -> str:
+    return table3_ssb_devices(scale_factor=BENCH_SF).text()
+
+
+def test_table3_ssb_devices(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table3_ssb_devices", report)
+
+
+if __name__ == "__main__":
+    emit("table3_ssb_devices", run())

@@ -1,0 +1,23 @@
+"""Table 4: the reduction-technique taxonomy (A1-C3), measured —
+pipeline-breaker status, kernel counts, volumes, and times.
+
+Thin wrapper over :func:`repro.experiments.table4_reduction_modes`; run standalone with
+``python bench_table4_reduction_modes.py`` or via ``pytest --benchmark-only``.
+"""
+
+from common import BENCH_SF, emit
+
+from repro.experiments import table4_reduction_modes
+
+
+def run() -> str:
+    return table4_reduction_modes(scale_factor=BENCH_SF).text()
+
+
+def test_table4_reduction_modes(benchmark):
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table4_reduction_modes", report)
+
+
+if __name__ == "__main__":
+    emit("table4_reduction_modes", run())

@@ -1,0 +1,80 @@
+"""Shared infrastructure for the per-table/figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the relevant workload through the relevant engines on the simulated
+device, prints the same rows/series the paper reports, and writes the
+report to ``benchmarks/results/`` so ``pytest benchmarks/`` leaves a
+reviewable artifact even without ``-s``.
+
+Scale factors default to laptop-friendly values and can be raised with
+the ``REPRO_BENCH_SF`` environment variable; all simulated volumes and
+times scale linearly with SF (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from pathlib import Path
+
+from repro.engines import (
+    CompoundEngine,
+    CpuOperatorAtATimeEngine,
+    MultiPassEngine,
+    OperatorAtATimeEngine,
+)
+from repro.hardware import PCIE3, VirtualCoprocessor, get_profile
+from repro.workloads import generate_ssb, generate_tpch
+
+#: Scale factor used by the benchmark harnesses (paper: SF 10).
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.02"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@functools.lru_cache(maxsize=None)
+def ssb_database(scale_factor: float = BENCH_SF):
+    return generate_ssb(scale_factor, seed=7)
+
+
+@functools.lru_cache(maxsize=None)
+def tpch_database(scale_factor: float = BENCH_SF):
+    return generate_tpch(scale_factor, seed=11)
+
+
+def gpu(name: str = "gtx970") -> VirtualCoprocessor:
+    """A fresh virtual device by profile name."""
+    return VirtualCoprocessor(get_profile(name), interconnect=PCIE3)
+
+
+def engine_roster():
+    """The three micro execution models of Experiments 3 and 4."""
+    return {
+        "Operator-at-a-time": OperatorAtATimeEngine,
+        "HorseQC: Multi-pass": MultiPassEngine,
+        "HorseQC: Fully pipelined": lambda: CompoundEngine("lrgp_simd"),
+    }
+
+
+def reduction_roster():
+    """The reduction-technique roster of Experiments 1 and G.1."""
+    return {
+        "Multi-pass": MultiPassEngine,
+        "Pipelined": lambda: CompoundEngine("atomic"),
+        "Resolution:WE": lambda: CompoundEngine("lrgp_we"),
+        "Resolution:SIMD": lambda: CompoundEngine("lrgp_simd"),
+    }
+
+
+def cpu_engine():
+    return CpuOperatorAtATimeEngine()
+
+
+def emit(name: str, report: str) -> str:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 78}\n{name}\n{'=' * 78}\n"
+    text = banner + report + "\n"
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")
+    return report

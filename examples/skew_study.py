@@ -1,0 +1,78 @@
+"""Frequent items: grouping under key skew (Section 6.1's design space).
+
+"The ability to control scratchpad memory opens up a new design space
+for grouping algorithms in pipelined computations (e.g. handling
+frequent items)."  This example generates increasingly skewed SSB fact
+tables and shows how the atomic hash reduce (C2) collapses on the hot
+keys while segmented pre-aggregation (C3) absorbs them in scratchpad.
+
+Run:  python examples/skew_study.py
+"""
+
+from repro import CompoundEngine, GTX970, VirtualCoprocessor, generate_ssb
+from repro.analysis import format_table
+from repro.expressions import col
+from repro.plan import PlanBuilder
+
+SKEWS = (0.0, 0.2, 0.4, 0.8)
+
+
+def group_by_customer():
+    return (
+        PlanBuilder.scan("lineorder")
+        .aggregate(
+            group_by=["lo_custkey"],
+            aggregates=[("sum", col("lo_revenue"), "revenue")],
+        )
+        .build()
+    )
+
+
+def main() -> None:
+    rows = []
+    for skew in SKEWS:
+        database = generate_ssb(0.02, seed=7, skew=skew)
+        plan = group_by_customer()
+        hottest = _hottest_share(database)
+        atomic = CompoundEngine("atomic").execute(
+            plan, database, VirtualCoprocessor(GTX970)
+        )
+        resolution = CompoundEngine("lrgp_simd").execute(
+            plan, database, VirtualCoprocessor(GTX970)
+        )
+        rows.append(
+            [
+                skew,
+                f"{hottest * 100:.1f}%",
+                round(atomic.kernel_ms, 4),
+                round(resolution.kernel_ms, 4),
+                f"{atomic.kernel_ms / resolution.kernel_ms:.1f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["zipf skew", "hottest key share", "Pipelined C2 (ms)",
+             "Resolution C3 (ms)", "C3 advantage"],
+            rows,
+            title="Grouped aggregation by lo_custkey under key skew (GTX970, SF 0.02)",
+            float_format="{:.4f}",
+        )
+    )
+    print(
+        "\nThe hot key's conflict chain serializes C2's atomic hash updates; "
+        "C3 pre-aggregates each CTA's slice in scratchpad, so the hot key "
+        "costs one insert per CTA regardless of its popularity — the paper's "
+        "frequent-items argument, measured."
+    )
+
+
+def _hottest_share(database) -> float:
+    import numpy as np
+
+    keys = database["lineorder"]["lo_custkey"].values
+    counts = np.bincount(keys)
+    return float(counts.max()) / len(keys)
+
+
+if __name__ == "__main__":
+    main()

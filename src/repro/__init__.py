@@ -1,0 +1,93 @@
+"""Reproduction of "Pipelined Query Processing in Coprocessor
+Environments" (Funke et al., SIGMOD 2018) — the HorseQC query compiler
+and its evaluation, on a simulated coprocessor.
+
+Top-level shortcuts::
+
+    from repro import connect, generate_ssb
+    session = connect(generate_ssb(0.01))
+    result = session.execute("select sum(lo_revenue) as r from lineorder")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+from .api import Session, connect, make_engine
+from .engines import (
+    CompoundEngine,
+    CpuOperatorAtATimeEngine,
+    Engine,
+    ExecutionResult,
+    MultiPassEngine,
+    OperatorAtATimeEngine,
+)
+from .errors import (
+    CompilationError,
+    DeviceMemoryError,
+    ExpressionError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SqlError,
+    WorkloadError,
+)
+from .hardware import (
+    A10,
+    GTX770,
+    GTX970,
+    RX480,
+    TABLE2_DEVICES,
+    XEON_E5,
+    DeviceProfile,
+    Interconnect,
+    VirtualCoprocessor,
+    get_profile,
+)
+from .plan import PlanBuilder, load_json_plan
+from .storage import Column, Database, DType, Table, load_database, save_database
+from .validation import ValidationReport, verify_engines
+from .workloads import generate_ssb, generate_tpch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A10",
+    "Column",
+    "CompilationError",
+    "CompoundEngine",
+    "CpuOperatorAtATimeEngine",
+    "DType",
+    "Database",
+    "DeviceMemoryError",
+    "DeviceProfile",
+    "Engine",
+    "ExecutionResult",
+    "ExpressionError",
+    "GTX770",
+    "GTX970",
+    "Interconnect",
+    "MultiPassEngine",
+    "OperatorAtATimeEngine",
+    "PlanBuilder",
+    "PlanError",
+    "ReproError",
+    "RX480",
+    "SchemaError",
+    "Session",
+    "SqlError",
+    "TABLE2_DEVICES",
+    "Table",
+    "ValidationReport",
+    "VirtualCoprocessor",
+    "WorkloadError",
+    "XEON_E5",
+    "connect",
+    "generate_ssb",
+    "generate_tpch",
+    "get_profile",
+    "load_database",
+    "load_json_plan",
+    "make_engine",
+    "save_database",
+    "verify_engines",
+]

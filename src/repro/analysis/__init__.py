@@ -1,0 +1,24 @@
+"""Analysis: pass counting, movement breakdowns, report formatting."""
+
+from .movement import MovementBreakdown, movement_breakdown, reduction_factor
+from .passes import (
+    PassCount,
+    affordable_passes,
+    count_passes,
+    memory_limited,
+    passes_from_result,
+)
+from .report import format_factor, format_table
+
+__all__ = [
+    "MovementBreakdown",
+    "PassCount",
+    "affordable_passes",
+    "count_passes",
+    "format_factor",
+    "format_table",
+    "memory_limited",
+    "movement_breakdown",
+    "passes_from_result",
+    "reduction_factor",
+]

@@ -1,0 +1,79 @@
+"""Data-movement breakdowns (Figures 5, 9, and 13).
+
+These reports decompose an execution profile into the per-kernel-kind
+volumes the paper's movement figures show: how many GB the scans,
+probes, prefix sums, gathers, and compound kernels each move at every
+memory level, plus the PCIe volumes of the macro model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.base import ExecutionResult
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.traffic import MemoryLevel
+
+
+@dataclass
+class MovementBreakdown:
+    """One engine's data movement for one query (a Figure 5/9/13 panel)."""
+
+    label: str
+    pcie_bytes: int
+    pcie_ms: float
+    global_bytes: int
+    global_ms: float
+    onchip_bytes: int
+    onchip_ms: float
+    by_kind: dict[str, dict] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"== {self.label} =="]
+        for kind, entry in sorted(
+            self.by_kind.items(), key=lambda item: -item[1]["global_bytes"]
+        ):
+            lines.append(
+                f"  {kind:<12s} {entry['launches']:4d} launches   "
+                f"global {entry['global_bytes'] / 1e6:10.2f} MB   "
+                f"on-chip {entry['onchip_bytes'] / 1e6:10.2f} MB   "
+                f"{entry['time_ms']:8.3f} ms"
+            )
+        lines.append(
+            f"  PCIe {self.pcie_bytes / 1e6:10.2f} MB ~{self.pcie_ms:8.3f} ms   "
+            f"GPU global {self.global_bytes / 1e6:10.2f} MB ~{self.global_ms:8.3f} ms   "
+            f"on-chip {self.onchip_bytes / 1e6:10.2f} MB ~{self.onchip_ms:8.3f} ms"
+        )
+        return "\n".join(lines)
+
+
+def movement_breakdown(
+    label: str, result: ExecutionResult, device: VirtualCoprocessor
+) -> MovementBreakdown:
+    """Decompose an execution into the paper's movement metrics.
+
+    PCIe volume is the batch-processing macro volume (input columns +
+    result); GPU global and on-chip volumes come from the kernel
+    traces.
+    """
+    profile = result.profile
+    global_bytes = profile.bytes_at(MemoryLevel.GLOBAL)
+    onchip_bytes = profile.bytes_at(MemoryLevel.ONCHIP)
+    pcie_bytes = result.input_bytes + result.output_bytes
+    return MovementBreakdown(
+        label=label,
+        pcie_bytes=pcie_bytes,
+        pcie_ms=result.pcie_ms,
+        global_bytes=global_bytes,
+        global_ms=device.memory_bound_ms(global_bytes),
+        onchip_bytes=onchip_bytes,
+        onchip_ms=onchip_bytes / (device.profile.onchip_bandwidth * 1e9) * 1e3,
+        by_kind=profile.by_kind(),
+    )
+
+
+def reduction_factor(baseline: MovementBreakdown, improved: MovementBreakdown) -> float:
+    """GPU-global-memory reduction factor (the paper's headline "4.7x")."""
+    if improved.global_bytes == 0:
+        return float("inf")
+    return baseline.global_bytes / improved.global_bytes

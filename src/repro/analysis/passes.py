@@ -1,0 +1,69 @@
+"""Pass counting (Table 1): GPU global memory volume / PCIe volume.
+
+"We look at the ratio of memory access to PCIe traffic as *number of
+passes* to assess the load on memory and bus links" (Section 2.3).
+Queries above the affordable-pass threshold are memory-bound before the
+PCIe link ever saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engines.base import Engine, ExecutionResult
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.profiles import DeviceProfile
+from ..plan.logical import LogicalPlan
+from ..storage.database import Database
+
+
+@dataclass
+class PassCount:
+    """Number of passes of one query under operator-at-a-time."""
+
+    query: str
+    passes: float
+    global_bytes: int
+    pcie_bytes: int
+
+    def row(self) -> str:
+        return f"{self.query:<8s} {self.passes:6.1f}"
+
+
+def affordable_passes(profile: DeviceProfile, pcie_per_direction: float = 16.0) -> float:
+    """How many passes the device affords before memory binds first.
+
+    With a symmetric load both PCIe directions stream concurrently
+    (2 x 16 GB/s against 146 GB/s ~ 4.5 passes); in the worst
+    (fully asymmetric) case one direction carries everything
+    (146/16 ~ 9 passes) — the thresholds of Section 2.3.
+    """
+    return profile.global_bandwidth / pcie_per_direction
+
+
+def count_passes(
+    query_name: str,
+    plan: LogicalPlan,
+    database: Database,
+    engine: Engine,
+    device: VirtualCoprocessor,
+) -> PassCount:
+    """Execute ``plan`` and report its Table 1 pass count."""
+    result = engine.execute(plan, database, device)
+    return passes_from_result(query_name, result)
+
+
+def passes_from_result(query_name: str, result: ExecutionResult) -> PassCount:
+    pcie = result.input_bytes + result.output_bytes
+    return PassCount(
+        query=query_name,
+        passes=result.passes,
+        global_bytes=result.global_memory_bytes,
+        pcie_bytes=pcie,
+    )
+
+
+def memory_limited(count: PassCount, profile: DeviceProfile) -> bool:
+    """Is this query *definitely* memory-limited (worst-case threshold,
+    Section 2.3's '9 out of 24 queries')?"""
+    return count.passes > affordable_passes(profile)

@@ -1,0 +1,70 @@
+"""Plain-text table formatting for benchmark harnesses."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Numbers are right-aligned, strings left-aligned; floats use
+    ``float_format``.
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+
+    widths = [len(str(header)) for header in headers]
+    for cells in rendered:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(column: int) -> bool:
+        return all(
+            not row or _numeric(row[column])
+            for row in rows
+            if column < len(row)
+        )
+
+    numeric_columns = [is_numeric(index) for index in range(len(headers))]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric_columns[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), 8))
+    lines.append(fmt_row([str(header) for header in headers]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def format_factor(value: float) -> str:
+    """Render a speedup/reduction factor, e.g. '4.7x'."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.1f}x"

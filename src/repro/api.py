@@ -1,0 +1,104 @@
+"""High-level convenience API.
+
+    from repro import api
+    from repro.workloads import generate_ssb
+
+    session = api.connect(generate_ssb(0.01))
+    result = session.execute("select sum(lo_revenue) as r from lineorder")
+    print(result.table.to_rows(), result.kernel_ms)
+
+A :class:`Session` bundles a database, a virtual device, and an engine
+choice; ``execute`` accepts SQL text or a logical plan.
+"""
+
+from __future__ import annotations
+
+from .engines.base import Engine, ExecutionResult
+from .engines.compound import CompoundEngine
+from .engines.cpu_engine import CpuOperatorAtATimeEngine
+from .engines.multipass import MultiPassEngine
+from .engines.operator_at_a_time import OperatorAtATimeEngine
+from .engines.vector_at_a_time import VectorAtATimeEngine
+from .errors import ReproError
+from .hardware.device import VirtualCoprocessor
+from .hardware.interconnect import PCIE3, Interconnect
+from .hardware.profiles import GTX970, DeviceProfile, get_profile
+from .plan.logical import LogicalPlan
+from .plan.pipelines import extract_pipelines
+from .sql.translate import plan_sql
+from .storage.database import Database
+
+#: Engine aliases accepted by :meth:`Session.execute`.
+ENGINE_FACTORIES = {
+    "operator-at-a-time": OperatorAtATimeEngine,
+    "multipass": MultiPassEngine,
+    "pipelined": lambda: CompoundEngine("atomic"),
+    "resolution": lambda: CompoundEngine("lrgp_simd"),
+    "resolution-simd": lambda: CompoundEngine("lrgp_simd"),
+    "resolution-we": lambda: CompoundEngine("lrgp_we"),
+    "cpu": CpuOperatorAtATimeEngine,
+    "vector": VectorAtATimeEngine,
+}
+
+
+def make_engine(name: str) -> Engine:
+    """Instantiate an engine by alias (see :data:`ENGINE_FACTORIES`)."""
+    try:
+        factory = ENGINE_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_FACTORIES))
+        raise ReproError(f"unknown engine {name!r}; known engines: {known}") from None
+    return factory()
+
+
+class Session:
+    """A database bound to a virtual coprocessor and a default engine."""
+
+    def __init__(
+        self,
+        database: Database,
+        device: VirtualCoprocessor | DeviceProfile | str = GTX970,
+        engine: Engine | str = "resolution",
+        interconnect: Interconnect = PCIE3,
+    ):
+        self.database = database
+        if isinstance(device, str):
+            device = get_profile(device)
+        if isinstance(device, DeviceProfile):
+            device = VirtualCoprocessor(device, interconnect=interconnect)
+        self.device = device
+        self.engine = make_engine(engine) if isinstance(engine, str) else engine
+
+    # ------------------------------------------------------------------
+    def plan(self, query: str | LogicalPlan) -> LogicalPlan:
+        """Parse SQL into a logical plan (plans pass through)."""
+        if isinstance(query, LogicalPlan):
+            return query
+        return plan_sql(query, self.database)
+
+    def explain(self, query: str | LogicalPlan) -> str:
+        """The fusion-operator decomposition of a query (pipelines +
+        host post-processing), one line per pipeline."""
+        physical = extract_pipelines(self.plan(query), self.database)
+        return physical.describe()
+
+    def execute(
+        self,
+        query: str | LogicalPlan,
+        engine: Engine | str | None = None,
+        seed: int = 42,
+    ) -> ExecutionResult:
+        """Run a query; returns the result table plus all metrics."""
+        chosen = self.engine
+        if engine is not None:
+            chosen = make_engine(engine) if isinstance(engine, str) else engine
+        return chosen.execute(self.plan(query), self.database, self.device, seed=seed)
+
+
+def connect(
+    database: Database,
+    device: VirtualCoprocessor | DeviceProfile | str = GTX970,
+    engine: Engine | str = "resolution",
+) -> Session:
+    """Create a session (the one-line entry point)."""
+    return Session(database, device=device, engine=engine)

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``devices``
+    List the built-in coprocessor profiles (Table 2).
+``query``
+    Run a SQL query against a generated SSB or TPC-H database on a
+    chosen device/engine; prints rows plus the paper's metrics.
+``explain``
+    Show the fusion-operator (pipeline) decomposition of a query.
+``bench``
+    Run one named SSB/TPC-H benchmark query under all three micro
+    execution models and print the Figure 19/20-style row.
+``generate``
+    Generate an SSB/TPC-H database once and persist it; ``query``/
+    ``explain``/``bench`` accept ``--data-dir`` to reuse it.
+``experiment``
+    Regenerate one of the paper's tables/figures by name
+    (``table1``..``table4``, ``fig5``..``fig27``), or ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table
+from .api import ENGINE_FACTORIES, Session
+from .engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from .hardware import list_profiles
+from .storage import load_database, save_database
+from .workloads import SSB_QUERIES, TPCH_PLANS, generate_ssb, generate_tpch, ssb_plan, tpch_plan
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HorseQC reproduction: pipelined query processing on a simulated coprocessor",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list built-in device profiles")
+
+    for name, description in (
+        ("query", "run a SQL query and print rows + metrics"),
+        ("explain", "show the fusion-operator pipeline decomposition"),
+    ):
+        cmd = sub.add_parser(name, help=description)
+        cmd.add_argument("sql", help="the SQL text (quote it)")
+        _add_common(cmd)
+
+    bench = sub.add_parser(
+        "bench", help="run one SSB/TPC-H query under all three micro models"
+    )
+    bench.add_argument(
+        "query",
+        help=f"query name: one of {', '.join(sorted(SSB_QUERIES))} (SSB) "
+        f"or {', '.join(sorted(TPCH_PLANS))} (TPC-H, --workload tpch)",
+    )
+    _add_common(bench)
+
+    generate = sub.add_parser(
+        "generate", help="generate a database once and persist it to disk"
+    )
+    generate.add_argument("out", help="output directory")
+    generate.add_argument("--workload", choices=("ssb", "tpch"), default="ssb")
+    generate.add_argument("--scale-factor", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument(
+        "--skew", type=float, default=0.0,
+        help="Zipf skew for SSB foreign keys (default: 0 = uniform)",
+    )
+
+    from .experiments import EXPERIMENTS
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment name (or 'all')",
+    )
+    experiment.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="workload scale factor (default: each experiment's default)",
+    )
+    return parser
+
+
+def _add_common(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--workload", choices=("ssb", "tpch"), default="ssb",
+        help="which database to generate (default: ssb)",
+    )
+    cmd.add_argument(
+        "--scale-factor", type=float, default=0.01,
+        help="workload scale factor (default: 0.01)",
+    )
+    cmd.add_argument(
+        "--device", default="gtx970",
+        help="device profile name (default: gtx970)",
+    )
+    cmd.add_argument(
+        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
+        help="execution engine (default: resolution)",
+    )
+    cmd.add_argument(
+        "--limit", type=int, default=20, help="max rows to print (default: 20)"
+    )
+    cmd.add_argument(
+        "--data-dir", default=None,
+        help="load a persisted database (see 'generate') instead of generating",
+    )
+
+
+def _database(args):
+    if getattr(args, "data_dir", None):
+        return load_database(args.data_dir)
+    if args.workload == "tpch":
+        return generate_tpch(args.scale_factor)
+    return generate_ssb(args.scale_factor)
+
+
+def _cmd_devices(_args) -> int:
+    rows = [
+        [
+            profile.name, profile.kind, profile.architecture,
+            profile.compute_units, profile.scratchpad_per_unit // 1024,
+            round(profile.global_bandwidth, 1),
+            round(profile.memory_capacity / 1e9, 1),
+        ]
+        for profile in list_profiles()
+    ]
+    print(
+        format_table(
+            ["name", "kind", "architecture", "cores", "scratchpad (KB)",
+             "bandwidth (GB/s)", "memory (GB)"],
+            rows,
+            title="Built-in device profiles",
+        )
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    session = Session(_database(args), device=args.device, engine=args.engine)
+    result = session.execute(args.sql)
+    for row in result.table.head(args.limit):
+        print(row)
+    if result.table.num_rows > args.limit:
+        print(f"... ({result.table.num_rows} rows total)")
+    print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    session = Session(_database(args), device=args.device, engine=args.engine)
+    print(session.explain(args.sql))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    database = _database(args)
+    if args.workload == "tpch":
+        plan = tpch_plan(args.query, database)
+    else:
+        plan = ssb_plan(args.query, database)
+    rows = []
+    pcie = membound = 0.0
+    for label, engine in (
+        ("Operator-at-a-time", OperatorAtATimeEngine()),
+        ("HorseQC: Multi-pass", MultiPassEngine()),
+        ("HorseQC: Fully pipelined", CompoundEngine("lrgp_simd")),
+    ):
+        session = Session(database, device=args.device, engine=engine)
+        result = session.execute(plan)
+        rows.append(
+            [
+                label,
+                round(result.kernel_ms, 4),
+                round(result.global_memory_bytes / 1e6, 2),
+                f"{result.kernel_ms / result.pcie_ms * 100:.0f}%",
+            ]
+        )
+        pcie, membound = result.pcie_ms, result.memory_bound_ms
+    print(
+        format_table(
+            ["engine", "kernel (ms)", "GPU global (MB)", "of PCIe time"],
+            rows,
+            title=(
+                f"{args.workload} {args.query} on {args.device} "
+                f"(SF {args.scale_factor}; PCIe {pcie:.4f} ms, "
+                f"memory bound {membound:.4f} ms)"
+            ),
+            float_format="{:.4f}",
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.workload == "tpch":
+        if args.skew:
+            raise SystemExit("--skew is only supported for the SSB workload")
+        database = generate_tpch(args.scale_factor, seed=args.seed)
+    else:
+        database = generate_ssb(args.scale_factor, seed=args.seed, skew=args.skew)
+    catalog = save_database(database, args.out)
+    total_rows = sum(database[name].num_rows for name in database.table_names)
+    print(
+        f"wrote {len(database.table_names)} tables, {total_rows} rows, "
+        f"{database.nbytes / 1e6:.1f} MB to {catalog.parent}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import inspect
+
+    from .experiments import EXPERIMENTS
+
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        function, title = EXPERIMENTS[name]
+        kwargs = {}
+        if (
+            args.scale_factor is not None
+            and "scale_factor" in inspect.signature(function).parameters
+        ):
+            kwargs["scale_factor"] = args.scale_factor
+        print("=" * 78)
+        print(f"{name}: {title}")
+        print("=" * 78)
+        print(function(**kwargs).text())
+    return 0
+
+
+_COMMANDS = {
+    "devices": _cmd_devices,
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "bench": _cmd_bench,
+    "generate": _cmd_generate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

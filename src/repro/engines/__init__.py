@@ -1,0 +1,33 @@
+"""Execution engines: the paper's micro execution models.
+
+* :class:`OperatorAtATimeEngine` — CoGaDB-style baseline (Figure 6)
+* :class:`MultiPassEngine`       — HorseQC multi-pass compilation
+  (Section 4: count / prefix sum / write)
+* :class:`CompoundEngine`        — HorseQC fully pipelined compound
+  kernels (Sections 5-6), in ``atomic`` (Pipelined) and ``lrgp_*``
+  (Resolution) modes
+* :class:`CpuOperatorAtATimeEngine` — MonetDB-like CPU baseline
+"""
+
+from .base import Engine, ExecutionResult
+from .compound import CompoundEngine
+from .cpu_engine import CpuOperatorAtATimeEngine, make_cpu_device
+from .multipass import MultiPassEngine
+from .operator_at_a_time import OperatorAtATimeEngine
+from .runtime import AggregationResult, HashTableEntry, QueryRuntime, VirtualTable
+from .vector_at_a_time import VectorAtATimeEngine
+
+__all__ = [
+    "AggregationResult",
+    "CompoundEngine",
+    "CpuOperatorAtATimeEngine",
+    "Engine",
+    "ExecutionResult",
+    "HashTableEntry",
+    "MultiPassEngine",
+    "OperatorAtATimeEngine",
+    "QueryRuntime",
+    "VectorAtATimeEngine",
+    "VirtualTable",
+    "make_cpu_device",
+]

@@ -1,0 +1,166 @@
+"""Engine interface and execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.traffic import MemoryLevel, Profile
+from ..plan.logical import LogicalPlan, PlanSchema
+from ..plan.physical import PhysicalQuery, Pipeline
+from ..plan.pipelines import extract_pipelines
+from ..storage.database import Database
+from ..storage.table import Table
+from .runtime import QueryRuntime
+
+
+@dataclass
+class ExecutionResult:
+    """A query result plus everything the evaluation section measures."""
+
+    table: Table
+    profile: Profile
+    engine: str
+    device_name: str
+    #: Base-column bytes moved host -> device.
+    input_bytes: int
+    #: Result bytes moved device -> host.
+    output_bytes: int
+    #: The dashed baseline: time to stream input+output over the link.
+    pcie_ms: float
+    #: The solid baseline: time to stream input+output through GPU
+    #: global memory once.
+    memory_bound_ms: float
+
+    @property
+    def kernel_ms(self) -> float:
+        return self.profile.kernel_time_ms
+
+    @property
+    def transfer_ms(self) -> float:
+        return self.profile.transfer_time_ms
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end simulated time (transfers + kernels, serialized)."""
+        return self.profile.total_time_ms
+
+    @property
+    def global_memory_bytes(self) -> int:
+        return self.profile.bytes_at(MemoryLevel.GLOBAL)
+
+    @property
+    def onchip_bytes(self) -> int:
+        return self.profile.bytes_at(MemoryLevel.ONCHIP)
+
+    @property
+    def passes(self) -> float:
+        """GPU global memory volume / PCIe volume (Table 1's metric)."""
+        pcie = self.input_bytes + self.output_bytes
+        if pcie == 0:
+            return float("inf")
+        return self.global_memory_bytes / pcie
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine:<22s} kernels {self.kernel_ms:8.3f} ms   "
+            f"pcie {self.pcie_ms:8.3f} ms   membound {self.memory_bound_ms:8.3f} ms   "
+            f"global {self.global_memory_bytes / 1e6:9.2f} MB   rows {self.table.num_rows}"
+        )
+
+    def kernel_report(self) -> str:
+        """An nvprof-style per-kernel listing: name, kind, elements,
+        per-level volumes, atomics, time, and the dominating resource.
+
+        This is the profiler view the paper's Appendix A metrics come
+        from (dram_read/write_transactions per kernel).
+        """
+        lines = [
+            f"{'kernel':<34s} {'kind':<10s} {'elements':>9s} {'global KB':>10s} "
+            f"{'onchip KB':>10s} {'atomics':>8s} {'ms':>9s}  bound by"
+        ]
+        for trace in self.profile.kernels:
+            meter = trace.meter
+            lines.append(
+                f"{trace.name:<34.34s} {trace.kind:<10s} {trace.elements:>9d} "
+                f"{trace.global_bytes / 1e3:>10.1f} {trace.onchip_bytes / 1e3:>10.1f} "
+                f"{meter.atomic_count:>8d} {trace.time_ms:>9.4f}  {trace.bound_by}"
+            )
+        for record in self.profile.transfers:
+            if record.nbytes == 0:
+                continue
+            lines.append(
+                f"{record.label or '(transfer)':<34.34s} {record.direction:<10s} "
+                f"{'-':>9s} {record.nbytes / 1e3:>10.1f} {'-':>10s} {'-':>8s} "
+                f"{record.time_ms:>9.4f}  link"
+            )
+        return "\n".join(lines)
+
+
+class Engine:
+    """Base class: pipeline orchestration shared by all engines."""
+
+    name = "abstract"
+
+    def execute(
+        self,
+        plan: LogicalPlan | PhysicalQuery,
+        database: Database,
+        device: VirtualCoprocessor,
+        seed: int = 42,
+    ) -> ExecutionResult:
+        """Run a query and return its result and metrics.
+
+        The device profiler is reset at the start, so the returned
+        profile covers exactly this query (no cross-query caching —
+        HorseQC "does not cache data between queries", Section 8.9).
+        """
+        if isinstance(plan, PhysicalQuery):
+            query = plan
+        else:
+            query = extract_pipelines(plan, database)
+        device.reset_all()
+        runtime = QueryRuntime(device, database, seed=seed)
+        outputs: dict[str, np.ndarray] | None = None
+        for pipeline in query.pipelines:
+            produced = self.execute_pipeline(pipeline, runtime)
+            if pipeline.is_final:
+                outputs = produced
+            elif pipeline.output_schema is not None:
+                assert produced is not None
+                runtime.register_virtual(
+                    pipeline.output_name,
+                    _cast_outputs(produced, pipeline.output_schema),
+                    pipeline.output_schema,
+                )
+        assert outputs is not None, "query had no final pipeline"
+        table = runtime.finalize(query, outputs)
+        return ExecutionResult(
+            table=table,
+            profile=device.log,
+            engine=self.name,
+            device_name=device.profile.name,
+            input_bytes=runtime.input_bytes,
+            output_bytes=runtime.output_bytes,
+            pcie_ms=device.pcie_baseline_ms(runtime.input_bytes, runtime.output_bytes),
+            memory_bound_ms=device.memory_bound_ms(
+                runtime.input_bytes + runtime.output_bytes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def execute_pipeline(
+        self, pipeline: Pipeline, runtime: QueryRuntime
+    ) -> dict[str, np.ndarray] | None:
+        """Run one pipeline; returns output arrays for result/virtual
+        sinks, None for hash-table builds."""
+        raise NotImplementedError
+
+
+def _cast_outputs(outputs: dict[str, np.ndarray], schema: PlanSchema) -> dict[str, np.ndarray]:
+    cast: dict[str, np.ndarray] = {}
+    for name, dtype in schema.dtypes.items():
+        cast[name] = np.asarray(outputs[name]).astype(dtype.numpy_dtype)
+    return cast

@@ -1,0 +1,26 @@
+"""A MonetDB-like CPU baseline for the end-to-end comparison.
+
+Experiment 6 compares HorseQC against MonetDB running on the host CPU.
+MonetDB is, for this purpose, a full-column operator-at-a-time engine
+bound by main-memory bandwidth — exactly the
+:class:`OperatorAtATimeEngine` running on a CPU device profile with
+zero-copy memory (no PCIe transfers, no kernel-launch overhead to speak
+of).
+"""
+
+from __future__ import annotations
+
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.profiles import XEON_E5, DeviceProfile
+from .operator_at_a_time import OperatorAtATimeEngine
+
+
+class CpuOperatorAtATimeEngine(OperatorAtATimeEngine):
+    """Operator-at-a-time on the host CPU (the MonetDB stand-in)."""
+
+    name = "cpu-operator-at-a-time"
+
+
+def make_cpu_device(profile: DeviceProfile = XEON_E5) -> VirtualCoprocessor:
+    """A virtual 'coprocessor' that is actually the host CPU."""
+    return VirtualCoprocessor(profile, interconnect=None)

@@ -1,0 +1,265 @@
+"""Shared query-execution runtime used by all engines.
+
+Owns the per-query state: which base columns were already transferred
+over PCIe, the hash tables built by earlier pipelines, virtual tables
+produced by aggregation pipelines, and the final result assembly
+(dictionary decode ordering, host-side sort/limit — the steps the paper
+delegates to CoGaDB's original engine, Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+from ..expressions.eval import evaluate
+from ..hardware.device import VirtualCoprocessor
+from ..primitives.hashtable import JoinHashTable
+from ..primitives.segmented import factorize, grouped_reduce
+from ..storage.column import Column
+from ..storage.database import Database
+from ..storage.table import Table
+from ..plan.logical import PlanSchema
+from ..plan.physical import AggregateSink, PhysicalQuery, Pipeline
+
+
+@dataclass
+class HashTableEntry:
+    """A built hash table plus its payload columns (device-resident)."""
+
+    table: JoinHashTable
+    payload: dict[str, np.ndarray]
+
+
+@dataclass
+class VirtualTable:
+    """An intermediate result, resident in device global memory."""
+
+    arrays: dict[str, np.ndarray]
+    schema: PlanSchema
+
+    @property
+    def num_rows(self) -> int:
+        if not self.arrays:
+            return 0
+        return len(next(iter(self.arrays.values())))
+
+
+@dataclass
+class AggregationResult:
+    """Aggregate outputs plus the cost drivers the engines account."""
+
+    outputs: dict[str, np.ndarray]
+    #: Dense group code per *input* row (None for single-tuple aggs).
+    codes: np.ndarray | None
+    num_groups: int
+    #: Total bytes of one hash-table entry (key + all accumulators).
+    entry_bytes: int
+    #: Number of qualifying input rows.
+    inputs: int
+
+
+class QueryRuntime:
+    """Mutable state threaded through the pipelines of one query."""
+
+    def __init__(self, device: VirtualCoprocessor, database: Database, seed: int = 42):
+        self.device = device
+        self.database = database
+        self.rng = np.random.default_rng(seed)
+        self.hash_tables: dict[str, HashTableEntry] = {}
+        self.virtual_tables: dict[str, VirtualTable] = {}
+        self._transferred: set[tuple[str, str]] = set()
+        #: Base-column bytes moved host->device (PCIe input volume).
+        self.input_bytes = 0
+        #: Result bytes moved device->host.
+        self.output_bytes = 0
+
+    # ------------------------------------------------------------------
+    def load_source(self, pipeline: Pipeline) -> dict[str, np.ndarray]:
+        """The pipeline's input scope: base columns (transferred on
+        first use) or a virtual table already on the device."""
+        if pipeline.source_is_virtual:
+            try:
+                virtual = self.virtual_tables[pipeline.source]
+            except KeyError:
+                raise PlanError(
+                    f"pipeline {pipeline.name} reads virtual table "
+                    f"{pipeline.source!r} before it was produced"
+                ) from None
+            return dict(virtual.arrays)
+        table = self.database.table(pipeline.source)
+        scope: dict[str, np.ndarray] = {}
+        for name in pipeline.required_columns:
+            base_name = pipeline.source_rename.get(name, name)
+            column = table.column(base_name)
+            key = (pipeline.source, base_name)
+            if key not in self._transferred:
+                self._transferred.add(key)
+                self.device.transfer_to_device(
+                    column.values, label=f"{pipeline.source}.{base_name}"
+                )
+                self.input_bytes += column.nbytes
+            scope[name] = column.values
+        return scope
+
+    # ------------------------------------------------------------------
+    def register_hash_table(self, table_id: str, entry: HashTableEntry) -> None:
+        self.hash_tables[table_id] = entry
+
+    def hash_table(self, table_id: str) -> HashTableEntry:
+        try:
+            return self.hash_tables[table_id]
+        except KeyError:
+            raise PlanError(f"hash table {table_id!r} was never built") from None
+
+    def register_virtual(self, name: str, arrays: dict[str, np.ndarray], schema: PlanSchema) -> None:
+        self.virtual_tables[name] = VirtualTable(arrays=arrays, schema=schema)
+
+    # ------------------------------------------------------------------
+    def aggregate_rows(
+        self,
+        sink: AggregateSink,
+        scope: dict[str, np.ndarray],
+        mask: np.ndarray,
+        output_schema: PlanSchema,
+    ) -> AggregationResult:
+        """Compute the aggregate outputs of a pipeline (ground truth).
+
+        Engines charge the *cost* of this computation separately (C1,
+        C2, or C3 accounting) using the returned cost drivers.
+        """
+        selected = np.flatnonzero(mask)
+        outputs: dict[str, np.ndarray] = {}
+        key_bytes = 0
+        value_bytes = 0
+
+        if sink.group_keys:
+            key_arrays = []
+            for name, expr in sink.group_keys:
+                values = np.broadcast_to(
+                    np.asarray(evaluate(expr, scope)), mask.shape
+                )[selected]
+                key_arrays.append(np.ascontiguousarray(values))
+                key_bytes += output_schema.dtypes[name].itemsize
+            codes, uniques = factorize(key_arrays)
+            num_groups = len(uniques[0]) if uniques else 0
+            for (name, _), unique in zip(sink.group_keys, uniques):
+                outputs[name] = unique
+        else:
+            codes = None
+            num_groups = 1
+
+        for spec in sink.aggregates:
+            if spec.expr is not None:
+                values = np.broadcast_to(
+                    np.asarray(evaluate(spec.expr, scope)), mask.shape
+                )[selected]
+            else:
+                values = None
+            value_bytes += _accumulator_bytes(spec.op)
+            outputs[spec.name] = _reduce_spec(spec, values, codes, num_groups, len(selected))
+
+        # Cast to the declared output types.
+        for name, dtype in output_schema.dtypes.items():
+            if name in outputs:
+                outputs[name] = np.asarray(outputs[name]).astype(dtype.numpy_dtype)
+        return AggregationResult(
+            outputs=outputs,
+            codes=codes,
+            num_groups=num_groups,
+            entry_bytes=max(key_bytes + value_bytes, 8),
+            inputs=len(selected),
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(
+        self, query: PhysicalQuery, outputs: dict[str, np.ndarray]
+    ) -> Table:
+        """Assemble, transfer (d2h), and post-process the final result."""
+        schema = query.output_schema
+        assert schema is not None
+        columns: dict[str, Column] = {}
+        for name in query.output_columns:
+            dtype = schema.dtypes[name]
+            values = np.asarray(outputs[name]).astype(dtype.numpy_dtype)
+            dictionary = schema.dictionaries.get(name)
+            columns[name] = Column(dtype, values, dictionary)
+        table = Table(columns)
+
+        self.output_bytes = table.nbytes
+        if self.device.interconnect is not None:
+            # One transfer per result column, as CoGaDB does.
+            for name, column in table.columns.items():
+                self.device.log.transfers.append(
+                    _d2h_record(self.device, column.nbytes, f"result.{name}")
+                )
+
+        # Host-side post-processing (original engine, Section 7).
+        if query.sort_keys:
+            order = _sort_order(table, query.sort_keys)
+            table = table.take(order)
+        if query.limit is not None:
+            table = table.slice(0, query.limit)
+        return table
+
+
+def _d2h_record(device: VirtualCoprocessor, nbytes: int, label: str):
+    from ..hardware.traffic import TransferRecord
+
+    assert device.interconnect is not None
+    seconds = device.interconnect.transfer_time(nbytes, "d2h")
+    return TransferRecord(nbytes=nbytes, direction="d2h", time_ms=seconds * 1e3, label=label)
+
+
+def _accumulator_bytes(op: str) -> int:
+    if op == "avg":
+        return 12  # running sum (8) + count (4)
+    if op == "count":
+        return 4
+    return 8
+
+
+def _reduce_spec(spec, values, codes, num_groups: int, selected: int):
+    if codes is not None:
+        if spec.op == "count":
+            return grouped_reduce(codes, num_groups, np.zeros(0), "count")
+        assert values is not None
+        if spec.op == "avg":
+            sums = grouped_reduce(codes, num_groups, values, "sum")
+            counts = grouped_reduce(codes, num_groups, values, "count")
+            return np.asarray(sums, dtype=np.float64) / np.maximum(counts, 1)
+        return grouped_reduce(codes, num_groups, values, spec.op)
+    # Single-tuple aggregation.
+    if spec.op == "count":
+        return np.array([selected], dtype=np.int64)
+    assert values is not None
+    if len(values) == 0:
+        return np.array([0.0])
+    if spec.op == "avg":
+        return np.array([float(np.mean(values))])
+    if spec.op == "sum":
+        return np.array([np.sum(values)])
+    if spec.op == "min":
+        return np.array([np.min(values)])
+    if spec.op == "max":
+        return np.array([np.max(values)])
+    raise PlanError(f"unknown aggregate op {spec.op!r}")
+
+
+def _sort_order(table: Table, sort_keys) -> np.ndarray:
+    """Stable multi-key sort order; string columns sort by dictionary
+    code, which is lexicographic because dictionaries are
+    order-preserving."""
+    arrays = []
+    for key in reversed(sort_keys):
+        column = table.column(key.column)
+        values = column.values
+        if not key.ascending:
+            if values.dtype == np.bool_:
+                values = ~values
+            else:
+                values = -values.astype(np.float64) if values.dtype.kind == "f" else -values.astype(np.int64)
+        arrays.append(values)
+    return np.lexsort(arrays)

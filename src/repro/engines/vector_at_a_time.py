@@ -1,0 +1,126 @@
+"""Vector-at-a-time on a GPU — Section 3's rejected design, quantified.
+
+The paper argues that the CPU sweet spot of vector-at-a-time processing
+does not exist on GPUs: "Kernel invocations are an order of magnitude
+more expensive than CPU function calls. Furthermore, GPUs need much
+larger batch sizes to facilitate over-subscription ... batches, which
+fit in the GPU caches, are too small to be processed efficiently."
+
+This engine implements that design anyway so the argument can be
+measured: each fusion operator runs as a sequence of compound-kernel
+launches over cache-sized vectors. Every launch pays the kernel-launch
+overhead, and vectors smaller than the device's resident thread count
+execute at proportionally reduced occupancy.
+
+Restrictions: AVG aggregates cannot be merged across vectors (as with
+block streaming), and build-sink pipelines run un-vectorized (a hash
+table must see all build rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanError
+from ..kernels.codegen import generate_compound_kernel
+from ..kernels.context import KernelContext
+from ..plan.physical import AggregateSink, BuildSink, MaterializeSink, Pipeline
+from ..primitives.segmented import factorize, grouped_reduce
+from .base import Engine
+from .compound import CompoundEngine
+from .runtime import QueryRuntime
+
+_MERGE_OPS = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+
+class VectorAtATimeEngine(Engine):
+    """Compound-kernel logic over cache-sized vectors (one launch each)."""
+
+    def __init__(self, vector_rows: int = 1024, mode: str = "lrgp_simd"):
+        if vector_rows <= 0:
+            raise ValueError("vector_rows must be positive")
+        self.vector_rows = vector_rows
+        self.mode = mode
+        self.name = f"vector-at-a-time[{vector_rows}]"
+        self._fallback = CompoundEngine(mode)
+
+    def execute_pipeline(
+        self, pipeline: Pipeline, runtime: QueryRuntime
+    ) -> dict[str, np.ndarray] | None:
+        if isinstance(pipeline.sink, BuildSink):
+            # Hash-table builds must observe every row at once.
+            self._fallback.mode = self.mode
+            return self._fallback.execute_pipeline(pipeline, runtime)
+
+        scope = runtime.load_source(pipeline)
+        if not scope:
+            return self._fallback.execute_pipeline(pipeline, runtime)
+        total_rows = len(next(iter(scope.values())))
+        kernel = generate_compound_kernel(pipeline)
+
+        partials: list[dict[str, np.ndarray]] = []
+        start = 0
+        index = 0
+        while start < total_rows or (total_rows == 0 and index == 0):
+            stop = min(start + self.vector_rows, total_rows)
+            vector = {name: values[start:stop] for name, values in scope.items()}
+            ctx = KernelContext(
+                runtime,
+                vector,
+                pipeline.scope_schema,
+                mode=self.mode,
+                sink=pipeline.sink,
+                output_schema=pipeline.output_schema,
+            )
+            kernel(ctx)
+            occupancy = min(1.0, max(ctx.n, 1) / runtime.device.profile.threads_resident)
+            runtime.device.launch(
+                f"{kernel.name}.vector{index}",
+                "compound",
+                ctx.n,
+                ctx.meter,
+                occupancy=occupancy,
+            )
+            partials.append(dict(ctx.outputs))
+            start = stop
+            index += 1
+            if total_rows == 0:
+                break
+        return self._merge(pipeline, partials)
+
+    # ------------------------------------------------------------------
+    def _merge(
+        self, pipeline: Pipeline, partials: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        sink = pipeline.sink
+        if isinstance(sink, MaterializeSink):
+            return {
+                name: np.concatenate([partial[name] for partial in partials])
+                if partials
+                else np.zeros(0)
+                for name in sink.outputs
+            }
+        assert isinstance(sink, AggregateSink)
+        for spec in sink.aggregates:
+            if spec.op not in _MERGE_OPS:
+                raise PlanError(
+                    f"aggregate {spec.op!r} cannot be merged across vectors"
+                )
+        key_names = [name for name, _ in sink.group_keys]
+        if not key_names:
+            merged: dict[str, np.ndarray] = {}
+            for spec in sink.aggregates:
+                stacked = np.concatenate([partial[spec.name] for partial in partials])
+                op = _MERGE_OPS[spec.op]
+                merged[spec.name] = np.asarray([getattr(np, op)(stacked)])
+            return merged
+        stacked_keys = [
+            np.concatenate([partial[name] for partial in partials]) for name in key_names
+        ]
+        codes, uniques = factorize(stacked_keys)
+        merged = {name: unique for name, unique in zip(key_names, uniques)}
+        groups = len(uniques[0]) if uniques else 0
+        for spec in sink.aggregates:
+            stacked = np.concatenate([partial[spec.name] for partial in partials])
+            merged[spec.name] = grouped_reduce(codes, groups, stacked, _MERGE_OPS[spec.op])
+        return merged

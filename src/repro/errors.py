@@ -1,0 +1,57 @@
+"""Exception hierarchy for the HorseQC reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DeviceMemoryError(ReproError):
+    """Raised when an allocation exceeds the coprocessor's memory capacity.
+
+    The paper's run-to-finish macro execution model is *expected* to fail
+    this way once input, output, and intermediates no longer fit in GPU
+    global memory (Section 2.1); scalable macro models must avoid it.
+    """
+
+    def __init__(self, requested: int, available: int, capacity: int):
+        self.requested = requested
+        self.available = available
+        self.capacity = capacity
+        super().__init__(
+            f"device allocation of {requested} bytes exceeds free device "
+            f"memory ({available} of {capacity} bytes available)"
+        )
+
+
+class AllocationError(ReproError):
+    """Raised on invalid buffer lifecycle operations (double free, etc.)."""
+
+
+class SchemaError(ReproError):
+    """Raised when column names or types are inconsistent with a schema."""
+
+
+class PlanError(ReproError):
+    """Raised for malformed logical plans or unsupported plan shapes."""
+
+
+class CompilationError(ReproError):
+    """Raised when the query compiler cannot generate code for a pipeline."""
+
+
+class SqlError(ReproError):
+    """Raised by the SQL front-end for syntax or binding errors."""
+
+
+class ExpressionError(ReproError):
+    """Raised for ill-typed or unevaluable expressions."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators for invalid parameters."""

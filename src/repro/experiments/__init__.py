@@ -1,0 +1,63 @@
+"""The paper's evaluation as a library: one function per table/figure.
+
+Every function generates the workload, runs the relevant engines on
+fresh virtual devices, and returns an :class:`ExperimentReport` whose
+``text()`` prints the same rows/series the paper reports. The
+benchmark harness (``benchmarks/``) and the CLI (``python -m repro
+experiment <name>``) are thin wrappers over this registry.
+"""
+
+from .endtoend import fig21_scalability, fig22_end_to_end
+from .microbenchmarks import fig17_prefix_sum, fig18_group_by, fig27_single_aggregation
+from .movement import fig5_macro_movement, fig9_fig13_micro_movement, table1_passes
+from .report import ExperimentReport, ReportSection
+from .suites import fig19_ssb, fig20_tpch, table3_ssb_devices
+from .taxonomy import table2_devices, table4_reduction_modes
+
+#: name -> (callable, the paper artifact it regenerates)
+EXPERIMENTS = {
+    "table1": (table1_passes, "Table 1 — number of passes"),
+    "table2": (table2_devices, "Table 2 — coprocessors"),
+    "table3": (table3_ssb_devices, "Table 3 — SSB across coprocessors"),
+    "table4": (table4_reduction_modes, "Table 4 — reduction techniques"),
+    "fig5": (fig5_macro_movement, "Figure 5 — macro-model data movement"),
+    "fig9": (fig9_fig13_micro_movement, "Figures 9 & 13 — micro-model data movement"),
+    "fig17": (fig17_prefix_sum, "Figure 17 — pipelined prefix sum (Experiment 1)"),
+    "fig18": (fig18_group_by, "Figure 18 — pipelined GROUP BY (Experiment 2)"),
+    "fig19": (fig19_ssb, "Figure 19 — SSB (Experiment 3)"),
+    "fig20": (fig20_tpch, "Figure 20 — TPC-H (Experiment 4)"),
+    "fig21": (fig21_scalability, "Figure 21 — scalability (Experiment 5)"),
+    "fig22": (fig22_end_to_end, "Figure 22 — end-to-end (Experiment 6)"),
+    "fig27": (fig27_single_aggregation, "Figure 27 — single-tuple aggregation (G.1)"),
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by registry name (e.g. ``"fig19"``)."""
+    try:
+        function, _ = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return function(**kwargs)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "ReportSection",
+    "fig17_prefix_sum",
+    "fig18_group_by",
+    "fig19_ssb",
+    "fig20_tpch",
+    "fig21_scalability",
+    "fig22_end_to_end",
+    "fig27_single_aggregation",
+    "fig5_macro_movement",
+    "fig9_fig13_micro_movement",
+    "run_experiment",
+    "table1_passes",
+    "table2_devices",
+    "table3_ssb_devices",
+    "table4_reduction_modes",
+]

@@ -1,0 +1,59 @@
+"""Structured experiment reports.
+
+Every experiment in :mod:`repro.experiments` returns an
+:class:`ExperimentReport`: named, titled, tabular, with free-form
+notes. The benchmark harness prints/persists them; library users can
+consume `.rows` programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+
+
+@dataclass
+class ReportSection:
+    """One table of an experiment report."""
+
+    title: str
+    headers: list[str]
+    rows: list[list]
+    float_format: str = "{:.4f}"
+
+    def text(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=self.title, float_format=self.float_format
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """A full experiment: sections plus notes, renderable as text."""
+
+    name: str
+    title: str
+    sections: list[ReportSection] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, title: str, headers: list[str], rows: list[list],
+            float_format: str = "{:.4f}") -> ReportSection:
+        section = ReportSection(title, headers, rows, float_format)
+        self.sections.append(section)
+        return section
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def text(self) -> str:
+        parts = [self.title, ""]
+        parts.extend(section.text() + "\n" for section in self.sections)
+        if self.notes:
+            parts.extend(self.notes)
+        return "\n".join(parts).rstrip() + "\n"
+
+    @property
+    def rows(self) -> list[list]:
+        """The first section's rows (single-table experiments)."""
+        return self.sections[0].rows if self.sections else []

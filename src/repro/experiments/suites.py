@@ -1,0 +1,123 @@
+"""Benchmark-suite experiments: Figures 19 & 20, Table 3."""
+
+from __future__ import annotations
+
+from ..engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from ..hardware import GTX970, PCIE3, TABLE2_DEVICES, VirtualCoprocessor
+from ..workloads import (
+    PAPER_SSB_SET,
+    PAPER_TPCH_SET,
+    generate_ssb,
+    generate_tpch,
+    ssb_plan,
+    tpch_plan,
+)
+from .report import ExperimentReport
+
+
+def _engine_roster():
+    return {
+        "Operator-at-a-time": OperatorAtATimeEngine,
+        "HorseQC: Multi-pass": MultiPassEngine,
+        "HorseQC: Fully pipelined": lambda: CompoundEngine("lrgp_simd"),
+    }
+
+
+def _suite(report, database, names, planner):
+    roster = _engine_roster()
+    rows = []
+    saturated = 0
+    stragglers = []
+    for name in names:
+        plan = planner(name, database)
+        row = [name]
+        pcie_ms = memory_ms = pipelined_ms = 0.0
+        for label, factory in roster.items():
+            result = factory().execute(
+                plan, database, VirtualCoprocessor(GTX970, interconnect=PCIE3)
+            )
+            row.append(round(result.kernel_ms, 4))
+            pcie_ms, memory_ms = result.pcie_ms, result.memory_bound_ms
+            if label == "HorseQC: Fully pipelined":
+                pipelined_ms = result.kernel_ms
+        row.extend([round(pcie_ms, 4), round(memory_ms, 4)])
+        row.append(f"{pipelined_ms / pcie_ms * 100:.0f}%")
+        if pipelined_ms < pcie_ms:
+            saturated += 1
+        else:
+            stragglers.append(name)
+        rows.append(row)
+    report.add(
+        "kernel execution times (ms)",
+        ["query", *roster.keys(), "PCIe transfer", "Memory bound", "pipelined/PCIe"],
+        rows,
+    )
+    return saturated, stragglers, len(rows)
+
+
+def fig19_ssb(scale_factor: float = 0.02, seed: int = 7) -> ExperimentReport:
+    """Experiment 3: the SSB suite on the GTX970."""
+    database = generate_ssb(scale_factor, seed=seed)
+    report = ExperimentReport(
+        "fig19_ssb",
+        f"Figure 19 — SSB kernel execution times on GTX970 (ms, SF {scale_factor})",
+    )
+    saturated, _, total = _suite(report, database, PAPER_SSB_SET, ssb_plan)
+    report.note(
+        f"HorseQC: Fully pipelined stays below the PCIe transfer time for "
+        f"{saturated} of {total} queries (paper: 12 of 12)."
+    )
+    return report
+
+
+def fig20_tpch(scale_factor: float = 0.02, seed: int = 11) -> ExperimentReport:
+    """Experiment 4: the TPC-H roster on the GTX970."""
+    database = generate_tpch(scale_factor, seed=seed)
+    report = ExperimentReport(
+        "fig20_tpch",
+        f"Figure 20 — TPC-H kernel execution times on GTX970 (ms, SF {scale_factor})",
+    )
+    saturated, stragglers, total = _suite(report, database, PAPER_TPCH_SET, tpch_plan)
+    report.note(
+        f"Fully pipelined beats the PCIe transfer time for {saturated} of {total} "
+        "queries (paper: 8 of 11; stragglers were Q1/Q13/Q18 — unfiltered "
+        "grouped aggregations)."
+    )
+    if stragglers:
+        report.note(f"Unsaturated here: {', '.join(stragglers)}.")
+    return report
+
+
+def table3_ssb_devices(scale_factor: float = 0.02, seed: int = 7) -> ExperimentReport:
+    """Appendix G.2: SSB with Resolution:WE on every coprocessor."""
+    report = ExperimentReport(
+        "table3_ssb_devices",
+        "Table 3 — SSB with Resolution:WE across all coprocessors",
+    )
+    for profile in TABLE2_DEVICES:
+        if profile.name == "A10":
+            database = generate_ssb(scale_factor / 2, seed=seed)
+            note = f" (SF {scale_factor / 2}, limited memory capacity)"
+        else:
+            database = generate_ssb(scale_factor, seed=seed)
+            note = f" (SF {scale_factor})"
+        rows = []
+        for name in PAPER_SSB_SET:
+            device = VirtualCoprocessor(profile, interconnect=PCIE3)
+            result = CompoundEngine("lrgp_we").execute(
+                ssb_plan(name, database), database, device
+            )
+            seconds = result.kernel_ms / 1e3
+            throughput = (result.input_bytes / seconds / 1e9) if seconds else 0.0
+            bandwidth = (result.global_memory_bytes / seconds / 1e9) if seconds else 0.0
+            rows.append(
+                [name, round(result.kernel_ms, 4), round(throughput, 2),
+                 round(bandwidth, 2)]
+            )
+        report.add(
+            f"{profile.name}{note}",
+            ["query", "time (ms)", "throughput (GB/s)", "memory (GB/s)"],
+            rows,
+            float_format="{:.2f}",
+        )
+    return report

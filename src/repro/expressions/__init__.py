@@ -1,0 +1,41 @@
+"""Expression trees, evaluation, resolution, and code generation."""
+
+from .codegen import to_source
+from .eval import evaluate
+from .expr import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    all_of,
+    col,
+    lit,
+    wrap,
+)
+from .resolve import resolve_strings
+from .schema import infer_dtype
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "BooleanOp",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "InList",
+    "Literal",
+    "Not",
+    "all_of",
+    "col",
+    "evaluate",
+    "infer_dtype",
+    "lit",
+    "resolve_strings",
+    "to_source",
+    "wrap",
+]

@@ -1,0 +1,268 @@
+"""Expression trees for predicates and projections.
+
+The query compiler receives "a C++ object that describes the
+primitive's functionality (e.g. a tree for an arithmetic expression)
+and maps the semantics to fragments of OpenCL" (Section 4.3).  This is
+that tree, in Python.  Expressions are immutable; helper constructors
+and operator overloads give a fluent way to build them:
+
+    (col("lo_quantity") >= 25) & (col("lo_discount").between(1, 3))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExpressionError
+
+_ARITHMETIC_OPS = {"+", "-", "*", "/", "//", "%"}
+_COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+_BOOLEAN_OPS = {"and", "or"}
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all expression nodes."""
+
+    def __add__(self, other) -> "Expr":
+        return BinaryOp("+", self, wrap(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinaryOp("+", wrap(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinaryOp("-", self, wrap(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinaryOp("-", wrap(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinaryOp("*", self, wrap(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return BinaryOp("*", wrap(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return BinaryOp("/", self, wrap(other))
+
+    def __floordiv__(self, other) -> "Expr":
+        return BinaryOp("//", self, wrap(other))
+
+    def __mod__(self, other) -> "Expr":
+        return BinaryOp("%", self, wrap(other))
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison("==", self, wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison("!=", self, wrap(other))
+
+    def __lt__(self, other) -> "Expr":
+        return Comparison("<", self, wrap(other))
+
+    def __le__(self, other) -> "Expr":
+        return Comparison("<=", self, wrap(other))
+
+    def __gt__(self, other) -> "Expr":
+        return Comparison(">", self, wrap(other))
+
+    def __ge__(self, other) -> "Expr":
+        return Comparison(">=", self, wrap(other))
+
+    def __and__(self, other) -> "Expr":
+        return BooleanOp("and", (self, wrap(other)))
+
+    def __or__(self, other) -> "Expr":
+        return BooleanOp("or", (self, wrap(other)))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __hash__(self) -> int:
+        return object.__hash__(self)
+
+    def between(self, low, high) -> "Expr":
+        return Between(self, wrap(low), wrap(high))
+
+    def isin(self, values) -> "Expr":
+        return InList(self, tuple(wrap(value) for value in values))
+
+    # ------------------------------------------------------------------
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def size(self) -> int:
+        """Node count — the per-element instruction estimate."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def columns(self) -> set[str]:
+        """Names of all columns referenced by this expression."""
+        names: set[str] = set()
+        _collect_columns(self, names)
+        return names
+
+
+@dataclass(frozen=True, eq=False)
+class ColumnRef(Expr):
+    """A reference to a column of the pipeline's current scope."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Literal(Expr):
+    """A constant (int, float, bool, or string)."""
+
+    value: object
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, float, bool, str)):
+            raise ExpressionError(f"unsupported literal type {type(self.value).__name__}")
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expr):
+    """Arithmetic between two sub-expressions."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expr):
+    """A comparison producing a boolean."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class BooleanOp(Expr):
+    """Conjunction or disjunction of boolean sub-expressions."""
+
+    op: str
+    operands: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in _BOOLEAN_OPS:
+            raise ExpressionError(f"unknown boolean operator {self.op!r}")
+        if len(self.operands) < 2:
+            raise ExpressionError(f"{self.op} needs at least two operands")
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(repr(operand) for operand in self.operands) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expr):
+    """Boolean negation."""
+
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"not {self.operand!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class Between(Expr):
+    """``low <= expr <= high`` (inclusive, as in SQL)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand, self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} between {self.low!r} and {self.high!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class InList(Expr):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    operand: Expr
+    options: tuple[Expr, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.options:
+            raise ExpressionError("IN list must not be empty")
+        if not all(isinstance(option, Literal) for option in self.options):
+            raise ExpressionError("IN list entries must be literals")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand, *self.options)
+
+    def __repr__(self) -> str:
+        options = ", ".join(repr(option) for option in self.options)
+        return f"{self.operand!r} in ({options})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def wrap(value) -> Expr:
+    """Coerce plain Python values into literals."""
+    if isinstance(value, Expr):
+        return value
+    return Literal(value)
+
+
+def all_of(*predicates: Expr) -> Expr:
+    """Conjunction of one or more predicates (flattens the trivial case)."""
+    flat = [predicate for predicate in predicates if predicate is not None]
+    if not flat:
+        raise ExpressionError("all_of needs at least one predicate")
+    if len(flat) == 1:
+        return flat[0]
+    return BooleanOp("and", tuple(flat))
+
+
+def _collect_columns(expr: Expr, names: set[str]) -> None:
+    if isinstance(expr, ColumnRef):
+        names.add(expr.name)
+    for child in expr.children():
+        _collect_columns(child, names)

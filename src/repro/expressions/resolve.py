@@ -1,0 +1,170 @@
+"""Compile-time resolution of string predicates to dictionary codes.
+
+HorseQC operates on dictionary-compressed columns: string comparisons
+are rewritten into integer comparisons on codes before any kernel code
+is generated (Section 7).  Because dictionaries are order-preserving,
+range predicates translate exactly:
+
+* ``s == "ASIA"``  ->  ``code == code_of("ASIA")`` (or FALSE if absent)
+* ``s >= "ASIA"``  ->  ``code >= lower_bound("ASIA")``
+* ``s <  "MFGR#3"``->  ``code <  lower_bound("MFGR#3")``
+
+The rewrite happens once per query, so generated kernels are purely
+numeric.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExpressionError
+from ..storage.dictionary import Dictionary
+from .expr import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+)
+
+#: Sentinel comparisons that are constant-foldable to always-true/false.
+ALWAYS_TRUE = Comparison("==", Literal(0), Literal(0))
+ALWAYS_FALSE = Comparison("==", Literal(0), Literal(1))
+
+
+def resolve_strings(expr: Expr, dictionaries: dict[str, Dictionary]) -> Expr:
+    """Rewrite string literals in ``expr`` into dictionary-code literals.
+
+    ``dictionaries`` maps column name -> dictionary for every STRING
+    column in scope.  Non-string sub-expressions pass through unchanged.
+    """
+    if isinstance(expr, (ColumnRef, Literal)):
+        return expr
+    if isinstance(expr, Comparison):
+        return _resolve_comparison(expr, dictionaries)
+    if isinstance(expr, Between):
+        low = Comparison(">=", expr.operand, expr.low)
+        high = Comparison("<=", expr.operand, expr.high)
+        resolved_low = _resolve_comparison(low, dictionaries)
+        resolved_high = _resolve_comparison(high, dictionaries)
+        if _is_string_context(expr.operand, expr.low, dictionaries) or _is_string_context(
+            expr.operand, expr.high, dictionaries
+        ):
+            return BooleanOp("and", (resolved_low, resolved_high))
+        return Between(
+            resolve_strings(expr.operand, dictionaries),
+            resolve_strings(expr.low, dictionaries),
+            resolve_strings(expr.high, dictionaries),
+        )
+    if isinstance(expr, InList):
+        return _resolve_in_list(expr, dictionaries)
+    if isinstance(expr, BooleanOp):
+        return BooleanOp(
+            expr.op,
+            tuple(resolve_strings(operand, dictionaries) for operand in expr.operands),
+        )
+    if isinstance(expr, Not):
+        return Not(resolve_strings(expr.operand, dictionaries))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            resolve_strings(expr.left, dictionaries),
+            resolve_strings(expr.right, dictionaries),
+        )
+    raise ExpressionError(f"cannot resolve expression node {type(expr).__name__}")
+
+
+def _string_side(
+    left: Expr, right: Expr, dictionaries: dict[str, Dictionary]
+) -> tuple[ColumnRef, Literal] | None:
+    """Detect a (string column, string literal) comparison, either order."""
+    if (
+        isinstance(left, ColumnRef)
+        and left.name in dictionaries
+        and isinstance(right, Literal)
+        and isinstance(right.value, str)
+    ):
+        return left, right
+    return None
+
+
+def _is_string_context(operand: Expr, bound: Expr, dictionaries: dict[str, Dictionary]) -> bool:
+    return _string_side(operand, bound, dictionaries) is not None
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def _resolve_comparison(expr: Comparison, dictionaries: dict[str, Dictionary]) -> Expr:
+    pair = _string_side(expr.left, expr.right, dictionaries)
+    op = expr.op
+    if pair is None:
+        pair = _string_side(expr.right, expr.left, dictionaries)
+        if pair is not None:
+            op = _FLIPPED[op]
+    if pair is None:
+        if isinstance(expr.right, Literal) and isinstance(expr.right.value, str):
+            raise ExpressionError(
+                f"string comparison against non-dictionary expression: {expr!r}"
+            )
+        return Comparison(
+            expr.op,
+            resolve_strings(expr.left, dictionaries),
+            resolve_strings(expr.right, dictionaries),
+        )
+    column, literal = pair
+    dictionary = dictionaries[column.name]
+    value = literal.value
+    assert isinstance(value, str)
+    if op == "==":
+        return Comparison("==", column, Literal(dictionary.code_or_missing(value)))
+    if op == "!=":
+        code = dictionary.code_or_missing(value)
+        if code < 0:
+            return ALWAYS_TRUE
+        return Comparison("!=", column, Literal(code))
+    if op == ">=":
+        bound = dictionary.lower_bound(value)
+        if bound >= len(dictionary):
+            return ALWAYS_FALSE
+        return Comparison(">=", column, Literal(bound))
+    if op == ">":
+        bound = dictionary.upper_bound(value)
+        if bound >= len(dictionary):
+            return ALWAYS_FALSE
+        return Comparison(">=", column, Literal(bound))
+    if op == "<=":
+        bound = dictionary.upper_bound(value)
+        if bound == 0:
+            return ALWAYS_FALSE
+        return Comparison("<=", column, Literal(bound - 1))
+    if op == "<":
+        bound = dictionary.lower_bound(value)
+        if bound == 0:
+            return ALWAYS_FALSE
+        return Comparison("<=", column, Literal(bound - 1))
+    raise ExpressionError(f"unsupported string comparison operator {op!r}")
+
+
+def _resolve_in_list(expr: InList, dictionaries: dict[str, Dictionary]) -> Expr:
+    operand = expr.operand
+    if (
+        isinstance(operand, ColumnRef)
+        and operand.name in dictionaries
+        and all(isinstance(option.value, str) for option in expr.options)
+    ):
+        dictionary = dictionaries[operand.name]
+        codes = [
+            dictionary.code_or_missing(option.value)  # type: ignore[arg-type]
+            for option in expr.options
+        ]
+        present = [code for code in codes if code >= 0]
+        if not present:
+            return ALWAYS_FALSE
+        return InList(operand, tuple(Literal(code) for code in present))
+    return InList(
+        resolve_strings(operand, dictionaries),
+        tuple(resolve_strings(option, dictionaries) for option in expr.options),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,65 @@
+"""Result-type inference for expressions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExpressionError
+from ..storage.dtypes import DType, common_numeric_type
+from .expr import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+)
+
+_INT32_MIN = np.iinfo(np.int32).min
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def infer_dtype(expr: Expr, schema: dict[str, DType]) -> DType:
+    """The storage type an expression's result column will have.
+
+    ``schema`` maps column names to their declared types.  Division
+    always yields FLOAT64 (SQL decimal semantics); comparisons and
+    boolean operators yield BOOL.
+    """
+    if isinstance(expr, ColumnRef):
+        try:
+            return schema[expr.name]
+        except KeyError:
+            known = ", ".join(sorted(schema))
+            raise ExpressionError(
+                f"column {expr.name!r} not in schema; available: {known}"
+            ) from None
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, bool):
+            return DType.BOOL
+        if isinstance(value, int):
+            if _INT32_MIN <= value <= _INT32_MAX:
+                return DType.INT32
+            return DType.INT64
+        if isinstance(value, float):
+            return DType.FLOAT64
+        raise ExpressionError("string literals have no storage type; resolve them first")
+    if isinstance(expr, BinaryOp):
+        if expr.op == "/":
+            return DType.FLOAT64
+        # Floor division keeps integer typing (used for year extraction).
+        left = infer_dtype(expr.left, schema)
+        right = infer_dtype(expr.right, schema)
+        if left is DType.STRING or right is DType.STRING:
+            raise ExpressionError(f"arithmetic over string columns: {expr!r}")
+        # DATE arithmetic degenerates to its int32 representation.
+        left = DType.INT32 if left is DType.DATE else left
+        right = DType.INT32 if right is DType.DATE else right
+        return common_numeric_type(left, right)
+    if isinstance(expr, (Comparison, BooleanOp, Not, Between, InList)):
+        return DType.BOOL
+    raise ExpressionError(f"cannot infer type of {type(expr).__name__}")

@@ -1,0 +1,55 @@
+"""Simulated coprocessor hardware: profiles, traffic, cost model, device.
+
+This package replaces the paper's physical testbed (Table 2) with an
+instrumented simulation.  See ``DESIGN.md`` for the substitution
+rationale.
+"""
+
+from .costmodel import CostBreakdown, KernelCostModel
+from .device import DeviceBuffer, VirtualCoprocessor
+from .interconnect import NVLINK1, OPENCAPI, PCIE3, Interconnect
+from .profiles import (
+    A10,
+    GTX770,
+    GTX970,
+    RX480,
+    TABLE2_DEVICES,
+    XEON_E5,
+    DeviceProfile,
+    get_profile,
+    list_profiles,
+)
+from .traffic import (
+    AtomicBatch,
+    KernelTrace,
+    MemoryLevel,
+    Profile,
+    TrafficMeter,
+    TransferRecord,
+)
+
+__all__ = [
+    "A10",
+    "AtomicBatch",
+    "CostBreakdown",
+    "DeviceBuffer",
+    "DeviceProfile",
+    "GTX770",
+    "GTX970",
+    "Interconnect",
+    "KernelCostModel",
+    "KernelTrace",
+    "MemoryLevel",
+    "NVLINK1",
+    "OPENCAPI",
+    "PCIE3",
+    "Profile",
+    "RX480",
+    "TABLE2_DEVICES",
+    "TrafficMeter",
+    "TransferRecord",
+    "VirtualCoprocessor",
+    "XEON_E5",
+    "get_profile",
+    "list_profiles",
+]

@@ -1,0 +1,202 @@
+"""The virtual coprocessor: allocator, transfer engine, kernel launcher.
+
+This is the substrate that stands in for the paper's physical GPUs.  It
+does three jobs:
+
+1. **Capacity accounting** — device buffers are allocated against the
+   profile's memory capacity; exceeding it raises
+   :class:`~repro.errors.DeviceMemoryError`, which is how the
+   run-to-finish macro model fails to scale (Section 2.1).
+2. **Transfer simulation** — host<->device copies are timed with the
+   interconnect model and logged (the PCIe volumes of Figure 5).
+3. **Kernel launch simulation** — a kernel is a completed
+   :class:`TrafficMeter`; the cost model converts it into simulated
+   milliseconds and the launch is appended to the device profile log.
+
+The actual *data* lives in ordinary numpy arrays; "device resident" is a
+bookkeeping property.  That keeps computation exact while the memory
+system is simulated.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AllocationError, DeviceMemoryError
+from .costmodel import KernelCostModel
+from .interconnect import PCIE3, Interconnect
+from .profiles import DeviceProfile
+from .traffic import KernelTrace, Profile, TrafficMeter, TransferRecord
+
+
+@dataclass
+class DeviceBuffer:
+    """A numpy array accounted as resident in device global memory."""
+
+    array: np.ndarray
+    device: "VirtualCoprocessor"
+    label: str = ""
+    freed: bool = field(default=False, compare=False)
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def free(self) -> None:
+        self.device.free(self)
+
+
+class VirtualCoprocessor:
+    """A simulated GPU-style coprocessor with a memory hierarchy.
+
+    Parameters
+    ----------
+    profile:
+        Static hardware description (bandwidths, capacities, ...).
+    interconnect:
+        Host link model.  Ignored (forced to ``None``) for zero-copy
+        devices such as the A10 APU, which access host memory directly.
+    """
+
+    def __init__(self, profile: DeviceProfile, interconnect: Interconnect | None = PCIE3):
+        self.profile = profile
+        self.interconnect = None if profile.zero_copy else interconnect
+        self.cost_model = KernelCostModel(profile)
+        self.allocated_bytes = 0
+        self.peak_allocated = 0
+        self.log = Profile()
+        self._live_buffers: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, array: np.ndarray, label: str = "") -> DeviceBuffer:
+        """Account ``array`` as a device-resident buffer."""
+        nbytes = array.nbytes
+        available = self.profile.memory_capacity - self.allocated_bytes
+        if nbytes > available:
+            raise DeviceMemoryError(nbytes, available, self.profile.memory_capacity)
+        buffer = DeviceBuffer(array=array, device=self, label=label)
+        self.allocated_bytes += nbytes
+        self.peak_allocated = max(self.peak_allocated, self.allocated_bytes)
+        self._live_buffers.add(id(buffer))
+        return buffer
+
+    def allocate_empty(self, shape, dtype, label: str = "") -> DeviceBuffer:
+        return self.allocate(np.empty(shape, dtype=dtype), label=label)
+
+    def free(self, buffer: DeviceBuffer) -> None:
+        if buffer.freed:
+            raise AllocationError(f"double free of device buffer {buffer.label!r}")
+        if id(buffer) not in self._live_buffers:
+            raise AllocationError("buffer does not belong to this device")
+        buffer.freed = True
+        self._live_buffers.discard(id(buffer))
+        self.allocated_bytes -= buffer.nbytes
+
+    @contextlib.contextmanager
+    def scoped(self, *buffers: DeviceBuffer):
+        """Free the given buffers when the scope exits."""
+        try:
+            yield buffers
+        finally:
+            for buffer in buffers:
+                if not buffer.freed:
+                    self.free(buffer)
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
+    def transfer_to_device(self, array: np.ndarray, label: str = "") -> DeviceBuffer:
+        """Move a host array onto the device (PCIe h2d, or free on APUs)."""
+        buffer = self.allocate(array, label=label)
+        self._record_transfer(array.nbytes, "h2d", label)
+        return buffer
+
+    def transfer_to_host(self, buffer: DeviceBuffer, label: str = "") -> np.ndarray:
+        """Move a device buffer back to the host and free it."""
+        array = buffer.array
+        self._record_transfer(array.nbytes, "d2h", label or buffer.label)
+        self.free(buffer)
+        return array
+
+    def record_stream_transfer(self, nbytes: int, direction: str, label: str = "") -> None:
+        """Log a streaming transfer that is not device-resident afterwards
+        (batch processing blocks, which are consumed and discarded)."""
+        self._record_transfer(nbytes, direction, label)
+
+    def _record_transfer(self, nbytes: int, direction: str, label: str) -> None:
+        if self.interconnect is None:
+            # Zero-copy device: data never crosses a link.
+            self.log.transfers.append(
+                TransferRecord(nbytes=0, direction=direction, time_ms=0.0, label=label)
+            )
+            return
+        seconds = self.interconnect.transfer_time(nbytes, direction)
+        self.log.transfers.append(
+            TransferRecord(
+                nbytes=nbytes, direction=direction, time_ms=seconds * 1e3, label=label
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def new_meter(self) -> TrafficMeter:
+        return TrafficMeter()
+
+    def launch(
+        self,
+        name: str,
+        kind: str,
+        elements: int,
+        meter: TrafficMeter,
+        occupancy: float = 1.0,
+    ) -> KernelTrace:
+        """Record one kernel launch and assign its simulated time."""
+        breakdown = self.cost_model.breakdown(meter, kind, occupancy=occupancy)
+        trace = KernelTrace(
+            name=name,
+            kind=kind,
+            elements=elements,
+            meter=meter,
+            time_ms=breakdown.total * 1e3,
+            bound_by=breakdown.bound_by,
+        )
+        self.log.kernels.append(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # baselines & bookkeeping
+    # ------------------------------------------------------------------
+    def pcie_baseline_ms(self, h2d_bytes: int, d2h_bytes: int) -> float:
+        """The dashed 'PCIe transfer' baseline of every evaluation figure.
+
+        Zero-copy devices stream the same volume through main memory
+        instead, so the baseline uses their memory bandwidth.
+        """
+        if self.interconnect is None:
+            total = h2d_bytes + d2h_bytes
+            return total / (self.profile.global_bandwidth * 1e9) * 1e3
+        return self.interconnect.balanced_time(h2d_bytes, d2h_bytes) * 1e3
+
+    def memory_bound_ms(self, nbytes: int) -> float:
+        """The solid 'memory bound' baseline (input+output streamed once)."""
+        return self.cost_model.memory_bound_time(nbytes) * 1e3
+
+    def reset(self) -> None:
+        """Clear the profiler log (allocations are left untouched)."""
+        self.log = Profile()
+
+    def reset_all(self) -> None:
+        """Clear the profiler log and all allocation accounting."""
+        self.log = Profile()
+        self.allocated_bytes = 0
+        self.peak_allocated = 0
+        self._live_buffers.clear()

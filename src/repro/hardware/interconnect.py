@@ -1,0 +1,88 @@
+"""Host <-> coprocessor interconnect models (PCIe, NVLink, zero-copy).
+
+Section 1 of the paper identifies the interconnect as the first
+bandwidth wall; Section 2 quantifies it (16 GB/s per PCIe 3.0 direction,
+12.1 GB/s measured bidirectional).  The model here is deliberately
+simple — a directional bandwidth plus a fixed per-transfer latency —
+because that is exactly the granularity at which the paper reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A host-device link with per-direction bandwidths in GB/s."""
+
+    name: str
+    h2d_bandwidth: float
+    d2h_bandwidth: float
+    #: Achievable bandwidth when both directions are active at once; the
+    #: paper measured 12.1 GB/s bidirectional on PCIe 3.0 (Section 8.3).
+    bidirectional_bandwidth: float
+    #: Fixed setup latency per transfer, in seconds (DMA setup, driver).
+    latency: float = 10e-6
+
+    def transfer_time(self, nbytes: int, direction: str) -> float:
+        """Seconds to move ``nbytes`` in one direction ("h2d"/"d2h")."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if direction == "h2d":
+            bandwidth = self.h2d_bandwidth
+        elif direction == "d2h":
+            bandwidth = self.d2h_bandwidth
+        else:
+            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / (bandwidth * 1e9)
+
+    def balanced_time(self, h2d_bytes: int, d2h_bytes: int) -> float:
+        """Seconds to move a bidirectional workload, assuming overlap.
+
+        This is the paper's dashed "PCIe transfer" baseline.  While both
+        directions are active they share the measured bidirectional
+        bandwidth (12.1 GB/s in the paper's testbed); once the smaller
+        direction drains, the remainder streams at the unidirectional
+        rate.
+        """
+        if h2d_bytes < 0 or d2h_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        if h2d_bytes + d2h_bytes == 0:
+            return 0.0
+        small = min(h2d_bytes, d2h_bytes)
+        big = max(h2d_bytes, d2h_bytes)
+        solo_bandwidth = self.h2d_bandwidth if big == h2d_bytes else self.d2h_bandwidth
+        overlap = 2 * small / (self.bidirectional_bandwidth * 1e9)
+        remainder = (big - small) / (solo_bandwidth * 1e9)
+        return overlap + remainder
+
+
+#: PCIe 3.0 x16 as measured in the paper's testbed.
+PCIE3 = Interconnect(
+    name="PCIe 3.0 x16",
+    h2d_bandwidth=16.0,
+    d2h_bandwidth=16.0,
+    bidirectional_bandwidth=12.1,
+)
+
+#: A first-generation NVLink-style link — used by the forward-looking
+#: example to study how the bottleneck shifts (Section 9 discussion).
+NVLINK1 = Interconnect(
+    name="NVLink 1.0",
+    h2d_bandwidth=40.0,
+    d2h_bandwidth=40.0,
+    bidirectional_bandwidth=70.0,
+    latency=5e-6,
+)
+
+#: An OpenCAPI-style coherent link.
+OPENCAPI = Interconnect(
+    name="OpenCAPI",
+    h2d_bandwidth=25.0,
+    d2h_bandwidth=25.0,
+    bidirectional_bandwidth=45.0,
+    latency=5e-6,
+)

@@ -1,0 +1,221 @@
+"""Device profiles for the coprocessors evaluated in the paper (Table 2).
+
+A :class:`DeviceProfile` carries everything the cost model needs to turn
+measured traffic into simulated kernel time: memory bandwidths, compute
+and atomic throughputs, scratchpad geometry, and launch overheads.
+
+The bandwidth, core-count, and scratchpad numbers are the published
+values from Table 2 of the paper.  The compute and atomic throughputs
+are *calibration parameters*: they are not printed in the paper, but the
+paper's observations pin them qualitatively —
+
+* the GTX770 becomes compute-bound before the GTX970 (Experiment 1);
+* atomic throughput improved from Kepler to Maxwell (Appendix G.1), yet
+  the GTX770's higher memory clock gives it fast same-address atomics,
+  letting plain ``Pipelined`` beat ``Resolution:SIMD`` below ~10%
+  selectivity on that card;
+* the A10 APU has no PCIe link and a 18.7 GB/s shared-memory budget.
+
+Changing these constants re-calibrates every experiment consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GB = 1_000_000_000
+KB = 1024
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one (co)processor.
+
+    Bandwidths are in GB/s (decimal), capacities in bytes, throughputs in
+    operations per second.
+    """
+
+    name: str
+    architecture: str
+    kind: str  # "gpu", "apu", or "cpu"
+    compute_units: int
+    #: Scratchpad memory available per compute unit, in bytes.
+    scratchpad_per_unit: int
+    #: SIMD scheduling width (warp on NVIDIA = 32, wavefront on AMD = 64).
+    simd_width: int
+    #: GPU global memory bandwidth for GPUs; main-memory bandwidth for
+    #: APUs and CPUs (Table 2, "B/W" column).
+    global_bandwidth: float
+    #: Aggregate on-chip (scratchpad/register/cache) bandwidth; the paper
+    #: cites 1.2 TB/s for scratchpad on the GTX970 (Section 4.4).
+    onchip_bandwidth: float
+    #: Device memory capacity (4 GB for the GTX970, Appendix A).
+    memory_capacity: int
+    #: Aggregate throughput for data-independent atomic operations.
+    atomic_throughput: float
+    #: Serialized rate for same-address fetch-and-add atomics (the
+    #: atomic prefix sum, which must return the old value; Section 5.3).
+    same_address_atomic_rate: float
+    #: Effective scalar-instruction throughput for generated kernel code.
+    compute_throughput: float
+    #: Fixed cost per kernel launch, in seconds (the reason
+    #: vector-at-a-time does not pay off on GPUs, Section 3).
+    kernel_launch_overhead: float = 5e-6
+    #: Serialized rate for non-combinable read-modify-write chains on a
+    #: single address (hash-table entry updates).  Orders of magnitude
+    #: slower than combinable adds — this produces the small-group
+    #: contention cliff of Experiment 2.
+    contended_rmw_rate: float = 8.0e7
+    #: Rate multiplier for plain adds whose return value is unused; the
+    #: hardware aggregates these (Appendix G.1).
+    plain_add_speedup: float = 2.0
+    #: Cost of one workgroup-wide synchronization barrier, in seconds,
+    #: multiplied by the number of barrier generations executed.
+    barrier_overhead: float = 1e-9
+    #: Last-level (L2) cache capacity in bytes.  Randomly indexed
+    #: structures larger than this suffer 32-byte transaction
+    #: amplification in DRAM (the dram_*_transactions counters the
+    #: paper profiles, Appendix A).
+    l2_capacity: int = 2 * 1024 * 1024
+    #: Whether the device shares memory with the host (APU): transfers
+    #: become no-ops and there is no PCIe link.
+    zero_copy: bool = False
+
+    @property
+    def scratchpad_total(self) -> int:
+        return self.scratchpad_per_unit * self.compute_units
+
+    @property
+    def threads_resident(self) -> int:
+        """Rough number of hardware threads for oversubscription math."""
+        return self.compute_units * self.simd_width * 32
+
+    def with_overrides(self, **kwargs) -> "DeviceProfile":
+        """A copy of this profile with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA GTX970 — the paper's primary device (Maxwell, Table 2).
+GTX970 = DeviceProfile(
+    name="GTX970",
+    architecture="Maxwell",
+    kind="gpu",
+    compute_units=13,
+    scratchpad_per_unit=96 * KB,
+    simd_width=32,
+    global_bandwidth=146.1,
+    onchip_bandwidth=1200.0,
+    memory_capacity=4 * GB,
+    atomic_throughput=8.0e9,
+    same_address_atomic_rate=2.2e9,
+    compute_throughput=220.0e9,
+    contended_rmw_rate=8.0e7,
+    l2_capacity=1792 * KB,
+)
+
+#: NVIDIA GTX770 (Kepler).  Higher memory clock than the GTX970 but
+#: becomes compute-bound earlier (Experiment 1 observations).
+GTX770 = DeviceProfile(
+    name="GTX770",
+    architecture="Kepler",
+    kind="gpu",
+    compute_units=8,
+    scratchpad_per_unit=48 * KB,
+    simd_width=32,
+    global_bandwidth=167.6,
+    onchip_bandwidth=1000.0,
+    memory_capacity=2 * GB,
+    atomic_throughput=6.0e9,
+    same_address_atomic_rate=3.0e9,
+    compute_throughput=110.0e9,
+    contended_rmw_rate=6.0e7,
+    l2_capacity=512 * KB,
+)
+
+#: AMD RX480 (Ellesmere).
+RX480 = DeviceProfile(
+    name="RX480",
+    architecture="Ellesmere",
+    kind="gpu",
+    compute_units=32,
+    scratchpad_per_unit=32 * KB,
+    simd_width=64,
+    global_bandwidth=104.9,
+    onchip_bandwidth=900.0,
+    memory_capacity=8 * GB,
+    atomic_throughput=4.0e9,
+    same_address_atomic_rate=1.0e9,
+    compute_throughput=180.0e9,
+    contended_rmw_rate=4.0e7,
+    l2_capacity=2048 * KB,
+)
+
+#: AMD A10-7890K APU (Godavari) — integrated GPU sharing main memory
+#: with the CPU; no PCIe transfers, 18.7 GB/s shared bandwidth.
+A10 = DeviceProfile(
+    name="A10",
+    architecture="Godavari",
+    kind="apu",
+    compute_units=8,
+    scratchpad_per_unit=32 * KB,
+    simd_width=64,
+    global_bandwidth=18.7,
+    onchip_bandwidth=400.0,
+    memory_capacity=2 * GB,
+    atomic_throughput=1.5e9,
+    same_address_atomic_rate=0.5e9,
+    compute_throughput=60.0e9,
+    contended_rmw_rate=1.5e7,
+    l2_capacity=512 * KB,
+    zero_copy=True,
+)
+
+#: A workstation CPU standing in for the paper's MonetDB host (Intel
+#: Xeon E5-1607, 32 GB RAM) in Experiment 6.  Modeled as a coprocessor
+#: whose "global memory" is main memory and which needs no transfers.
+#: The low instruction throughput reflects an interpreting columnar
+#: engine (~a few ns of bookkeeping per tuple per operator), which is
+#: what makes the CPU fall behind on operator-rich queries while
+#: staying competitive on cheap scans (Figure 22's Q19).
+XEON_E5 = DeviceProfile(
+    name="XeonE5-1607",
+    architecture="SandyBridge",
+    kind="cpu",
+    compute_units=4,
+    scratchpad_per_unit=256 * KB,
+    simd_width=8,
+    global_bandwidth=25.0,
+    onchip_bandwidth=300.0,
+    memory_capacity=32 * GB,
+    atomic_throughput=1.0e9,
+    same_address_atomic_rate=0.2e9,
+    compute_throughput=6.0e9,
+    contended_rmw_rate=5.0e7,
+    kernel_launch_overhead=2e-7,
+    l2_capacity=10 * 1024 * KB,
+    zero_copy=True,
+)
+
+#: The four coprocessors of Table 2, in the paper's order.
+TABLE2_DEVICES = (GTX970, GTX770, RX480, A10)
+
+_REGISTRY = {profile.name.lower(): profile for profile in TABLE2_DEVICES}
+_REGISTRY[XEON_E5.name.lower()] = XEON_E5
+_REGISTRY["cpu"] = XEON_E5
+
+
+def get_profile(name: str) -> DeviceProfile:
+    """Look up a built-in device profile by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+
+
+def list_profiles() -> list[DeviceProfile]:
+    """All registered device profiles."""
+    seen: dict[str, DeviceProfile] = {}
+    for profile in _REGISTRY.values():
+        seen[profile.name] = profile
+    return list(seen.values())

@@ -1,0 +1,18 @@
+"""Kernel code generation and execution contexts."""
+
+from .codegen import (
+    CompiledKernel,
+    generate_compound_kernel,
+    generate_count_kernel,
+    generate_write_kernel,
+)
+from .context import REDUCTION_MODES, KernelContext
+
+__all__ = [
+    "CompiledKernel",
+    "KernelContext",
+    "REDUCTION_MODES",
+    "generate_compound_kernel",
+    "generate_count_kernel",
+    "generate_write_kernel",
+]

@@ -1,0 +1,213 @@
+"""Kernel source generation for fusion operators.
+
+This is HorseQC's code generator (Sections 4.3 and 5.2), retargeted
+from OpenCL to vectorized Python: relational primitives are instanced
+into a code frame at designated positions.  Three kernel shapes exist:
+
+* ``count``    — all cardinality-affecting primitives, ending by
+  writing the selection flags (multi-pass phase 1, Figure 8 left);
+* ``write``    — re-executes the primitives for flagged threads and
+  performs the aligned writes (multi-pass phase 3, Figure 8 right);
+* ``compound`` — everything in one kernel with the prefix sum inlined
+  between the cardinality part and the write part (Figure 12).
+
+Generated source is kept on the :class:`CompiledKernel` for inspection
+(compare the paper's Appendix E listing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompilationError
+from ..expressions.codegen import to_source
+from ..plan.physical import (
+    AggregateSink,
+    BuildSink,
+    FilterStage,
+    MapStage,
+    MaterializeSink,
+    Pipeline,
+    ProbeStage,
+)
+
+
+@dataclass
+class CompiledKernel:
+    """A generated kernel: its source and the compiled entry point."""
+
+    name: str
+    kind: str  # "count", "write", or "compound"
+    source: str
+    entry: object  # callable(ctx)
+
+    def __call__(self, ctx):
+        return self.entry(ctx)
+
+
+def _compile(name: str, kind: str, lines: list[str]) -> CompiledKernel:
+    source = "\n".join([f"def {name}(ctx):"] + [f"    {line}" for line in lines]) + "\n"
+    namespace: dict = {}
+    try:
+        exec(compile(source, filename=f"<generated {name}>", mode="exec"), namespace)
+    except SyntaxError as error:  # pragma: no cover - codegen bug guard
+        raise CompilationError(f"generated kernel failed to compile: {error}\n{source}")
+    return CompiledKernel(name=name, kind=kind, source=source, entry=namespace[name])
+
+
+def _touch_line(expr_columns: set[str], count: str | None = None) -> str:
+    columns = ", ".join(repr(column) for column in sorted(expr_columns))
+    if count is None:
+        return f"ctx.touch([{columns}])"
+    return f"ctx.touch([{columns}], count={count})"
+
+
+def _emit_stages(lines: list[str], pipeline: Pipeline) -> None:
+    """Emit the relational primitives of the pipeline, in order."""
+    for index, stage in enumerate(pipeline.stages):
+        if isinstance(stage, FilterStage):
+            lines.append(f"# select (stage {index})")
+            lines.append(_touch_line(stage.predicate.columns()))
+            lines.append(f"flags_{index} = {to_source(stage.predicate)}")
+            lines.append(
+                f"mask = ctx.apply_filter(mask, flags_{index}, cost={stage.predicate.size()})"
+            )
+        elif isinstance(stage, MapStage):
+            lines.append(f"# map {stage.name} (stage {index})")
+            lines.append(_touch_line(stage.expr.columns()))
+            lines.append(f"scope[{stage.name!r}] = {to_source(stage.expr)}")
+            lines.append(f"ctx.compute({stage.expr.size()})")
+            lines.append(f"ctx.mark_loaded([{stage.name!r}])")
+        elif isinstance(stage, ProbeStage):
+            lines.append(f"# join probe {stage.table_id} (stage {index})")
+            key_columns: set[str] = set()
+            for key in stage.probe_keys:
+                key_columns |= key.columns()
+            lines.append(_touch_line(key_columns))
+            keys = ", ".join(to_source(key) for key in stage.probe_keys)
+            key_cost = sum(key.size() for key in stage.probe_keys)
+            lines.append(
+                f"rows_{index} = ctx.probe({stage.table_id!r}, [{keys}], mask, "
+                f"key_cost={key_cost})"
+            )
+            lines.append(
+                f"mask = ctx.apply_probe(mask, rows_{index}, kind={stage.kind!r})"
+            )
+            for name in stage.payload:
+                default = stage.payload_defaults.get(name)
+                if default is None:
+                    lines.append(
+                        f"scope[{name!r}] = ctx.payload({stage.table_id!r}, "
+                        f"rows_{index}, {name!r})"
+                    )
+                else:
+                    lines.append(
+                        f"scope[{name!r}] = ctx.payload({stage.table_id!r}, "
+                        f"rows_{index}, {name!r}, default={default!r})"
+                    )
+            if stage.payload:
+                payloads = ", ".join(repr(name) for name in stage.payload)
+                lines.append(f"ctx.mark_loaded([{payloads}])")
+            if stage.residual is not None:
+                lines.append(_touch_line(stage.residual.columns()))
+                lines.append(f"residual_{index} = {to_source(stage.residual)}")
+                lines.append(
+                    f"mask = ctx.apply_filter(mask, residual_{index}, "
+                    f"cost={stage.residual.size()})"
+                )
+        else:  # pragma: no cover - exhaustive over stage types
+            raise CompilationError(f"unknown stage {type(stage).__name__}")
+
+
+def sink_input_columns(sink) -> set[str]:
+    columns: set[str] = set()
+    if isinstance(sink, MaterializeSink):
+        columns.update(sink.outputs)
+    elif isinstance(sink, BuildSink):
+        for key in sink.keys:
+            columns |= key.columns()
+        columns.update(sink.payload)
+    elif isinstance(sink, AggregateSink):
+        for _, expr in sink.group_keys:
+            columns |= expr.columns()
+        for spec in sink.aggregates:
+            if spec.expr is not None:
+                columns |= spec.expr.columns()
+    return columns
+
+
+def _emit_compound_sink(lines: list[str], pipeline: Pipeline) -> None:
+    sink = pipeline.sink
+    if isinstance(sink, MaterializeSink):
+        lines.append("# prefix sum (local resolution, global propagation)")
+        lines.append("positions = ctx.positions(mask)")
+        lines.append("# project / aligned write")
+        lines.append(_touch_line(sink_input_columns(sink), count="positions.total"))
+        for name in sink.outputs:
+            lines.append(f"ctx.store({name!r}, scope[{name!r}], mask, positions)")
+    elif isinstance(sink, BuildSink):
+        lines.append("# pipelined hash-table build (atomic CAS inserts)")
+        lines.append(_touch_line(sink_input_columns(sink)))
+        keys = ", ".join(to_source(key) for key in sink.keys)
+        lines.append(f"ctx.sink_build(mask, [{keys}])")
+    elif isinstance(sink, AggregateSink):
+        lines.append("# pipelined aggregation")
+        lines.append(_touch_line(sink_input_columns(sink)))
+        lines.append("ctx.sink_aggregate(mask)")
+    else:  # pragma: no cover
+        raise CompilationError(f"unknown sink {type(sink).__name__}")
+
+
+def generate_compound_kernel(pipeline: Pipeline) -> CompiledKernel:
+    """One kernel for the whole fusion operator (Section 5.2)."""
+    lines = [
+        f"# compound kernel for {pipeline.describe()}",
+        "np = ctx.np",
+        "scope = ctx.scope",
+        "mask = ctx.full_mask()",
+    ]
+    _emit_stages(lines, pipeline)
+    _emit_compound_sink(lines, pipeline)
+    return _compile(f"compound_{pipeline.name}", "compound", lines)
+
+
+def generate_count_kernel(pipeline: Pipeline) -> CompiledKernel:
+    """Multi-pass phase 1: cardinality primitives + flag write."""
+    lines = [
+        f"# count kernel for {pipeline.describe()}",
+        "np = ctx.np",
+        "scope = ctx.scope",
+        "mask = ctx.full_mask()",
+    ]
+    _emit_stages(lines, pipeline)
+    lines.append("# write selection flags for the prefix sum")
+    lines.append("ctx.finish_count(mask)")
+    return _compile(f"count_{pipeline.name}", "count", lines)
+
+
+def generate_write_kernel(pipeline: Pipeline) -> CompiledKernel:
+    """Multi-pass phase 3: re-execute primitives for flagged threads,
+    then perform the aligned writes (or materialize sink inputs)."""
+    lines = [
+        f"# write kernel for {pipeline.describe()}",
+        "np = ctx.np",
+        "scope = ctx.scope",
+        "mask = ctx.initial_mask()",
+    ]
+    _emit_stages(lines, pipeline)
+    sink = pipeline.sink
+    if isinstance(sink, MaterializeSink):
+        lines.append("positions = ctx.installed_positions()")
+        lines.append(_touch_line(sink_input_columns(sink), count="positions.total"))
+        for name in sink.outputs:
+            lines.append(f"ctx.store({name!r}, scope[{name!r}], mask, positions)")
+    elif isinstance(sink, BuildSink):
+        lines.append(_touch_line(sink_input_columns(sink)))
+        keys = ", ".join(to_source(key) for key in sink.keys)
+        lines.append(f"ctx.materialize_for_build(mask, [{keys}])")
+    elif isinstance(sink, AggregateSink):
+        lines.append(_touch_line(sink_input_columns(sink)))
+        lines.append("ctx.materialize_for_aggregate(mask)")
+    else:  # pragma: no cover
+        raise CompilationError(f"unknown sink {type(sink).__name__}")
+    return _compile(f"write_{pipeline.name}", "write", lines)

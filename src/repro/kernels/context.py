@@ -1,0 +1,391 @@
+"""Kernel execution context for generated kernels.
+
+Generated kernel code (see :mod:`repro.kernels.codegen`) runs against a
+:class:`KernelContext`: expression work happens inline in the generated
+numpy code, while everything that touches the simulated memory system —
+column loads, hash-table probes, prefix sums, aggregation — goes
+through context methods so traffic is accounted exactly once and
+identically across engines.
+
+A context represents ONE kernel: its meter accumulates until the engine
+launches it on the device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompilationError, PlanError
+from ..hardware.profiles import DeviceProfile
+from ..hardware.traffic import MemoryLevel, TrafficMeter
+from ..plan.logical import PlanSchema
+from ..primitives.gather import INDEX_BYTES, random_access_volume
+from ..primitives.prefix import ScanResult, atomic_positions, lrgp_positions
+from .. import primitives
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engines.runtime import QueryRuntime
+
+#: Prefix-sum / reduction mode names accepted by compiled engines.
+REDUCTION_MODES = ("multipass", "atomic", "lrgp_simd", "lrgp_we")
+
+
+class KernelContext:
+    """Accounting + semantics facade for one generated kernel.
+
+    Parameters
+    ----------
+    runtime:
+        The query runtime (hash tables, rng).
+    scope:
+        Column arrays of the pipeline source (full block length).
+    schema:
+        Scope schema (for per-column byte widths).
+    mode:
+        Reduction mode — governs how :meth:`positions` and the
+        aggregation helpers behave and what they cost.
+    base_count:
+        Number of elements charged for a first column load.  The count
+        kernel and compound kernel pass the block size; the write
+        kernel of the multi-pass model passes the selected count, since
+        only flagged threads re-read inputs.
+    """
+
+    def __init__(
+        self,
+        runtime: "QueryRuntime",
+        scope: dict[str, np.ndarray],
+        schema: PlanSchema,
+        mode: str,
+        base_count: int | None = None,
+        sink=None,
+        output_schema: PlanSchema | None = None,
+    ):
+        if mode not in REDUCTION_MODES:
+            raise CompilationError(f"unknown reduction mode {mode!r}")
+        self.np = np
+        self.runtime = runtime
+        self.scope = dict(scope)
+        self.schema = schema
+        self.mode = mode
+        self.n = len(next(iter(scope.values()))) if scope else 0
+        self.base_count = self.n if base_count is None else base_count
+        self.meter = TrafficMeter()
+        self.outputs: dict[str, np.ndarray] = {}
+        self.sink = sink
+        self.output_schema = output_schema
+        #: Final selection flags (count kernel result / write kernel input).
+        self.flags: np.ndarray | None = None
+        #: Intermediates materialized by multi-pass write kernels.
+        self.intermediates: dict[str, np.ndarray] = {}
+        self.aggregation = None
+        self._positions: ScanResult | None = None
+        self._loaded: set[str] = set()
+        self._valid = self.n if base_count is None else base_count
+
+    @property
+    def profile(self) -> DeviceProfile:
+        return self.runtime.device.profile
+
+    # ------------------------------------------------------------------
+    # column loads
+    # ------------------------------------------------------------------
+    def itemsize(self, name: str) -> int:
+        dtype = self.schema.dtypes.get(name)
+        if dtype is None:
+            return 4
+        return dtype.itemsize
+
+    def touch(self, names: list[str], count: int | None = None) -> None:
+        """Charge the first global-memory load of each named column."""
+        charge = self._valid if count is None else count
+        charge = min(charge, self.base_count)
+        for name in names:
+            if name in self._loaded:
+                continue
+            self._loaded.add(name)
+            self.meter.record_read(MemoryLevel.GLOBAL, charge * self.itemsize(name))
+
+    def mark_loaded(self, names: list[str]) -> None:
+        """Treat columns as already in registers (no load charge)."""
+        self._loaded.update(names)
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def full_mask(self) -> np.ndarray:
+        return np.ones(self.n, dtype=bool)
+
+    def apply_filter(self, mask: np.ndarray, flags: np.ndarray, cost: int) -> np.ndarray:
+        """AND selection flags into the mask, charging ALU work.
+
+        ``cost`` is the expression node count (per-element instruction
+        estimate), charged for the rows still alive before the filter.
+        """
+        self.meter.record_instructions(self._valid * cost)
+        flags = np.broadcast_to(np.asarray(flags, dtype=bool), mask.shape)
+        mask = mask & flags
+        self._valid = int(mask.sum())
+        return mask
+
+    def probe(
+        self,
+        table_id: str,
+        key_arrays: list[np.ndarray],
+        mask: np.ndarray,
+        key_cost: int = 0,
+    ) -> np.ndarray:
+        """Probe a hash table for the rows still alive under ``mask``.
+
+        Returns a full-length array of build row indices (-1 for
+        misses and for dead rows).  Probe traffic is charged for the
+        alive rows only — dead threads skip the probe.
+        """
+        entry = self.runtime.hash_table(table_id)
+        alive = np.flatnonzero(mask)
+        rows = np.full(self.n, -1, dtype=np.int64)
+        if key_cost:
+            self.meter.record_instructions(len(alive) * key_cost)
+        if alive.size:
+            keys = [np.ascontiguousarray(np.broadcast_to(np.asarray(k), mask.shape)[alive]) for k in key_arrays]
+            rows[alive] = entry.table.probe(self.meter, keys, self.profile.l2_capacity)
+        return rows
+
+    def apply_probe(self, mask: np.ndarray, rows: np.ndarray, kind: str) -> np.ndarray:
+        """Fold probe hits/misses into the mask per join kind."""
+        found = rows >= 0
+        if kind == "inner" or kind == "semi":
+            mask = mask & found
+        elif kind == "anti":
+            mask = mask & ~found
+        elif kind == "left":
+            pass  # all probe rows survive
+        else:
+            raise PlanError(f"unknown join kind {kind!r}")
+        self._valid = int(mask.sum())
+        return mask
+
+    def payload(
+        self,
+        table_id: str,
+        rows: np.ndarray,
+        name: str,
+        default: float | None = None,
+    ) -> np.ndarray:
+        """Fetch a payload column through the probe result (a gather).
+
+        Charges one random global-memory read per alive hit; missing
+        rows yield ``default`` (left joins) or an arbitrary value that
+        is masked off downstream (inner joins).
+        """
+        entry = self.runtime.hash_table(table_id)
+        try:
+            source = entry.payload[name]
+        except KeyError:
+            raise PlanError(f"hash table {table_id!r} has no payload {name!r}") from None
+        found = rows >= 0
+        hits = int(found.sum())
+        itemsize = source.dtype.itemsize
+        self.meter.record_read(
+            MemoryLevel.GLOBAL,
+            random_access_volume(hits, itemsize, source.nbytes, self.profile.l2_capacity),
+        )
+        self.meter.record_instructions(hits)
+        if len(source) == 0:
+            # Empty build side: every probe missed; any fill value is
+            # masked off downstream (or replaced by the left-join default).
+            values = np.zeros(len(rows), dtype=source.dtype)
+        else:
+            values = source[np.clip(rows, 0, None)]
+        if default is not None:
+            fill = np.asarray(default).astype(source.dtype)
+            values = np.where(found, values, fill)
+        return values
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def positions(self, mask: np.ndarray) -> ScanResult:
+        """Write positions for the selected rows, per reduction mode."""
+        if self.mode == "atomic":
+            return atomic_positions(self.meter, mask, self.runtime.rng)
+        if self.mode == "lrgp_simd":
+            return lrgp_positions(
+                self.meter, mask, self.profile, self.runtime.rng, "simd"
+            )
+        if self.mode == "lrgp_we":
+            return lrgp_positions(
+                self.meter, mask, self.profile, self.runtime.rng, "work_efficient"
+            )
+        raise CompilationError(
+            "multipass kernels compute prefix sums in separate kernels; "
+            "positions() is only valid in compound kernels"
+        )
+
+    def set_positions(self, positions: ScanResult) -> None:
+        """Install externally computed positions (multi-pass write
+        kernel), charging the flag + prefix array reads."""
+        self.meter.record_read(MemoryLevel.GLOBAL, 2 * self.n * INDEX_BYTES)
+        self._positions = positions
+
+    def atomic_reduce(self, values: np.ndarray, op: str):
+        return primitives.atomic_reduce(self.meter, values, op)
+
+    def lrgp_reduce(self, values: np.ndarray, op: str):
+        mechanism = "work_efficient" if self.mode == "lrgp_we" else "simd"
+        return primitives.lrgp_reduce(self.meter, values, self.profile, op, mechanism)
+
+    def hash_aggregate_cost(self, codes: np.ndarray, num_groups: int, entry_bytes: int):
+        """Charge a pipelined grouped aggregation (C2 or C3)."""
+        if self.mode == "atomic":
+            return primitives.atomic_hash_aggregate(self.meter, codes, num_groups, entry_bytes)
+        return primitives.segmented_hash_aggregate(
+            self.meter, codes, num_groups, entry_bytes, self.profile
+        )
+
+    def single_aggregate_cost(self, count: int, accumulators: int) -> None:
+        """Charge a pipelined single-tuple aggregation (B2 or B3)."""
+        values = np.zeros(count, dtype=np.float32)
+        for _ in range(max(accumulators, 1)):
+            if self.mode == "atomic":
+                primitives.atomic_reduce(self.meter, values, "sum")
+            else:
+                mechanism = "work_efficient" if self.mode == "lrgp_we" else "simd"
+                primitives.lrgp_reduce(self.meter, values, self.profile, "sum", mechanism)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def compute(self, cost: int, count: int | None = None) -> None:
+        """Charge ALU-only work (projection arithmetic)."""
+        charge = self._valid if count is None else count
+        self.meter.record_instructions(charge * cost)
+
+    def write_output(self, name: str, values: np.ndarray, itemsize: int) -> None:
+        """Charge the aligned write of one output column."""
+        count = len(values)
+        self.meter.record_write(MemoryLevel.GLOBAL, count * itemsize)
+        self.outputs[name] = values
+
+    def store(self, name: str, values: np.ndarray, mask: np.ndarray, positions: ScanResult) -> None:
+        """Scatter the selected values to their write positions.
+
+        With atomic/LRGP positions the output order is the (semi-)
+        permuted allocation order of Section 6.1; with reference
+        positions it is input order.
+        """
+        itemsize = self.itemsize(name)
+        full = np.broadcast_to(np.asarray(values), mask.shape)
+        selected = full[mask]
+        dense = np.empty(positions.total, dtype=np.asarray(selected).dtype)
+        dense[positions.positions[mask]] = selected
+        self.write_output(name, dense, itemsize)
+
+    # ------------------------------------------------------------------
+    # multi-pass count/write protocol
+    # ------------------------------------------------------------------
+    def finish_count(self, mask: np.ndarray) -> None:
+        """Count kernel epilogue: write the selection flags array."""
+        self.meter.record_write(MemoryLevel.GLOBAL, self.n * INDEX_BYTES)
+        self.flags = mask
+
+    def install_flags(self, flags: np.ndarray) -> None:
+        self.flags = flags
+
+    def initial_mask(self) -> np.ndarray:
+        """Write kernel prologue: threads consult their selection flag."""
+        if self.flags is None:
+            raise CompilationError("write kernel needs flags from the count kernel")
+        return self.flags.copy()
+
+    def installed_positions(self) -> ScanResult:
+        if self._positions is None:
+            raise CompilationError("write kernel needs positions from the prefix sum")
+        return self._positions
+
+    # ------------------------------------------------------------------
+    # sinks
+    # ------------------------------------------------------------------
+    def sink_aggregate(self, mask: np.ndarray) -> None:
+        """Pipelined aggregation (compound kernels): compute the
+        aggregates and charge B2/B3 (single tuple) or C2/C3 (grouped)."""
+        if self.sink is None or self.output_schema is None:
+            raise CompilationError("context has no aggregation sink bound")
+        result = self.runtime.aggregate_rows(self.sink, self.scope, mask, self.output_schema)
+        if result.codes is not None:
+            self.hash_aggregate_cost(result.codes, result.num_groups, result.entry_bytes)
+        else:
+            accumulators = sum(
+                2 if spec.op == "avg" else 1 for spec in self.sink.aggregates
+            )
+            self.single_aggregate_cost(result.inputs, accumulators)
+        self.outputs.update(result.outputs)
+        self.aggregation = result
+
+    def materialize_for_aggregate(self, mask: np.ndarray) -> None:
+        """Multi-pass write kernel: materialize key and value columns
+        for the library sort/reduce that follows (pipeline breaker)."""
+        if self.sink is None:
+            raise CompilationError("context has no aggregation sink bound")
+        from ..expressions.eval import evaluate
+
+        selected = np.flatnonzero(mask)
+        for index, (name, expr) in enumerate(self.sink.group_keys):
+            values = np.broadcast_to(np.asarray(evaluate(expr, self.scope)), mask.shape)[selected]
+            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+            self.intermediates[f"key{index}:{name}"] = values
+        for spec in self.sink.aggregates:
+            if spec.expr is None:
+                continue
+            values = np.broadcast_to(np.asarray(evaluate(spec.expr, self.scope)), mask.shape)[selected]
+            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+            self.intermediates[f"value:{spec.name}"] = values
+
+    def sink_build(self, mask: np.ndarray, key_arrays: list[np.ndarray]) -> None:
+        """Pipelined hash-table build (compound kernels): selected rows
+        insert themselves with atomic CAS, payload kept from registers."""
+        if self.sink is None:
+            raise CompilationError("context has no build sink bound")
+        from ..engines.runtime import HashTableEntry
+        from ..primitives.hashtable import JoinHashTable
+
+        selected = np.flatnonzero(mask)
+        keys = [
+            np.ascontiguousarray(np.broadcast_to(np.asarray(array), mask.shape)[selected])
+            for array in key_arrays
+        ]
+        table = JoinHashTable.build_pipelined(
+            self.meter, self.runtime.device, keys, name=self.sink.table_id
+        )
+        payload: dict[str, np.ndarray] = {}
+        for name in self.sink.payload:
+            values = np.ascontiguousarray(self.scope[name][selected])
+            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+            self.runtime.device.allocate(values, label=f"{self.sink.table_id}.{name}")
+            payload[name] = values
+        for array, key_values in zip(key_arrays, keys):
+            self.meter.record_write(MemoryLevel.GLOBAL, key_values.nbytes)
+        self.runtime.register_hash_table(self.sink.table_id, HashTableEntry(table, payload))
+
+    def materialize_for_build(self, mask: np.ndarray, key_arrays: list[np.ndarray]) -> None:
+        """Multi-pass write kernel: materialize keys + payload; the
+        engine then builds the hash table in a separate kernel."""
+        if self.sink is None:
+            raise CompilationError("context has no build sink bound")
+        selected = np.flatnonzero(mask)
+        for index, array in enumerate(key_arrays):
+            values = np.ascontiguousarray(
+                np.broadcast_to(np.asarray(array), mask.shape)[selected]
+            )
+            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+            self.intermediates[f"key{index}"] = values
+        for name in self.sink.payload:
+            values = np.ascontiguousarray(self.scope[name][selected])
+            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+            self.intermediates[f"payload:{name}"] = values
+
+    @property
+    def valid(self) -> int:
+        return self._valid

@@ -1,0 +1,223 @@
+"""Streaming batch-processing executor (Experiment 5, Figure 21).
+
+Integrates a compound-kernel micro execution model with the batch
+processing macro execution model: dimension pipelines run run-to-finish
+(their hash tables stay resident in GPU global memory), then the fact
+pipeline streams through the device in blocks.  Blocks are transferred
+asynchronously, so the streaming phase's end-to-end time is the larger
+of total transfer time and total kernel time, plus a per-block
+scheduling overhead — which is why 0.5 MB blocks lag and >= 2 MB blocks
+saturate PCIe in Figure 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engines.base import _cast_outputs
+from ..engines.compound import CompoundEngine
+from ..engines.runtime import QueryRuntime
+from ..errors import PlanError
+from ..hardware.device import VirtualCoprocessor
+from ..kernels.codegen import generate_compound_kernel
+from ..kernels.context import KernelContext
+from ..plan.logical import LogicalPlan, PlanSchema
+from ..plan.physical import AggregateSink, MaterializeSink, PhysicalQuery, Pipeline
+from ..plan.pipelines import extract_pipelines
+from ..primitives.segmented import factorize, grouped_reduce
+from ..storage.database import Database
+from ..storage.table import Table
+
+#: Per-block scheduling overhead (async copy enqueue + sync), seconds.
+BLOCK_OVERHEAD = 20e-6
+
+#: Merge functions for combining per-block partial aggregates.
+_MERGE_OPS = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+
+@dataclass
+class BatchResult:
+    """Timing breakdown of a streamed batch-processing execution."""
+
+    table: Table
+    block_bytes: int
+    num_blocks: int
+    build_ms: float
+    stream_transfer_ms: float
+    stream_kernel_ms: float
+    overhead_ms: float
+    input_bytes: int
+    output_bytes: int
+    peak_device_bytes: int
+
+    @property
+    def stream_ms(self) -> float:
+        """Streaming phase with transfer/compute overlap."""
+        return max(self.stream_transfer_ms, self.stream_kernel_ms) + self.overhead_ms
+
+    @property
+    def end_to_end_ms(self) -> float:
+        return self.build_ms + self.stream_ms
+
+
+class BatchExecutor:
+    """Run a query with resident hash tables + a streamed fact pipeline."""
+
+    def __init__(self, block_bytes: int = 2 * 1024 * 1024, mode: str = "lrgp_simd"):
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        self.engine = CompoundEngine(mode)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: LogicalPlan | PhysicalQuery,
+        database: Database,
+        device: VirtualCoprocessor,
+        seed: int = 42,
+    ) -> BatchResult:
+        if isinstance(plan, PhysicalQuery):
+            query = plan
+        else:
+            query = extract_pipelines(plan, database)
+        final = query.final_pipeline
+        if final.source_is_virtual:
+            raise PlanError(
+                "batch streaming requires the final pipeline to scan a base "
+                "table (stream the fact table, keep dimensions resident)"
+            )
+
+        device.reset_all()
+        runtime = QueryRuntime(device, database, seed=seed)
+
+        # Phase 1: dimension pipelines, run-to-finish.
+        for pipeline in query.pipelines[:-1]:
+            produced = self.engine.execute_pipeline(pipeline, runtime)
+            if pipeline.output_schema is not None and produced is not None:
+                runtime.register_virtual(
+                    pipeline.output_name,
+                    _cast_outputs(produced, pipeline.output_schema),
+                    pipeline.output_schema,
+                )
+        build_ms = device.log.total_time_ms
+        build_marker_kernels = len(device.log.kernels)
+        build_marker_transfers = len(device.log.transfers)
+        build_input_bytes = runtime.input_bytes
+
+        # Phase 2: stream the fact pipeline in blocks.
+        table = database.table(final.source)
+        rows_per_block = self._rows_per_block(final, table)
+        total_rows = table.num_rows
+        num_blocks = max(1, -(-total_rows // rows_per_block))
+
+        partials: list[dict[str, np.ndarray]] = []
+        stream_input_bytes = 0
+        peak = device.allocated_bytes
+        for index in range(num_blocks):
+            start = index * rows_per_block
+            stop = min(start + rows_per_block, total_rows)
+            scope = {}
+            block_nbytes = 0
+            for name in final.required_columns:
+                base = final.source_rename.get(name, name)
+                values = table.column(base).values[start:stop]
+                scope[name] = values
+                block_nbytes += values.nbytes
+            device.record_stream_transfer(block_nbytes, "h2d", label=f"block{index}")
+            stream_input_bytes += block_nbytes
+
+            ctx = KernelContext(
+                runtime,
+                scope,
+                final.scope_schema,
+                mode=self.engine.mode,
+                sink=final.sink,
+                output_schema=final.output_schema,
+            )
+            kernel = generate_compound_kernel(final)
+            kernel(ctx)
+            device.launch(f"{kernel.name}.block{index}", "compound", ctx.n, ctx.meter)
+            partials.append(dict(ctx.outputs))
+            peak = max(peak, device.allocated_bytes + block_nbytes)
+
+        merged = self._merge_partials(final, partials)
+        runtime.input_bytes = build_input_bytes + stream_input_bytes
+        result_table = runtime.finalize(query, merged)
+
+        stream_kernels = device.log.kernels[build_marker_kernels:]
+        stream_transfers = device.log.transfers[build_marker_transfers:]
+        stream_kernel_ms = sum(trace.time_ms for trace in stream_kernels)
+        stream_transfer_ms = sum(record.time_ms for record in stream_transfers)
+        return BatchResult(
+            table=result_table,
+            block_bytes=self.block_bytes,
+            num_blocks=num_blocks,
+            build_ms=build_ms,
+            stream_transfer_ms=stream_transfer_ms,
+            stream_kernel_ms=stream_kernel_ms,
+            overhead_ms=num_blocks * BLOCK_OVERHEAD * 1e3,
+            input_bytes=runtime.input_bytes,
+            output_bytes=runtime.output_bytes,
+            peak_device_bytes=peak,
+        )
+
+    # ------------------------------------------------------------------
+    def _rows_per_block(self, pipeline: Pipeline, table) -> int:
+        """Rows such that each column block is ~block_bytes (the paper
+        partitions each column into fixed-size blocks)."""
+        widths = [
+            table.column(pipeline.source_rename.get(name, name)).itemsize
+            for name in pipeline.required_columns
+        ]
+        width = max(widths) if widths else 4
+        return max(1, self.block_bytes // width)
+
+    # ------------------------------------------------------------------
+    def _merge_partials(
+        self, pipeline: Pipeline, partials: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        sink = pipeline.sink
+        if isinstance(sink, MaterializeSink):
+            return {
+                name: np.concatenate([partial[name] for partial in partials])
+                for name in sink.outputs
+            }
+        if isinstance(sink, AggregateSink):
+            return self._merge_aggregates(sink, pipeline.output_schema, partials)
+        raise PlanError("batch streaming supports materialize and aggregate sinks")
+
+    @staticmethod
+    def _merge_aggregates(
+        sink: AggregateSink, schema: PlanSchema | None, partials: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        assert schema is not None
+        for spec in sink.aggregates:
+            if spec.op not in _MERGE_OPS:
+                raise PlanError(
+                    f"aggregate {spec.op!r} cannot be merged across blocks "
+                    "(use run-to-finish for AVG queries)"
+                )
+        key_names = [name for name, _ in sink.group_keys]
+        if not key_names:
+            merged: dict[str, np.ndarray] = {}
+            for spec in sink.aggregates:
+                stacked = np.concatenate([partial[spec.name] for partial in partials])
+                op = _MERGE_OPS[spec.op]
+                value = getattr(np, op)(stacked) if len(stacked) else 0
+                merged[spec.name] = np.asarray([value])
+            return merged
+        stacked_keys = [
+            np.concatenate([partial[name] for partial in partials]) for name in key_names
+        ]
+        codes, uniques = factorize(stacked_keys)
+        merged = {name: unique for name, unique in zip(key_names, uniques)}
+        groups = len(uniques[0]) if uniques else 0
+        for spec in sink.aggregates:
+            stacked = np.concatenate([partial[spec.name] for partial in partials])
+            merged[spec.name] = grouped_reduce(codes, groups, stacked, _MERGE_OPS[spec.op])
+        for name, dtype in schema.dtypes.items():
+            merged[name] = np.asarray(merged[name]).astype(dtype.numpy_dtype)
+        return merged

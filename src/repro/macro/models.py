@@ -1,0 +1,113 @@
+"""Macro execution models (Section 2): how data moves host <-> device.
+
+Three models from the paper:
+
+* **run-to-finish** — transfer all inputs, run all kernels, transfer
+  the output.  Simple but capacity-limited (Figure 2).  This is what
+  the engines do natively; :func:`run_to_finish` is the explicit entry
+  point and is where :class:`DeviceMemoryError` surfaces at scale.
+* **kernel-at-a-time** — every kernel streams its inputs and outputs
+  over PCIe (Figure 3).  We derive its data-movement profile from a
+  run-to-finish execution: per-kernel I/O becomes PCIe traffic, except
+  hash-table accesses, which stay device-resident (Section 2.2).
+* **batch processing** — blocks cross PCIe once and multiple kernels
+  run per block (Figure 4); intermediates short-circuit on the device.  PCIe
+  traffic shrinks to input columns + final output.  The streaming
+  executor for Experiment 5 lives in :mod:`repro.macro.batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engines.base import Engine, ExecutionResult
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.traffic import MemoryLevel
+from ..plan.logical import LogicalPlan
+from ..storage.database import Database
+
+
+@dataclass
+class MacroMovement:
+    """Data movement of one macro model for one query (Figure 5 rows)."""
+
+    model: str
+    pcie_bytes: int
+    pcie_ms: float
+    global_bytes: int
+    global_ms: float
+
+    def row(self) -> str:
+        return (
+            f"{self.model:<18s} PCIe {self.pcie_bytes / 1e9:7.3f} GB "
+            f"~{self.pcie_ms:8.2f} ms   GPU global {self.global_bytes / 1e9:7.3f} GB "
+            f"~{self.global_ms:8.2f} ms"
+        )
+
+
+def run_to_finish(
+    engine: Engine,
+    plan: LogicalPlan,
+    database: Database,
+    device: VirtualCoprocessor,
+) -> ExecutionResult:
+    """Execute with the run-to-finish macro model (Figure 2).
+
+    All inputs are transferred up front (implicitly, on first use),
+    intermediates stay in device memory, and the result returns at the
+    end.  Raises :class:`~repro.errors.DeviceMemoryError` when the data
+    no longer fits — the paper's scalability argument.
+    """
+    return engine.execute(plan, database, device)
+
+
+def kernel_at_a_time_movement(
+    result: ExecutionResult, device: VirtualCoprocessor
+) -> MacroMovement:
+    """Derive the kernel-at-a-time data movement from a profile.
+
+    "The data volumes for GPU global memory accesses equal the data
+    volume transferred via PCIe, plus the cost to build up the hash
+    tables in GPU global memory" (Section 2.2).  We therefore count
+    every kernel's non-hash-table I/O as PCIe traffic.
+    """
+    profile = result.profile
+    global_bytes = profile.bytes_at(MemoryLevel.GLOBAL)
+    pcie_bytes = global_bytes - profile.table_bytes
+    pcie_ms = _pcie_ms(device, pcie_bytes)
+    return MacroMovement(
+        model="kernel-at-a-time",
+        pcie_bytes=pcie_bytes,
+        pcie_ms=pcie_ms,
+        global_bytes=global_bytes,
+        global_ms=device.memory_bound_ms(global_bytes),
+    )
+
+
+def batch_processing_movement(
+    result: ExecutionResult, device: VirtualCoprocessor
+) -> MacroMovement:
+    """Derive the batch-processing data movement from a profile.
+
+    PCIe carries only the input columns and the final result; GPU
+    global memory sees the same per-kernel traffic as kernel-at-a-time
+    (Section 2.3: "the amount of GPU global memory access remains
+    unaffected").
+    """
+    profile = result.profile
+    pcie_bytes = result.input_bytes + result.output_bytes
+    return MacroMovement(
+        model="batch processing",
+        pcie_bytes=pcie_bytes,
+        pcie_ms=_pcie_ms(device, pcie_bytes),
+        global_bytes=profile.bytes_at(MemoryLevel.GLOBAL),
+        global_ms=device.memory_bound_ms(profile.bytes_at(MemoryLevel.GLOBAL)),
+    )
+
+
+def _pcie_ms(device: VirtualCoprocessor, nbytes: int) -> float:
+    if device.interconnect is None:
+        return device.memory_bound_ms(nbytes)
+    # Assume a balanced split across the two directions is impossible:
+    # kernel I/O alternates, so charge the unidirectional rate.
+    return nbytes / (device.interconnect.h2d_bandwidth * 1e9) * 1e3

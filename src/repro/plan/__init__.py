@@ -1,0 +1,59 @@
+"""Logical plans, the fluent builder, and pipeline extraction."""
+
+from .builder import PlanBuilder
+from .json_plan import load_json_plan
+from .logical import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Map,
+    PlanSchema,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    walk,
+)
+from .physical import (
+    RESULT_NAME,
+    AggregateSink,
+    BuildSink,
+    FilterStage,
+    MapStage,
+    MaterializeSink,
+    PhysicalQuery,
+    Pipeline,
+    ProbeStage,
+)
+from .pipelines import extract_pipelines
+
+__all__ = [
+    "Aggregate",
+    "AggSpec",
+    "AggregateSink",
+    "BuildSink",
+    "Filter",
+    "FilterStage",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "Map",
+    "MapStage",
+    "MaterializeSink",
+    "PhysicalQuery",
+    "Pipeline",
+    "PlanBuilder",
+    "PlanSchema",
+    "ProbeStage",
+    "Project",
+    "RESULT_NAME",
+    "Scan",
+    "Sort",
+    "SortKey",
+    "extract_pipelines",
+    "load_json_plan",
+    "walk",
+]

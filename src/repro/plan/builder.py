@@ -1,0 +1,134 @@
+"""Fluent construction of logical plans.
+
+The builder is the Python-native counterpart of the paper's two
+front-ends (SQL and JSON plans, Section 7); all TPC-H plans that need
+manual unnesting are written with it.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..expressions.expr import ColumnRef, Expr, col, wrap
+from .logical import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Map,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+)
+
+
+class PlanBuilder:
+    """Builds a :class:`LogicalPlan` by chaining relational operators."""
+
+    def __init__(self, plan: LogicalPlan | None = None):
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scan(cls, table: str, rename: dict[str, str] | None = None) -> "PlanBuilder":
+        return cls(Scan(table=table, rename=dict(rename or {})))
+
+    def _require_plan(self) -> LogicalPlan:
+        if self._plan is None:
+            raise PlanError("builder has no plan yet; start with PlanBuilder.scan()")
+        return self._plan
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Expr) -> "PlanBuilder":
+        return PlanBuilder(Filter(self._require_plan(), predicate))
+
+    def map(self, name: str, expr: Expr) -> "PlanBuilder":
+        return PlanBuilder(Map(self._require_plan(), name, expr))
+
+    def project(self, outputs) -> "PlanBuilder":
+        """Project to named outputs.
+
+        ``outputs`` is a list whose entries are either plain column
+        names or ``(name, expr)`` pairs.
+        """
+        normalized: list[tuple[str, Expr]] = []
+        for output in outputs:
+            if isinstance(output, str):
+                normalized.append((output, col(output)))
+            else:
+                name, expr = output
+                normalized.append((name, wrap(expr)))
+        return PlanBuilder(Project(self._require_plan(), normalized))
+
+    def join(
+        self,
+        build: "PlanBuilder | LogicalPlan",
+        build_keys,
+        probe_keys,
+        payload: list[str] | None = None,
+        kind: str = "inner",
+        payload_defaults: dict[str, float] | None = None,
+        residual: Expr | None = None,
+    ) -> "PlanBuilder":
+        """Hash-join this plan (probe side) against ``build``."""
+        build_plan = build._require_plan() if isinstance(build, PlanBuilder) else build
+        return PlanBuilder(
+            Join(
+                build=build_plan,
+                probe=self._require_plan(),
+                build_keys=[_as_key(key) for key in build_keys],
+                probe_keys=[_as_key(key) for key in probe_keys],
+                payload=list(payload or []),
+                kind=kind,
+                payload_defaults=dict(payload_defaults or {}),
+                residual=residual,
+            )
+        )
+
+    def aggregate(self, group_by=None, aggregates=None) -> "PlanBuilder":
+        """Group by ``group_by`` (names or ``(name, expr)``) computing
+        ``aggregates`` (:class:`AggSpec` or ``(op, expr, name)`` tuples)."""
+        keys: list[tuple[str, Expr]] = []
+        for key in group_by or []:
+            if isinstance(key, str):
+                keys.append((key, col(key)))
+            else:
+                name, expr = key
+                keys.append((name, wrap(expr)))
+        specs: list[AggSpec] = []
+        for aggregate in aggregates or []:
+            if isinstance(aggregate, AggSpec):
+                specs.append(aggregate)
+            else:
+                op, expr, name = aggregate
+                specs.append(AggSpec(op, wrap(expr) if expr is not None else None, name))
+        return PlanBuilder(Aggregate(self._require_plan(), keys, specs))
+
+    def distinct(self, columns: list[str]) -> "PlanBuilder":
+        """Distinct values of ``columns`` (an aggregate with no measures)."""
+        return self.aggregate(group_by=columns, aggregates=[])
+
+    def order_by(self, keys) -> "PlanBuilder":
+        """Sort by ``keys``: names (ascending) or ``(name, ascending)``."""
+        sort_keys = []
+        for key in keys:
+            if isinstance(key, str):
+                sort_keys.append(SortKey(key, True))
+            else:
+                name, ascending = key
+                sort_keys.append(SortKey(name, bool(ascending)))
+        return PlanBuilder(Sort(self._require_plan(), sort_keys))
+
+    def limit(self, count: int) -> "PlanBuilder":
+        return PlanBuilder(Limit(self._require_plan(), count))
+
+    def build(self) -> LogicalPlan:
+        return self._require_plan()
+
+
+def _as_key(key) -> Expr:
+    if isinstance(key, str):
+        return ColumnRef(key)
+    return wrap(key)

@@ -1,0 +1,135 @@
+"""JSON query plans (the paper's workflow 2).
+
+"The translation layer parses a JSON file that describes the query
+plan including the fusion operators.  This enables us to process
+queries when [the SQL front-end] cannot handle the queries via SQL"
+(Section 7).  The format mirrors the logical plan nodes; expressions
+are SQL expression strings.
+
+Example::
+
+    {
+      "plan": {
+        "op": "aggregate",
+        "group_by": ["d_year"],
+        "aggregates": [["sum", "lo_revenue", "revenue"]],
+        "input": {
+          "op": "join",
+          "build": {"op": "filter", "predicate": "d_year = 1993",
+                     "input": {"op": "scan", "table": "date"}},
+          "probe": {"op": "scan", "table": "lineorder"},
+          "build_keys": ["d_datekey"], "probe_keys": ["lo_orderdate"],
+          "payload": ["d_year"]
+        }
+      },
+      "order_by": [["d_year", "asc"]],
+      "limit": 10
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import PlanError
+from ..expressions.expr import Expr, wrap
+from .logical import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Map,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+)
+
+
+def load_json_plan(document: str | dict) -> LogicalPlan:
+    """Build a logical plan from a JSON document (string or dict)."""
+    if isinstance(document, str):
+        document = json.loads(document)
+    if not isinstance(document, dict):
+        raise PlanError("JSON plan document must be an object")
+    if "plan" not in document:
+        raise PlanError("JSON plan document needs a 'plan' entry")
+    plan = _node(document["plan"])
+    order_by = document.get("order_by", [])
+    if order_by:
+        keys = []
+        for entry in order_by:
+            if isinstance(entry, str):
+                keys.append(SortKey(entry, True))
+            elif isinstance(entry, dict):
+                keys.append(SortKey(entry["column"], bool(entry.get("ascending", True))))
+            else:
+                column, direction = entry
+                keys.append(SortKey(column, str(direction).lower() != "desc"))
+        plan = Sort(plan, keys)
+    if "limit" in document and document["limit"] is not None:
+        plan = Limit(plan, int(document["limit"]))
+    return plan
+
+
+def _expr(text) -> Expr:
+    if isinstance(text, (int, float, bool)):
+        return wrap(text)
+    if not isinstance(text, str):
+        raise PlanError(f"expected expression string, got {type(text).__name__}")
+    # Imported lazily to avoid a package-initialization cycle between
+    # repro.plan and repro.sql.
+    from ..sql.parser import parse_expression
+
+    return parse_expression(text)
+
+
+def _node(spec: dict) -> LogicalPlan:
+    if not isinstance(spec, dict) or "op" not in spec:
+        raise PlanError("each JSON plan node needs an 'op' field")
+    op = spec["op"]
+    if op == "scan":
+        return Scan(table=spec["table"], rename=dict(spec.get("rename", {})))
+    if op == "filter":
+        return Filter(_node(spec["input"]), _expr(spec["predicate"]))
+    if op == "map":
+        return Map(_node(spec["input"]), spec["name"], _expr(spec["expr"]))
+    if op == "project":
+        outputs = []
+        for entry in spec["outputs"]:
+            if isinstance(entry, str):
+                outputs.append((entry, _expr(entry)))
+            else:
+                name, expression = entry
+                outputs.append((name, _expr(expression)))
+        return Project(_node(spec["input"]), outputs)
+    if op == "join":
+        residual = spec.get("residual")
+        return Join(
+            build=_node(spec["build"]),
+            probe=_node(spec["probe"]),
+            build_keys=[_expr(key) for key in spec["build_keys"]],
+            probe_keys=[_expr(key) for key in spec["probe_keys"]],
+            payload=list(spec.get("payload", [])),
+            kind=spec.get("kind", "inner"),
+            payload_defaults=dict(spec.get("payload_defaults", {})),
+            residual=_expr(residual) if residual is not None else None,
+        )
+    if op == "aggregate":
+        group_keys = []
+        for entry in spec.get("group_by", []):
+            if isinstance(entry, str):
+                group_keys.append((entry, _expr(entry)))
+            else:
+                name, expression = entry
+                group_keys.append((name, _expr(expression)))
+        aggregates = []
+        for entry in spec.get("aggregates", []):
+            agg_op, expression, name = entry
+            aggregates.append(
+                AggSpec(agg_op, _expr(expression) if expression is not None else None, name)
+            )
+        return Aggregate(_node(spec["input"]), group_keys, aggregates)
+    raise PlanError(f"unknown JSON plan op {op!r}")

@@ -1,0 +1,155 @@
+"""Physical pipelines (fusion operators).
+
+The translation layer replaces a sequence of conventional operators
+with *fusion operators* (Section 4.1).  A :class:`Pipeline` is one
+fusion operator: a source table streamed through cardinality-changing
+and mapping stages into a sink.  Sinks are the pipeline breakers of
+the produce/consume model: hash-table builds, aggregations, and result
+materialization.
+
+Engines interpret (or compile kernels for) these structures; the
+structures themselves are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..expressions.expr import Expr
+from .logical import AggSpec, PlanSchema, SortKey
+
+#: Name under which the final pipeline's output is registered.
+RESULT_NAME = "__result__"
+
+
+@dataclass
+class FilterStage:
+    """Drop rows failing ``predicate`` (a `select` relational primitive)."""
+
+    predicate: Expr
+
+
+@dataclass
+class MapStage:
+    """Extend the scope with ``name = expr`` (a `map` primitive)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class ProbeStage:
+    """Probe a hash table built by an earlier pipeline (`join probe`).
+
+    ``payload`` columns are fetched from the matched build row into the
+    probe scope.  ``kind`` gives the join semantics; ``residual`` is an
+    optional predicate evaluated after payload columns are in scope.
+    """
+
+    table_id: str
+    probe_keys: list[Expr]
+    payload: list[str] = field(default_factory=list)
+    kind: str = "inner"
+    payload_defaults: dict[str, float] = field(default_factory=dict)
+    residual: Expr | None = None
+
+
+@dataclass
+class MaterializeSink:
+    """Aligned write of the scope's output columns to a dense result."""
+
+    outputs: list[str]
+
+
+@dataclass
+class BuildSink:
+    """Build a join hash table over the pipeline's surviving rows."""
+
+    table_id: str
+    keys: list[Expr]
+    payload: list[str] = field(default_factory=list)
+
+
+@dataclass
+class AggregateSink:
+    """Grouped (or single-tuple) aggregation of the surviving rows."""
+
+    group_keys: list[tuple[str, Expr]]
+    aggregates: list[AggSpec]
+
+
+Stage = FilterStage | MapStage | ProbeStage
+Sink = MaterializeSink | BuildSink | AggregateSink
+
+
+@dataclass
+class Pipeline:
+    """One fusion operator: source -> stages -> sink."""
+
+    name: str
+    source: str
+    source_is_virtual: bool
+    stages: list[Stage]
+    sink: Sink
+    #: Source columns the pipeline actually reads.
+    required_columns: list[str]
+    #: Scope schema after all stages (pre-sink).
+    scope_schema: PlanSchema
+    #: Name of the produced artifact: a hash-table id for builds, a
+    #: virtual-table name for intermediate results, RESULT_NAME for the
+    #: final pipeline.
+    output_name: str
+    #: Schema of the produced table (None for hash-table builds).
+    output_schema: PlanSchema | None = None
+    #: scope column name -> base table column name, for renamed scans.
+    source_rename: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_final(self) -> bool:
+        return self.output_name == RESULT_NAME
+
+    def describe(self) -> str:
+        """A one-line summary, e.g. ``lineorder |filter|probe|probe| -> agg``."""
+        parts = []
+        for stage in self.stages:
+            if isinstance(stage, FilterStage):
+                parts.append("filter")
+            elif isinstance(stage, MapStage):
+                parts.append(f"map:{stage.name}")
+            else:
+                parts.append(f"probe:{stage.table_id}")
+        sink = type(self.sink).__name__.replace("Sink", "").lower()
+        chain = "|".join(parts) or "-"
+        return f"{self.source} |{chain}| -> {sink}({self.output_name})"
+
+
+@dataclass
+class PhysicalQuery:
+    """A full query: an ordered list of pipelines plus host post-ops.
+
+    Pipelines execute in order; later pipelines may probe hash tables
+    or scan virtual tables produced earlier.  Sorting and limiting run
+    host-side afterwards, as in the paper's CoGaDB integration
+    (Section 7).
+    """
+
+    pipelines: list[Pipeline]
+    sort_keys: list[SortKey] = field(default_factory=list)
+    limit: int | None = None
+    output_columns: list[str] = field(default_factory=list)
+    output_schema: PlanSchema | None = None
+
+    @property
+    def final_pipeline(self) -> Pipeline:
+        return self.pipelines[-1]
+
+    def describe(self) -> str:
+        lines = [pipeline.describe() for pipeline in self.pipelines]
+        if self.sort_keys:
+            keys = ", ".join(
+                f"{key.column}{'' if key.ascending else ' desc'}" for key in self.sort_keys
+            )
+            lines.append(f"host sort: {keys}")
+        if self.limit is not None:
+            lines.append(f"host limit: {self.limit}")
+        return "\n".join(lines)

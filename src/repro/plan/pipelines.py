@@ -1,0 +1,352 @@
+"""Produce/consume pipeline extraction (the translation layer).
+
+HorseQC's translation layer "applies the produce/consume model to the
+query plan to determine fusion operators" (Section 7).  This module is
+that layer: it walks a logical plan bottom-up, opening a pipeline at
+every scan, absorbing filters/maps/join-probes into the open pipeline,
+and closing pipelines at pipeline breakers (hash-table builds,
+aggregations, result materialization).
+
+All string predicates are resolved to dictionary codes here, so the
+pipelines handed to engines are purely numeric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from ..expressions.expr import ColumnRef, Expr
+from ..expressions.resolve import resolve_strings
+from ..expressions.schema import infer_dtype
+from ..storage.database import Database
+from ..storage.dtypes import DType
+from .logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Map,
+    PlanSchema,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    aggregate_dtype,
+)
+from .physical import (
+    RESULT_NAME,
+    AggregateSink,
+    BuildSink,
+    FilterStage,
+    MapStage,
+    MaterializeSink,
+    PhysicalQuery,
+    Pipeline,
+    ProbeStage,
+)
+
+
+@dataclass
+class _Draft:
+    """An open (not yet closed) pipeline under construction."""
+
+    source: str
+    source_is_virtual: bool
+    schema: PlanSchema
+    stages: list = field(default_factory=list)
+    #: scope name -> base table column name (for renamed scans)
+    source_rename: dict[str, str] = field(default_factory=dict)
+
+
+def extract_pipelines(plan: LogicalPlan, database: Database) -> PhysicalQuery:
+    """Translate a logical plan into an ordered list of pipelines."""
+    return _Extractor(database).run(plan)
+
+
+class _Extractor:
+    def __init__(self, database: Database):
+        self.database = database
+        self.pipelines: list[Pipeline] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self, plan: LogicalPlan) -> PhysicalQuery:
+        sort_keys: list[SortKey] = []
+        limit: int | None = None
+        node = plan
+        if isinstance(node, Limit):
+            limit = node.count
+            node = node.child
+        if isinstance(node, Sort):
+            sort_keys = list(node.keys)
+            node = node.child
+        if isinstance(node, (Sort, Limit)):
+            raise PlanError("Sort/Limit are only supported at the top of a plan")
+
+        draft = self._walk(node)
+        if (
+            not draft.stages
+            and draft.source_is_virtual
+            and self.pipelines
+            and self.pipelines[-1].output_name == draft.source
+        ):
+            # The root operator was itself a pipeline breaker (e.g. a
+            # top-level aggregation): its pipeline IS the final one.
+            final = self.pipelines[-1]
+            final.output_name = RESULT_NAME
+            output_schema = final.output_schema
+        else:
+            outputs = list(draft.schema.dtypes)
+            output_schema = PlanSchema(
+                {name: draft.schema.dtypes[name] for name in outputs},
+                {
+                    name: draft.schema.dictionaries[name]
+                    for name in outputs
+                    if name in draft.schema.dictionaries
+                },
+            )
+            self._close(draft, MaterializeSink(outputs), RESULT_NAME, output_schema)
+
+        assert output_schema is not None
+        for key in sort_keys:
+            if key.column not in output_schema.dtypes:
+                raise PlanError(f"sort key {key.column!r} not in query output")
+        return PhysicalQuery(
+            pipelines=self.pipelines,
+            sort_keys=sort_keys,
+            limit=limit,
+            output_columns=list(output_schema.dtypes),
+            output_schema=output_schema,
+        )
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _walk(self, node: LogicalPlan) -> _Draft:
+        if isinstance(node, Scan):
+            schema = node.schema(self.database)
+            rename = {out: base for base, out in node.rename.items()}
+            return _Draft(
+                source=node.table,
+                source_is_virtual=False,
+                schema=schema,
+                source_rename=rename,
+            )
+        if isinstance(node, Filter):
+            draft = self._walk(node.child)
+            predicate = resolve_strings(node.predicate, draft.schema.dictionaries)
+            self._check_columns(predicate, draft.schema, "filter predicate")
+            draft.stages.append(FilterStage(predicate))
+            return draft
+        if isinstance(node, Map):
+            draft = self._walk(node.child)
+            self._append_map(draft, node.name, node.expr)
+            return draft
+        if isinstance(node, Project):
+            draft = self._walk(node.child)
+            names: list[str] = []
+            for name, expr in node.outputs:
+                if isinstance(expr, ColumnRef) and expr.name == name:
+                    if name not in draft.schema.dtypes:
+                        raise PlanError(f"projected column {name!r} not in scope")
+                else:
+                    self._append_map(draft, name, expr)
+                names.append(name)
+            draft.schema = PlanSchema(
+                {name: draft.schema.dtypes[name] for name in names},
+                {
+                    name: draft.schema.dictionaries[name]
+                    for name in names
+                    if name in draft.schema.dictionaries
+                },
+            )
+            return draft
+        if isinstance(node, Join):
+            return self._walk_join(node)
+        if isinstance(node, Aggregate):
+            return self._walk_aggregate(node)
+        if isinstance(node, (Sort, Limit)):
+            raise PlanError("Sort/Limit are only supported at the top of a plan")
+        raise PlanError(f"unsupported plan node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    def _append_map(self, draft: _Draft, name: str, expr: Expr) -> None:
+        resolved = resolve_strings(expr, draft.schema.dictionaries)
+        self._check_columns(resolved, draft.schema, f"map {name!r}")
+        if name in draft.schema.dtypes:
+            raise PlanError(f"map output {name!r} shadows an existing column")
+        draft.stages.append(MapStage(name, resolved))
+        draft.schema.dtypes[name] = infer_dtype(resolved, draft.schema.dtypes)
+        if isinstance(resolved, ColumnRef) and resolved.name in draft.schema.dictionaries:
+            draft.schema.dictionaries[name] = draft.schema.dictionaries[resolved.name]
+
+    def _walk_join(self, node: Join) -> _Draft:
+        build_draft = self._walk(node.build)
+        build_schema = build_draft.schema
+        build_keys = [
+            resolve_strings(key, build_schema.dictionaries) for key in node.build_keys
+        ]
+        for key in build_keys:
+            self._check_columns(key, build_schema, "build key")
+            self._check_join_key_type(key, build_schema)
+        for name in node.payload:
+            if name not in build_schema.dtypes:
+                raise PlanError(f"join payload column {name!r} not in build side")
+        table_id = f"ht{self._next_id()}"
+        # Capture the build schema before closing (the draft is consumed).
+        saved_build_schema = build_schema.copy()
+        self._close(
+            build_draft,
+            BuildSink(table_id=table_id, keys=build_keys, payload=list(node.payload)),
+            table_id,
+            None,
+        )
+
+        probe_draft = self._walk(node.probe)
+        probe_keys = [
+            resolve_strings(key, probe_draft.schema.dictionaries)
+            for key in node.probe_keys
+        ]
+        for key in probe_keys:
+            self._check_columns(key, probe_draft.schema, "probe key")
+            self._check_join_key_type(key, probe_draft.schema)
+        for name in node.payload:
+            if name in probe_draft.schema.dtypes:
+                raise PlanError(f"payload column {name!r} collides with probe scope")
+        stage = ProbeStage(
+            table_id=table_id,
+            probe_keys=probe_keys,
+            payload=list(node.payload),
+            kind=node.kind,
+            payload_defaults=dict(node.payload_defaults),
+        )
+        probe_draft.stages.append(stage)
+        for name in node.payload:
+            probe_draft.schema.dtypes[name] = saved_build_schema.dtypes[name]
+            if name in saved_build_schema.dictionaries:
+                probe_draft.schema.dictionaries[name] = saved_build_schema.dictionaries[name]
+        if node.residual is not None:
+            residual = resolve_strings(node.residual, probe_draft.schema.dictionaries)
+            self._check_columns(residual, probe_draft.schema, "join residual")
+            stage.residual = residual
+        return probe_draft
+
+    def _walk_aggregate(self, node: Aggregate) -> _Draft:
+        draft = self._walk(node.child)
+        schema = draft.schema
+        group_keys: list[tuple[str, Expr]] = []
+        for name, expr in node.group_keys:
+            resolved = resolve_strings(expr, schema.dictionaries)
+            self._check_columns(resolved, schema, f"group key {name!r}")
+            group_keys.append((name, resolved))
+        aggregates = []
+        for spec in node.aggregates:
+            if spec.expr is not None:
+                resolved = resolve_strings(spec.expr, schema.dictionaries)
+                self._check_columns(resolved, schema, f"aggregate {spec.name!r}")
+                spec = type(spec)(spec.op, resolved, spec.name)
+            aggregates.append(spec)
+
+        out_dtypes: dict[str, DType] = {}
+        out_dicts = {}
+        for name, expr in group_keys:
+            out_dtypes[name] = infer_dtype(expr, schema.dtypes)
+            if isinstance(expr, ColumnRef) and expr.name in schema.dictionaries:
+                out_dicts[name] = schema.dictionaries[expr.name]
+        for spec in aggregates:
+            out_dtypes[spec.name] = aggregate_dtype(spec, schema.dtypes)
+        output_schema = PlanSchema(out_dtypes, out_dicts)
+
+        name = f"agg{self._next_id()}"
+        self._close(
+            draft,
+            AggregateSink(group_keys=group_keys, aggregates=aggregates),
+            name,
+            output_schema,
+        )
+        return _Draft(source=name, source_is_virtual=True, schema=output_schema.copy())
+
+    # ------------------------------------------------------------------
+    def _close(
+        self,
+        draft: _Draft,
+        sink,
+        output_name: str,
+        output_schema: PlanSchema | None,
+    ) -> Pipeline:
+        required = self._required_columns(draft, sink)
+        pipeline = Pipeline(
+            name=f"pipeline{len(self.pipelines)}",
+            source=draft.source,
+            source_is_virtual=draft.source_is_virtual,
+            stages=draft.stages,
+            sink=sink,
+            required_columns=required,
+            scope_schema=draft.schema,
+            output_name=output_name,
+            output_schema=output_schema,
+            source_rename=draft.source_rename,
+        )
+        self.pipelines.append(pipeline)
+        return pipeline
+
+    def _required_columns(self, draft: _Draft, sink) -> list[str]:
+        produced: set[str] = set()
+        needed: dict[str, None] = {}
+
+        def need(expr: Expr) -> None:
+            for column in sorted(expr.columns()):
+                if column not in produced:
+                    needed.setdefault(column)
+
+        for stage in draft.stages:
+            if isinstance(stage, FilterStage):
+                need(stage.predicate)
+            elif isinstance(stage, MapStage):
+                need(stage.expr)
+                produced.add(stage.name)
+            elif isinstance(stage, ProbeStage):
+                for key in stage.probe_keys:
+                    need(key)
+                produced.update(stage.payload)
+                if stage.residual is not None:
+                    need(stage.residual)
+        if isinstance(sink, MaterializeSink):
+            for name in sink.outputs:
+                if name not in produced:
+                    needed.setdefault(name)
+        elif isinstance(sink, BuildSink):
+            for key in sink.keys:
+                need(key)
+            for name in sink.payload:
+                if name not in produced:
+                    needed.setdefault(name)
+        elif isinstance(sink, AggregateSink):
+            for _, expr in sink.group_keys:
+                need(expr)
+            for spec in sink.aggregates:
+                if spec.expr is not None:
+                    need(spec.expr)
+        else:
+            raise PlanError(f"unknown sink {type(sink).__name__}")
+        return list(needed)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_columns(expr: Expr, schema: PlanSchema, context: str) -> None:
+        missing = expr.columns() - set(schema.dtypes)
+        if missing:
+            raise PlanError(f"{context} references unknown columns: {sorted(missing)}")
+
+    @staticmethod
+    def _check_join_key_type(key: Expr, schema: PlanSchema) -> None:
+        if isinstance(key, ColumnRef) and schema.dtypes.get(key.name) is DType.STRING:
+            raise PlanError(
+                f"join key {key.name!r} is a dictionary-compressed string column; "
+                "joins on string columns are not supported (codes are "
+                "dictionary-local)"
+            )

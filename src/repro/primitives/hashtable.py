@@ -1,0 +1,293 @@
+"""Open-addressing join hash tables with simulated atomic inserts.
+
+State-of-the-art GPU joins build a hash table over the (smaller) build
+side in GPU global memory and probe it from the pipeline (Karnagel et
+al., cited in Section 6).  Inserts use atomic compare-and-swap to claim
+slots; probes are random global-memory reads — both are accounted here.
+
+The table stores *row indices* into the build-side key columns, so
+composite keys are compared exactly (no lossy packing).  Build keys
+must be unique (all joins in the evaluated workloads are PK-FK joins or
+joins against aggregated subplans); duplicate keys raise ``PlanError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PlanError
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.traffic import AtomicBatch, MemoryLevel, TrafficMeter
+from .gather import random_access_volume
+
+#: Row indices are stored as 4-byte ints, as a real GPU build would.
+_SLOT_BYTES = 4
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer — a strong, cheap 64-bit mixer."""
+    h = values.astype(np.uint64, copy=True)
+    h ^= h >> np.uint64(30)
+    h *= np.uint64(0xBF58476D1CE4E5B9)
+    h ^= h >> np.uint64(27)
+    h *= np.uint64(0x94D049BB133111EB)
+    h ^= h >> np.uint64(31)
+    return h
+
+
+def _key_bits(array: np.ndarray) -> np.ndarray:
+    """A 64-bit pattern per key value (bit view for floats, so equal
+    floats hash equally without lossy integer truncation)."""
+    if array.dtype.kind == "f":
+        return array.astype(np.float64).view(np.uint64)
+    return array.astype(np.uint64)
+
+
+def hash_key_columns(key_arrays: list[np.ndarray]) -> np.ndarray:
+    """Combine one or more key columns into 64-bit hashes."""
+    if not key_arrays:
+        raise PlanError("hash join needs at least one key column")
+    combined = np.zeros(len(key_arrays[0]), dtype=np.uint64)
+    for array in key_arrays:
+        combined = _splitmix64(combined ^ (_key_bits(array) * _GOLDEN))
+    return combined
+
+
+def _next_power_of_two(value: int) -> int:
+    power = 16
+    while power < value:
+        power *= 2
+    return power
+
+
+class JoinHashTable:
+    """An open-addressing (linear probing) hash table over build rows.
+
+    Created via :meth:`build`, which simulates the build kernel on a
+    device; probed via :meth:`probe`, which accounts its traffic into
+    the probing kernel's meter (probes happen *inside* pipelines).
+    """
+
+    def __init__(
+        self,
+        key_arrays: list[np.ndarray],
+        slots: np.ndarray,
+        capacity: int,
+        name: str,
+    ):
+        self.key_arrays = key_arrays
+        self.slots = slots
+        self.capacity = capacity
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.key_arrays[0])
+
+    @property
+    def entry_bytes(self) -> int:
+        """Bytes read to inspect one slot: row index + stored key."""
+        return _SLOT_BYTES + sum(array.dtype.itemsize for array in self.key_arrays)
+
+    @property
+    def table_bytes(self) -> int:
+        """Global-memory footprint of the slot array."""
+        return self.capacity * _SLOT_BYTES
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def _insert_all(
+        cls, key_arrays: list[np.ndarray], name: str, load_factor: float
+    ) -> tuple[np.ndarray, int, int, int]:
+        """Shared insert loop: returns (slots, capacity, attempts,
+        max same-slot contention)."""
+        n = len(key_arrays[0])
+        if any(len(array) != n for array in key_arrays):
+            raise PlanError("join key columns must have equal length")
+        capacity = _next_power_of_two(max(16, int(n / load_factor)))
+        mask = np.uint64(capacity - 1)
+
+        slots = np.full(capacity, -1, dtype=np.int64)
+        hashes = hash_key_columns(key_arrays)
+        position = (hashes & mask).astype(np.int64)
+        pending = np.arange(n, dtype=np.int64)
+        attempts = 0
+        max_slot_contention = 0
+        rounds = 0
+        while pending.size:
+            rounds += 1
+            if rounds > capacity + 1:
+                raise PlanError(f"hash table {name!r} insert did not converge")
+            target = position[pending]
+            occupant = slots[target]
+            occupied = occupant >= 0
+            # Duplicate-key check: an occupied slot holding an equal key
+            # is a duplicate build key.
+            if occupied.any():
+                dup_rows = pending[occupied]
+                dup_slots = occupant[occupied]
+                equal = np.ones(len(dup_rows), dtype=bool)
+                for array in key_arrays:
+                    equal &= array[dup_slots] == array[dup_rows]
+                if equal.any():
+                    raise PlanError(
+                        f"duplicate keys in build side of hash table {name!r}"
+                    )
+            free_rows = pending[~occupied]
+            free_targets = target[~occupied]
+            attempts += len(pending)
+            if free_rows.size:
+                contention = np.bincount(free_targets)
+                max_slot_contention = max(max_slot_contention, int(contention.max()))
+                unique_targets, winner_index = np.unique(free_targets, return_index=True)
+                slots[unique_targets] = free_rows[winner_index]
+                won = np.zeros(len(free_rows), dtype=bool)
+                won[winner_index] = True
+                losers = free_rows[~won]
+            else:
+                losers = free_rows
+            # Collision rows saw a non-equal occupant and linear-probe
+            # onward; CAS losers re-read the slot they lost (so that
+            # duplicate keys racing for one slot are detected).
+            colliders = pending[occupied]
+            position[colliders] = (position[colliders] + 1) % capacity
+            pending = np.concatenate([colliders, losers])
+        return slots, capacity, attempts, max_slot_contention
+
+    @classmethod
+    def build(
+        cls,
+        device: VirtualCoprocessor,
+        key_arrays: list[np.ndarray],
+        name: str = "hash_table",
+        load_factor: float = 0.5,
+    ) -> "JoinHashTable":
+        """Build the table as one device kernel with atomic-CAS inserts.
+
+        Reads materialized key columns from GPU global memory (the
+        multi-pass and operator-at-a-time flow).
+        """
+        key_arrays = [np.ascontiguousarray(array) for array in key_arrays]
+        n = len(key_arrays[0])
+        slots, capacity, attempts, max_slot_contention = cls._insert_all(
+            key_arrays, name, load_factor
+        )
+        table = cls(key_arrays=key_arrays, slots=slots, capacity=capacity, name=name)
+
+        meter = device.new_meter()
+        key_bytes = sum(array.nbytes for array in key_arrays)
+        meter.record_read(MemoryLevel.GLOBAL, key_bytes)
+        # Every insert attempt reads a slot; every success writes one.
+        meter.record_table_read(attempts * _SLOT_BYTES)
+        meter.record_table_write(n * _SLOT_BYTES)
+        meter.record_atomics(
+            AtomicBatch(
+                count=attempts,
+                max_chain=max(max_slot_contention, 1) if n else 0,
+                kind="rmw",
+            )
+        )
+        meter.record_instructions(3 * attempts)
+        device.launch(f"build.{name}", "build", n, meter)
+
+        # The slot array stays resident in device global memory.
+        device.allocate(slots, label=f"{name}.slots")
+        return table
+
+    @classmethod
+    def build_pipelined(
+        cls,
+        meter: TrafficMeter,
+        device: VirtualCoprocessor,
+        key_arrays: list[np.ndarray],
+        name: str = "hash_table",
+        load_factor: float = 0.5,
+    ) -> "JoinHashTable":
+        """Insert inside an enclosing compound kernel (fully pipelined).
+
+        Keys arrive in registers, so no key reads are charged — only the
+        atomic-CAS slot traffic.  This is the build path of a compound
+        build pipeline (Section 5.2: "hash table operations" as function
+        calls in the generated kernel).
+        """
+        key_arrays = [np.ascontiguousarray(array) for array in key_arrays]
+        n = len(key_arrays[0])
+        slots, capacity, attempts, max_slot_contention = cls._insert_all(
+            key_arrays, name, load_factor
+        )
+        meter.record_table_read(attempts * _SLOT_BYTES)
+        meter.record_table_write(n * _SLOT_BYTES)
+        meter.record_atomics(
+            AtomicBatch(
+                count=attempts,
+                max_chain=max(max_slot_contention, 1) if n else 0,
+                kind="rmw",
+            )
+        )
+        meter.record_instructions(3 * attempts)
+        device.allocate(slots, label=f"{name}.slots")
+        return cls(key_arrays=key_arrays, slots=slots, capacity=capacity, name=name)
+
+    # ------------------------------------------------------------------
+    def probe(
+        self,
+        meter: TrafficMeter,
+        probe_arrays: list[np.ndarray],
+        l2_capacity: int | None = None,
+    ) -> np.ndarray:
+        """Probe the table; returns the matching build row per probe row.
+
+        The result holds the build-side row index for hits and -1 for
+        misses.  Probe traffic (random slot reads + key comparisons) is
+        recorded into the supplied meter — probes execute inside count,
+        write, or compound kernels, never as kernels of their own.
+        Tables larger than ``l2_capacity`` pay DRAM transaction
+        amplification per slot access.
+        """
+        probe_arrays = [np.ascontiguousarray(array) for array in probe_arrays]
+        if len(probe_arrays) != len(self.key_arrays):
+            raise PlanError(
+                f"probe key count {len(probe_arrays)} does not match build "
+                f"key count {len(self.key_arrays)}"
+            )
+        n = len(probe_arrays[0])
+        result = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            return result
+        mask = np.uint64(self.capacity - 1)
+        position = (hash_key_columns(probe_arrays) & mask).astype(np.int64)
+        active = np.arange(n, dtype=np.int64)
+        steps = 0
+        rounds = 0
+        while active.size:
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise PlanError(f"hash table {self.name!r} probe did not converge")
+            steps += len(active)
+            candidate = self.slots[position[active]]
+            empty = candidate < 0
+            # Empty slot -> miss; result stays -1.
+            occupied_rows = active[~empty]
+            occupied_candidates = candidate[~empty]
+            if occupied_rows.size:
+                equal = np.ones(len(occupied_rows), dtype=bool)
+                for build, probe in zip(self.key_arrays, probe_arrays):
+                    equal &= build[occupied_candidates] == probe[occupied_rows]
+                result[occupied_rows[equal]] = occupied_candidates[equal]
+                remaining = occupied_rows[~equal]
+            else:
+                remaining = occupied_rows
+            position[remaining] = (position[remaining] + 1) % self.capacity
+            active = remaining
+
+        structure_bytes = self.capacity * _SLOT_BYTES + sum(
+            array.nbytes for array in self.key_arrays
+        )
+        meter.record_table_read(
+            random_access_volume(steps, self.entry_bytes, structure_bytes, l2_capacity)
+        )
+        meter.record_instructions(4 * steps)
+        return result

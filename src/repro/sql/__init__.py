@@ -1,0 +1,18 @@
+"""SQL front-end: lexer, parser, and star-join planner (workflow 1)."""
+
+from .lexer import Token, tokenize
+from .parser import AggCall, OrderItem, QueryAst, SelectItem, parse_expression, parse_query
+from .translate import plan_sql, translate
+
+__all__ = [
+    "AggCall",
+    "OrderItem",
+    "QueryAst",
+    "SelectItem",
+    "Token",
+    "parse_expression",
+    "parse_query",
+    "plan_sql",
+    "tokenize",
+    "translate",
+]

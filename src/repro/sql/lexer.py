@@ -1,0 +1,109 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "by",
+    "having",
+    "as",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "asc",
+    "desc",
+    "limit",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "avg",
+}
+
+_PUNCT = {
+    "<=": "LE",
+    ">=": "GE",
+    "<>": "NE",
+    "!=": "NE",
+    "=": "EQ",
+    "<": "LT",
+    ">": "GT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "%": "PERCENT",
+    ";": "SEMI",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, or a punct kind
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text, lowercasing keywords and identifiers."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise SqlError(f"unterminated string literal at offset {i}")
+            tokens.append(Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j].lower()
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT:
+            tokens.append(Token(_PUNCT[two], two, i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,22 @@
+"""Columnar storage: typed columns, dictionaries, tables, catalog."""
+
+from .column import Column
+from .database import Database
+from .dictionary import Dictionary, encode_strings
+from .dtypes import DType, common_numeric_type, dtype_from_name
+from .io import load_database, save_database
+from .table import Table, rows_approx_equal
+
+__all__ = [
+    "Column",
+    "Database",
+    "Dictionary",
+    "DType",
+    "Table",
+    "common_numeric_type",
+    "dtype_from_name",
+    "encode_strings",
+    "load_database",
+    "rows_approx_equal",
+    "save_database",
+]

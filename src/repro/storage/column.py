@@ -1,0 +1,112 @@
+"""Typed, numpy-backed columns.
+
+A :class:`Column` is the unit of storage and of PCIe transfer in every
+macro execution model: engines move whole columns (run-to-finish) or
+column blocks (kernel-at-a-time, batch processing) across the link.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .dictionary import Dictionary, encode_strings
+from .dtypes import DType
+
+
+class Column:
+    """An immutable typed column of values.
+
+    String columns hold int32 dictionary codes plus a
+    :class:`Dictionary`; all other types hold their natural numpy dtype.
+    """
+
+    def __init__(self, dtype: DType, values: np.ndarray, dictionary: Dictionary | None = None):
+        values = np.asarray(values)
+        expected = dtype.numpy_dtype
+        if values.dtype != expected:
+            values = values.astype(expected)
+        if values.ndim != 1:
+            raise SchemaError(f"columns must be 1-dimensional, got shape {values.shape}")
+        if dtype is DType.STRING and dictionary is None:
+            raise SchemaError("STRING columns require a dictionary")
+        if dtype is not DType.STRING and dictionary is not None:
+            raise SchemaError(f"{dtype.value} columns must not carry a dictionary")
+        self.dtype = dtype
+        self.values = values
+        self.dictionary = dictionary
+        self.values.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, values: Sequence[str]) -> "Column":
+        codes, dictionary = encode_strings(values)
+        return cls(DType.STRING, codes, dictionary)
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, dictionary: Dictionary) -> "Column":
+        return cls(DType.STRING, codes, dictionary)
+
+    @classmethod
+    def int32(cls, values) -> "Column":
+        return cls(DType.INT32, np.asarray(values, dtype=np.int32))
+
+    @classmethod
+    def int64(cls, values) -> "Column":
+        return cls(DType.INT64, np.asarray(values, dtype=np.int64))
+
+    @classmethod
+    def float32(cls, values) -> "Column":
+        return cls(DType.FLOAT32, np.asarray(values, dtype=np.float32))
+
+    @classmethod
+    def float64(cls, values) -> "Column":
+        return cls(DType.FLOAT64, np.asarray(values, dtype=np.float64))
+
+    @classmethod
+    def date(cls, values) -> "Column":
+        return cls(DType.DATE, np.asarray(values, dtype=np.int32))
+
+    @classmethod
+    def boolean(cls, values) -> "Column":
+        return cls(DType.BOOL, np.asarray(values, dtype=np.bool_))
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def nbytes(self) -> int:
+        """Physical size — the volume this column contributes to traffic."""
+        return self.values.nbytes
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather by position, keeping dtype and dictionary."""
+        return Column(self.dtype, self.values[indices], self.dictionary)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """A contiguous block of this column (for block-wise transfer)."""
+        return Column(self.dtype, self.values[start:stop], self.dictionary)
+
+    def decoded(self) -> list:
+        """Python-level values: strings are decoded, others listed."""
+        if self.dtype is DType.STRING:
+            assert self.dictionary is not None
+            return self.dictionary.decode(self.values)
+        return self.values.tolist()
+
+    def __repr__(self) -> str:
+        return f"Column({self.dtype.value}, n={len(self)})"

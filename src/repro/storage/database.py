@@ -1,0 +1,61 @@
+"""The database catalog: named tables residing in host memory."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import SchemaError
+from .table import Table
+
+
+class Database:
+    """A catalog of named tables (the host-side storage layer).
+
+    All base data lives in host main memory before query execution, as
+    in the paper's setup (Appendix A); execution engines pull columns or
+    blocks from here onto the virtual device.
+    """
+
+    def __init__(self, tables: Mapping[str, Table] | None = None):
+        self._tables: dict[str, Table] = dict(tables or {})
+
+    def add(self, name: str, table: Table) -> None:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def replace(self, name: str, table: Table) -> None:
+        self._tables[name] = table
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r}") from None
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "(none)"
+            raise SchemaError(f"no table {name!r}; catalog has: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __getitem__(self, name: str) -> Table:
+        return self.table(name)
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(table.nbytes for table in self._tables.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({table.num_rows})" for name, table in sorted(self._tables.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,90 @@
+"""Logical column types and their physical (numpy) representation.
+
+The paper's engine (CoGaDB + HorseQC) uses a columnar layout with
+4-byte integers/floats for measures and dictionary-compressed strings
+(Section 7: decompression is done by the host engine).  Traffic
+accounting needs exact byte widths, so every logical type maps to a
+fixed numpy dtype.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class DType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    #: Dates are stored as int32 ``yyyymmdd`` keys, as in the SSB/TPC-H
+    #: date dimensions (e.g. ``d_datekey = 19940101``).
+    DATE = "date"
+    #: Strings are dictionary-compressed: the column stores int32 codes
+    #: and the dictionary lives beside the column.
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(_NUMPY_DTYPES[self])
+
+    @property
+    def itemsize(self) -> int:
+        """Physical width in bytes of one value."""
+        return self.numpy_dtype.itemsize
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT32, DType.INT64, DType.FLOAT32, DType.FLOAT64)
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.INT32, DType.INT64, DType.DATE)
+
+
+_NUMPY_DTYPES = {
+    DType.INT32: np.int32,
+    DType.INT64: np.int64,
+    DType.FLOAT32: np.float32,
+    DType.FLOAT64: np.float64,
+    DType.BOOL: np.bool_,
+    DType.DATE: np.int32,
+    DType.STRING: np.int32,  # dictionary codes
+}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Parse a logical type name (as used in JSON plans and schemas)."""
+    try:
+        return DType(name.lower())
+    except ValueError:
+        known = ", ".join(dtype.value for dtype in DType)
+        raise SchemaError(f"unknown dtype {name!r}; known: {known}") from None
+
+
+def common_numeric_type(left: DType, right: DType) -> DType:
+    """Result type of an arithmetic operation between two columns.
+
+    Follows the usual promotion ladder: any float operand promotes the
+    result to FLOAT64 if either side is 64-bit, else FLOAT32; pure
+    integer arithmetic stays integral (INT64 if either side is INT64).
+    """
+    numeric = {left, right}
+    if not all(side.is_numeric or side is DType.DATE for side in numeric):
+        raise SchemaError(f"cannot combine {left.value} and {right.value} numerically")
+    if DType.FLOAT64 in numeric:
+        return DType.FLOAT64
+    if DType.FLOAT32 in numeric:
+        if DType.INT64 in numeric:
+            return DType.FLOAT64
+        return DType.FLOAT32
+    if DType.INT64 in numeric:
+        return DType.INT64
+    return DType.INT32

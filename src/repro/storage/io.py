@@ -1,0 +1,93 @@
+"""Database persistence: save/load a catalog to a directory.
+
+Generated benchmark databases take noticeable time to build at larger
+scale factors; persisting them lets benchmark runs and notebooks reuse
+one generation. Layout::
+
+    <dir>/
+      catalog.json          # table -> column -> {dtype, dictionary?}
+      <table>.npz           # compressed numpy arrays, one per column
+
+Dictionaries are stored in the catalog (they are small); values are
+stored as the physical arrays (codes for strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column
+from .database import Database
+from .dictionary import Dictionary
+from .dtypes import DType
+from .table import Table
+
+_CATALOG_NAME = "catalog.json"
+_FORMAT_VERSION = 1
+
+
+def save_database(database: Database, directory: str | Path) -> Path:
+    """Write every table of ``database`` under ``directory``.
+
+    The directory is created if needed; existing files are overwritten.
+    Returns the catalog path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    catalog: dict = {"version": _FORMAT_VERSION, "tables": {}}
+    for name in database.table_names:
+        table = database.table(name)
+        columns: dict[str, dict] = {}
+        arrays: dict[str, np.ndarray] = {}
+        for column_name, column in table.columns.items():
+            entry: dict = {"dtype": column.dtype.value}
+            if column.dictionary is not None:
+                entry["dictionary"] = list(column.dictionary.values)
+            columns[column_name] = entry
+            arrays[column_name] = column.values
+        catalog["tables"][name] = {"columns": columns, "rows": table.num_rows}
+        np.savez_compressed(directory / f"{name}.npz", **arrays)
+    catalog_path = directory / _CATALOG_NAME
+    catalog_path.write_text(json.dumps(catalog, indent=2))
+    return catalog_path
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    directory = Path(directory)
+    catalog_path = directory / _CATALOG_NAME
+    if not catalog_path.exists():
+        raise SchemaError(f"no catalog at {catalog_path}")
+    catalog = json.loads(catalog_path.read_text())
+    version = catalog.get("version")
+    if version != _FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported database format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    tables: dict[str, Table] = {}
+    for name, spec in catalog["tables"].items():
+        archive_path = directory / f"{name}.npz"
+        if not archive_path.exists():
+            raise SchemaError(f"catalog names table {name!r} but {archive_path} is missing")
+        with np.load(archive_path) as archive:
+            columns: dict[str, Column] = {}
+            for column_name, entry in spec["columns"].items():
+                dtype = DType(entry["dtype"])
+                values = archive[column_name]
+                dictionary = None
+                if "dictionary" in entry:
+                    dictionary = Dictionary(entry["dictionary"])
+                columns[column_name] = Column(dtype, values, dictionary)
+        table = Table(columns)
+        if table.num_rows != spec["rows"]:
+            raise SchemaError(
+                f"table {name!r} has {table.num_rows} rows on disk, "
+                f"catalog says {spec['rows']}"
+            )
+        tables[name] = table
+    return Database(tables)

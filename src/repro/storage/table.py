@@ -1,0 +1,158 @@
+"""Tables: ordered collections of equal-length columns."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import Column
+from .dtypes import DType
+
+
+class Table:
+    """An immutable columnar table.
+
+    Column order is meaningful (it is the projection order of query
+    results).  Rows are only materialized on demand, for result
+    comparison and display.
+    """
+
+    def __init__(self, columns: Mapping[str, Column]):
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        lengths = {name: len(column) for name, column in columns.items()}
+        distinct = set(lengths.values())
+        if len(distinct) > 1:
+            raise SchemaError(f"column lengths differ: {lengths}")
+        self._columns: dict[str, Column] = dict(columns)
+        self._num_rows = distinct.pop()
+
+    # ------------------------------------------------------------------
+    # shape & access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def columns(self) -> dict[str, Column]:
+        return dict(self._columns)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            known = ", ".join(self._columns)
+            raise SchemaError(f"no column {name!r}; table has: {known}") from None
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    @property
+    def nbytes(self) -> int:
+        """Total physical size of all columns."""
+        return sum(column.nbytes for column in self._columns.values())
+
+    def schema(self) -> dict[str, DType]:
+        return {name: column.dtype for name, column in self._columns.items()}
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "Table":
+        """Keep only the given columns, in the given order."""
+        return Table({name: self.column(name) for name in names})
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row gather by position across all columns."""
+        return Table({name: column.take(indices) for name, column in self._columns.items()})
+
+    def slice(self, start: int, stop: int) -> "Table":
+        return Table(
+            {name: column.slice(start, stop) for name, column in self._columns.items()}
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename columns; names absent from ``mapping`` are kept."""
+        return Table(
+            {mapping.get(name, name): column for name, column in self._columns.items()}
+        )
+
+    def with_column(self, name: str, column: Column) -> "Table":
+        if len(column) != self._num_rows:
+            raise SchemaError(
+                f"column length {len(column)} does not match table rows {self._num_rows}"
+            )
+        merged = dict(self._columns)
+        merged[name] = column
+        return Table(merged)
+
+    # ------------------------------------------------------------------
+    # row-wise views (for result comparison / display)
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[tuple]:
+        """Materialize as Python rows (strings decoded)."""
+        decoded = [column.decoded() for column in self._columns.values()]
+        return list(zip(*decoded)) if decoded else []
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order, for order-insensitive comparison.
+
+        Engines that use atomic prefix sums emit rows in an undefined
+        order (Section 5.1), so result equality is multiset equality.
+        """
+        return sorted(self.to_rows(), key=_row_sort_key)
+
+    def head(self, count: int = 10) -> list[tuple]:
+        return self.to_rows()[:count]
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{name}:{column.dtype.value}" for name, column in self._columns.items()
+        )
+        return f"Table(rows={self._num_rows}, [{cols}])"
+
+
+def _row_sort_key(row: tuple) -> tuple:
+    """Sort key tolerating mixed str/number columns."""
+    return tuple(
+        (0, value) if isinstance(value, str) else (1, float(value)) for value in row
+    )
+
+
+def rows_approx_equal(
+    left: list[tuple], right: list[tuple], rel_tol: float = 1e-4, abs_tol: float = 1e-2
+) -> bool:
+    """Compare two sorted row lists allowing float rounding differences.
+
+    Atomic reduction orders differ between engines, so float aggregates
+    can differ by accumulation order; this comparison allows a small
+    relative tolerance on numeric fields and requires exact equality on
+    strings and integers.
+    """
+    if len(left) != len(right):
+        return False
+    for lrow, rrow in zip(left, right):
+        if len(lrow) != len(rrow):
+            return False
+        for lval, rval in zip(lrow, rrow):
+            if isinstance(lval, str) or isinstance(rval, str):
+                if lval != rval:
+                    return False
+            else:
+                lf, rf = float(lval), float(rval)
+                if abs(lf - rf) > max(abs_tol, rel_tol * max(abs(lf), abs(rf))):
+                    return False
+    return True

@@ -1,0 +1,113 @@
+"""Cross-engine validation: check your query on every micro model.
+
+The paper's implicit contract is that micro execution models are
+semantics-preserving — only row order may differ (Section 5.1). This
+module makes that contract checkable for *your* queries:
+
+    from repro.validation import verify_engines
+    report = verify_engines(plan_or_sql, database)
+    assert report.ok, report.describe()
+
+It runs the query under every engine, compares row multisets with a
+float tolerance (atomic reduction orders legitimately perturb low
+bits), and reports per-engine metrics alongside the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .api import make_engine
+from .engines.base import Engine, ExecutionResult
+from .hardware.device import VirtualCoprocessor
+from .hardware.profiles import GTX970, DeviceProfile
+from .plan.logical import LogicalPlan
+from .sql.translate import plan_sql
+from .storage.database import Database
+from .storage.table import rows_approx_equal
+
+#: The default engine roster: all four GPU micro execution models.
+DEFAULT_ENGINES = ("operator-at-a-time", "multipass", "pipelined", "resolution")
+
+
+@dataclass
+class EngineOutcome:
+    """One engine's run: its result and whether it matched the reference."""
+
+    engine: str
+    result: ExecutionResult
+    matches_reference: bool
+
+
+@dataclass
+class ValidationReport:
+    """The verdict of a cross-engine validation run."""
+
+    reference_engine: str
+    outcomes: list[EngineOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.matches_reference for outcome in self.outcomes)
+
+    @property
+    def disagreeing(self) -> list[str]:
+        return [o.engine for o in self.outcomes if not o.matches_reference]
+
+    def describe(self) -> str:
+        lines = [
+            f"reference: {self.reference_engine} "
+            f"({self.outcomes[0].result.table.num_rows if self.outcomes else 0} rows)"
+        ]
+        for outcome in self.outcomes:
+            verdict = "ok" if outcome.matches_reference else "MISMATCH"
+            lines.append(
+                f"  {outcome.engine:<22s} {verdict:<9s} "
+                f"kernels {outcome.result.kernel_ms:8.4f} ms   "
+                f"global {outcome.result.global_memory_bytes / 1e6:8.2f} MB"
+            )
+        return "\n".join(lines)
+
+
+def verify_engines(
+    query: LogicalPlan | str,
+    database: Database,
+    engines=DEFAULT_ENGINES,
+    device_profile: DeviceProfile = GTX970,
+    rel_tol: float = 1e-4,
+    abs_tol: float = 1e-2,
+    seed: int = 42,
+) -> ValidationReport:
+    """Run ``query`` under every engine and compare row multisets.
+
+    ``engines`` is a sequence of engine aliases (see
+    ``repro.api.ENGINE_FACTORIES``) or :class:`Engine` instances; the
+    first is the reference. Each engine gets a fresh virtual device.
+    """
+    if isinstance(query, str):
+        plan = plan_sql(query, database)
+    else:
+        plan = query
+    if not engines:
+        raise ValueError("need at least one engine")
+
+    resolved: list[Engine] = [
+        engine if isinstance(engine, Engine) else make_engine(engine)
+        for engine in engines
+    ]
+    report = ValidationReport(reference_engine=resolved[0].name)
+    reference_rows = None
+    for engine in resolved:
+        result = engine.execute(
+            plan, database, VirtualCoprocessor(device_profile), seed=seed
+        )
+        rows = result.table.sorted_rows()
+        if reference_rows is None:
+            reference_rows = rows
+            matches = True
+        else:
+            matches = rows_approx_equal(reference_rows, rows, rel_tol, abs_tol)
+        report.outcomes.append(
+            EngineOutcome(engine=engine.name, result=result, matches_reference=matches)
+        )
+    return report

@@ -1,0 +1,45 @@
+"""Workloads: SSB, TPC-H, and the paper's micro-benchmarks."""
+
+from .microbench import (
+    aggregation_query,
+    group_by_query,
+    projection_query,
+    selectivity_of,
+    star_join_aggregate_query,
+    star_join_query,
+)
+from .ssb import (
+    ALL_SSB_SET,
+    PAPER_SSB_SET,
+    SSB_QUERIES,
+    generate_ssb,
+    ssb_plan,
+    ssb_query_sql,
+)
+from .tpch import (
+    PAPER_TPCH_SET,
+    TABLE1_TPCH_SET,
+    TPCH_PLANS,
+    generate_tpch,
+    tpch_plan,
+)
+
+__all__ = [
+    "ALL_SSB_SET",
+    "PAPER_SSB_SET",
+    "PAPER_TPCH_SET",
+    "SSB_QUERIES",
+    "TABLE1_TPCH_SET",
+    "TPCH_PLANS",
+    "aggregation_query",
+    "generate_ssb",
+    "generate_tpch",
+    "group_by_query",
+    "projection_query",
+    "selectivity_of",
+    "ssb_plan",
+    "ssb_query_sql",
+    "star_join_aggregate_query",
+    "star_join_query",
+    "tpch_plan",
+]

@@ -1,0 +1,119 @@
+"""The paper's micro-benchmark queries (Experiments 1, 2, 5, G.1).
+
+* Query 1 (Figure 16): selection + projection over lineorder with a
+  selectivity knob ``x`` — ``lo_quantity between 25-x and 25+x``.
+* Query 1 + SUM (Appendix G.1): the same with a single-tuple SUM.
+* Query 2 / "Query 3" of Experiment 2 (Figure 26): grouped aggregation
+  of all lineorder tuples into ``lo_orderkey % x`` groups.
+* The star join of SSB Q3.1 (Experiment 5): three dimension hash
+  tables probed by the streamed fact table.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..expressions.expr import col, lit
+from ..plan.builder import PlanBuilder
+from ..plan.logical import LogicalPlan
+
+#: Selectivity knob domain: x in [0, 25]; selectivity ~= (2x+1)/50.
+MAX_X = 25
+
+
+def projection_query(x: int) -> LogicalPlan:
+    """Paper Query 1 (Figure 16): filter + arithmetic projection."""
+    if not 0 <= x <= MAX_X:
+        raise WorkloadError(f"x must be in [0, {MAX_X}], got {x}")
+    return (
+        PlanBuilder.scan("lineorder")
+        .filter(col("lo_quantity").between(25 - x, 25 + x))
+        .project(
+            [
+                (
+                    "revenue",
+                    col("lo_extendedprice") * col("lo_discount") + col("lo_tax"),
+                )
+            ]
+        )
+        .build()
+    )
+
+
+def selectivity_of(x: int) -> float:
+    """Expected selectivity of :func:`projection_query` for quantity
+    uniform in 1..50."""
+    low = max(1, 25 - x)
+    high = min(50, 25 + x)
+    return (high - low + 1) / 50.0
+
+
+def aggregation_query(x: int) -> LogicalPlan:
+    """Appendix G.1: Query 1 plus a single-tuple SUM of the projection."""
+    if not 0 <= x <= MAX_X:
+        raise WorkloadError(f"x must be in [0, {MAX_X}], got {x}")
+    return (
+        PlanBuilder.scan("lineorder")
+        .filter(col("lo_quantity").between(25 - x, 25 + x))
+        .map(
+            "revenue",
+            col("lo_extendedprice") * col("lo_discount") + col("lo_tax"),
+        )
+        .aggregate(group_by=[], aggregates=[("sum", col("revenue"), "revenue")])
+        .build()
+    )
+
+
+def group_by_query(num_groups: int) -> LogicalPlan:
+    """Experiment 2 (Figure 26): group all of lineorder into
+    ``lo_orderkey % num_groups`` sums."""
+    if num_groups < 1:
+        raise WorkloadError("num_groups must be >= 1")
+    return (
+        PlanBuilder.scan("lineorder")
+        .aggregate(
+            group_by=[("group_key", col("lo_orderkey") % lit(num_groups))],
+            aggregates=[("sum", col("lo_extendedprice"), "total")],
+        )
+        .build()
+    )
+
+
+def star_join_query() -> LogicalPlan:
+    """Experiment 5: the star join of SSB Q3.1 (selectivity ~3.4%),
+    materializing the joined rows (no grouping — grouping is not
+    block-mergeable with AVG-free sums it *would* be, but the paper
+    streams the join itself)."""
+    customer = PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA"))
+    supplier = PlanBuilder.scan("supplier").filter(col("s_region") == lit("ASIA"))
+    date = PlanBuilder.scan("date").filter(
+        (col("d_year") >= lit(1992)) & (col("d_year") <= lit(1997))
+    )
+    return (
+        PlanBuilder.scan("lineorder")
+        .join(customer, ["c_custkey"], ["lo_custkey"], payload=["c_nation"])
+        .join(supplier, ["s_suppkey"], ["lo_suppkey"], payload=["s_nation"])
+        .join(date, ["d_datekey"], ["lo_orderdate"], payload=["d_year"])
+        .project(["c_nation", "s_nation", "d_year", "lo_revenue"])
+        .build()
+    )
+
+
+def star_join_aggregate_query() -> LogicalPlan:
+    """Experiment 5 variant with the full Q3.1 grouped aggregation
+    (sum is block-mergeable, so it streams too)."""
+    customer = PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA"))
+    supplier = PlanBuilder.scan("supplier").filter(col("s_region") == lit("ASIA"))
+    date = PlanBuilder.scan("date").filter(
+        (col("d_year") >= lit(1992)) & (col("d_year") <= lit(1997))
+    )
+    return (
+        PlanBuilder.scan("lineorder")
+        .join(customer, ["c_custkey"], ["lo_custkey"], payload=["c_nation"])
+        .join(supplier, ["s_suppkey"], ["lo_suppkey"], payload=["s_nation"])
+        .join(date, ["d_datekey"], ["lo_orderdate"], payload=["d_year"])
+        .aggregate(
+            group_by=["c_nation", "s_nation", "d_year"],
+            aggregates=[("sum", col("lo_revenue"), "revenue")],
+        )
+        .build()
+    )

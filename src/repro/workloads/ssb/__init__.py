@@ -1,0 +1,13 @@
+"""Star schema benchmark: generator and queries."""
+
+from .generator import generate_ssb
+from .queries import ALL_SSB_SET, PAPER_SSB_SET, SSB_QUERIES, ssb_plan, ssb_query_sql
+
+__all__ = [
+    "ALL_SSB_SET",
+    "PAPER_SSB_SET",
+    "SSB_QUERIES",
+    "generate_ssb",
+    "ssb_plan",
+    "ssb_query_sql",
+]

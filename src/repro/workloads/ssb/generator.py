@@ -1,0 +1,181 @@
+"""Synthetic star schema benchmark data generator.
+
+Schema- and distribution-faithful to the SSB spec (uniform keys, the
+spec's value domains, the 1992-1998 date dimension), scaled linearly by
+``scale_factor``.  The paper ran SF 10 on physical GPUs; the simulated
+experiments default to much smaller SFs — every reported volume scales
+linearly, so shapes are preserved (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import calendar
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ...storage.column import Column
+from ...storage.database import Database
+from ...storage.dictionary import Dictionary
+from ...storage.table import Table
+from . import schema
+
+
+def generate_ssb(scale_factor: float = 0.01, seed: int = 7, skew: float = 0.0) -> Database:
+    """Generate an SSB database at the given scale factor.
+
+    ``skew`` > 0 draws the fact table's foreign keys from a Zipf-like
+    distribution (exponent ``1 + skew``) instead of uniformly — the
+    "frequent items" regime the paper's Section 6.1 points at for
+    grouping algorithms.  0 (the default) is the uniform SSB spec.
+    """
+    if scale_factor <= 0:
+        raise WorkloadError("scale_factor must be positive")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    rng = np.random.default_rng(seed)
+    date = _date_dim()
+    customer = _customer_dim(scale_factor, rng)
+    supplier = _supplier_dim(scale_factor, rng)
+    part = _part_dim(scale_factor, rng)
+    lineorder = _lineorder_fact(scale_factor, rng, date, customer, supplier, part, skew)
+    return Database(
+        {
+            "lineorder": lineorder,
+            "customer": customer,
+            "supplier": supplier,
+            "part": part,
+            "date": date,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+def _date_dim() -> Table:
+    datekeys: list[int] = []
+    years: list[int] = []
+    yearmonthnums: list[int] = []
+    yearmonths: list[str] = []
+    weeknums: list[int] = []
+    for year in range(schema.FIRST_YEAR, schema.LAST_YEAR + 1):
+        day_of_year = 0
+        for month in range(1, 13):
+            days = calendar.monthrange(year, month)[1]
+            for day in range(1, days + 1):
+                day_of_year += 1
+                datekeys.append(year * 10000 + month * 100 + day)
+                years.append(year)
+                yearmonthnums.append(year * 100 + month)
+                yearmonths.append(f"{schema.MONTH_NAMES[month - 1]}{year}")
+                weeknums.append((day_of_year - 1) // 7 + 1)
+    return Table(
+        {
+            "d_datekey": Column.date(datekeys),
+            "d_year": Column.int32(years),
+            "d_yearmonthnum": Column.int32(yearmonthnums),
+            "d_yearmonth": Column.from_strings(yearmonths),
+            "d_weeknuminyear": Column.int32(weeknums),
+        }
+    )
+
+
+def _encode(values: list[str], choices: np.ndarray) -> Column:
+    """Encode ``values[choices]`` efficiently with a shared dictionary."""
+    dictionary = Dictionary(values)
+    lookup = np.array([dictionary.code(value) for value in values], dtype=np.int32)
+    return Column.from_codes(lookup[choices], dictionary)
+
+
+def _customer_dim(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = max(int(schema.CUSTOMER_PER_SF * scale_factor), 50)
+    city_idx = rng.integers(0, len(schema.CITIES), count)
+    cities = list(schema.CITIES)
+    nations = [schema.CITY_NATION[city] for city in cities]
+    regions = [schema.REGION_OF_NATION[nation] for nation in nations]
+    return Table(
+        {
+            "c_custkey": Column.int32(np.arange(1, count + 1)),
+            "c_city": _encode(cities, city_idx),
+            "c_nation": _encode(nations, city_idx),
+            "c_region": _encode(regions, city_idx),
+        }
+    )
+
+
+def _supplier_dim(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = max(int(schema.SUPPLIER_PER_SF * scale_factor), 25)
+    city_idx = rng.integers(0, len(schema.CITIES), count)
+    cities = list(schema.CITIES)
+    nations = [schema.CITY_NATION[city] for city in cities]
+    regions = [schema.REGION_OF_NATION[nation] for nation in nations]
+    return Table(
+        {
+            "s_suppkey": Column.int32(np.arange(1, count + 1)),
+            "s_city": _encode(cities, city_idx),
+            "s_nation": _encode(nations, city_idx),
+            "s_region": _encode(regions, city_idx),
+        }
+    )
+
+
+def _part_dim(scale_factor: float, rng: np.random.Generator) -> Table:
+    count = max(int(schema.PART_PER_SF * scale_factor), 200)
+    brand_idx = rng.integers(0, len(schema.BRANDS), count)
+    brands = list(schema.BRANDS)
+    categories = [brand[:7] for brand in brands]
+    mfgrs = [brand[:6] for brand in brands]
+    return Table(
+        {
+            "p_partkey": Column.int32(np.arange(1, count + 1)),
+            "p_mfgr": _encode(mfgrs, brand_idx),
+            "p_category": _encode(categories, brand_idx),
+            "p_brand1": _encode(brands, brand_idx),
+        }
+    )
+
+
+def _foreign_keys(
+    rng: np.random.Generator, count: int, domain: int, skew: float
+) -> np.ndarray:
+    """Foreign keys in 1..domain, uniform or Zipf-skewed."""
+    if skew <= 0:
+        return rng.integers(1, domain + 1, count).astype(np.int32)
+    drawn = rng.zipf(1.0 + skew, count)
+    return ((drawn - 1) % domain + 1).astype(np.int32)
+
+
+def _lineorder_fact(
+    scale_factor: float,
+    rng: np.random.Generator,
+    date: Table,
+    customer: Table,
+    supplier: Table,
+    part: Table,
+    skew: float = 0.0,
+) -> Table:
+    count = max(int(schema.LINEORDER_PER_SF * scale_factor), 1000)
+    datekeys = date["d_datekey"].values
+    quantity = rng.integers(1, 51, count).astype(np.int32)
+    discount = rng.integers(0, 11, count).astype(np.int32)
+    extendedprice = rng.integers(90_000, 200_001, count).astype(np.int32) // 100
+    revenue = (extendedprice * (100 - discount) // 100).astype(np.int32)
+    supplycost = (extendedprice * 6 // 10).astype(np.int32)
+    return Table(
+        {
+            "lo_orderkey": Column.int32(np.arange(1, count + 1) // 4 + 1),
+            "lo_custkey": Column.int32(
+                _foreign_keys(rng, count, customer.num_rows, skew)
+            ),
+            "lo_partkey": Column.int32(_foreign_keys(rng, count, part.num_rows, skew)),
+            "lo_suppkey": Column.int32(
+                _foreign_keys(rng, count, supplier.num_rows, skew)
+            ),
+            "lo_orderdate": Column.date(rng.choice(datekeys, count)),
+            "lo_quantity": Column.int32(quantity),
+            "lo_extendedprice": Column.int32(extendedprice),
+            "lo_discount": Column.int32(discount),
+            "lo_revenue": Column.int32(revenue),
+            "lo_supplycost": Column.int32(supplycost),
+            "lo_tax": Column.int32(rng.integers(0, 9, count)),
+        }
+    )

@@ -1,0 +1,184 @@
+"""The 13 star schema benchmark queries, as SQL (workflow 1).
+
+These are the standard SSB query texts with dates as integer keys.
+The paper could not run Q2.2 ("we do not support range predicates on
+dictionary compressed columns yet"); our dictionaries are
+order-preserving, so Q2.2 runs too.
+"""
+
+from __future__ import annotations
+
+from ...errors import WorkloadError
+from ...plan.logical import LogicalPlan
+from ...sql.translate import plan_sql
+from ...storage.database import Database
+
+SSB_QUERIES: dict[str, str] = {
+    "q1.1": """
+        select sum(lo_extendedprice * lo_discount) as revenue
+        from lineorder, date
+        where lo_orderdate = d_datekey
+          and d_year = 1993
+          and lo_discount between 1 and 3
+          and lo_quantity < 25
+    """,
+    "q1.2": """
+        select sum(lo_extendedprice * lo_discount) as revenue
+        from lineorder, date
+        where lo_orderdate = d_datekey
+          and d_yearmonthnum = 199401
+          and lo_discount between 4 and 6
+          and lo_quantity between 26 and 35
+    """,
+    "q1.3": """
+        select sum(lo_extendedprice * lo_discount) as revenue
+        from lineorder, date
+        where lo_orderdate = d_datekey
+          and d_weeknuminyear = 6 and d_year = 1994
+          and lo_discount between 5 and 7
+          and lo_quantity between 26 and 35
+    """,
+    "q2.1": """
+        select sum(lo_revenue) as revenue, d_year, p_brand1
+        from lineorder, date, part, supplier
+        where lo_orderdate = d_datekey
+          and lo_partkey = p_partkey
+          and lo_suppkey = s_suppkey
+          and p_category = 'MFGR#12'
+          and s_region = 'AMERICA'
+        group by d_year, p_brand1
+        order by d_year, p_brand1
+    """,
+    "q2.2": """
+        select sum(lo_revenue) as revenue, d_year, p_brand1
+        from lineorder, date, part, supplier
+        where lo_orderdate = d_datekey
+          and lo_partkey = p_partkey
+          and lo_suppkey = s_suppkey
+          and p_brand1 between 'MFGR#2221' and 'MFGR#2228'
+          and s_region = 'ASIA'
+        group by d_year, p_brand1
+        order by d_year, p_brand1
+    """,
+    "q2.3": """
+        select sum(lo_revenue) as revenue, d_year, p_brand1
+        from lineorder, date, part, supplier
+        where lo_orderdate = d_datekey
+          and lo_partkey = p_partkey
+          and lo_suppkey = s_suppkey
+          and p_brand1 = 'MFGR#2239'
+          and s_region = 'EUROPE'
+        group by d_year, p_brand1
+        order by d_year, p_brand1
+    """,
+    "q3.1": """
+        select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+        from customer, lineorder, supplier, date
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_orderdate = d_datekey
+          and c_region = 'ASIA' and s_region = 'ASIA'
+          and d_year >= 1992 and d_year <= 1997
+        group by c_nation, s_nation, d_year
+        order by d_year asc, revenue desc
+    """,
+    "q3.2": """
+        select c_city, s_city, d_year, sum(lo_revenue) as revenue
+        from customer, lineorder, supplier, date
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_orderdate = d_datekey
+          and c_nation = 'UNITED STATES' and s_nation = 'UNITED STATES'
+          and d_year >= 1992 and d_year <= 1997
+        group by c_city, s_city, d_year
+        order by d_year asc, revenue desc
+    """,
+    "q3.3": """
+        select c_city, s_city, d_year, sum(lo_revenue) as revenue
+        from customer, lineorder, supplier, date
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_orderdate = d_datekey
+          and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+          and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+          and d_year >= 1992 and d_year <= 1997
+        group by c_city, s_city, d_year
+        order by d_year asc, revenue desc
+    """,
+    "q3.4": """
+        select c_city, s_city, d_year, sum(lo_revenue) as revenue
+        from customer, lineorder, supplier, date
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_orderdate = d_datekey
+          and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+          and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+          and d_yearmonth = 'Dec1997'
+        group by c_city, s_city, d_year
+        order by d_year asc, revenue desc
+    """,
+    "q4.1": """
+        select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
+        from date, customer, supplier, part, lineorder
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_partkey = p_partkey
+          and lo_orderdate = d_datekey
+          and c_region = 'AMERICA'
+          and s_region = 'AMERICA'
+          and p_mfgr in ('MFGR#1', 'MFGR#2')
+        group by d_year, c_nation
+        order by d_year, c_nation
+    """,
+    "q4.2": """
+        select d_year, s_nation, p_category, sum(lo_revenue - lo_supplycost) as profit
+        from date, customer, supplier, part, lineorder
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_partkey = p_partkey
+          and lo_orderdate = d_datekey
+          and c_region = 'AMERICA'
+          and s_region = 'AMERICA'
+          and (d_year = 1997 or d_year = 1998)
+          and p_mfgr in ('MFGR#1', 'MFGR#2')
+        group by d_year, s_nation, p_category
+        order by d_year, s_nation, p_category
+    """,
+    "q4.3": """
+        select d_year, s_city, p_brand1, sum(lo_revenue - lo_supplycost) as profit
+        from date, customer, supplier, part, lineorder
+        where lo_custkey = c_custkey
+          and lo_suppkey = s_suppkey
+          and lo_partkey = p_partkey
+          and lo_orderdate = d_datekey
+          and c_region = 'AMERICA'
+          and s_nation = 'UNITED STATES'
+          and (d_year = 1997 or d_year = 1998)
+          and p_category = 'MFGR#14'
+        group by d_year, s_city, p_brand1
+        order by d_year, s_city, p_brand1
+    """,
+}
+
+#: The twelve queries the paper executes (it skips Q2.2); we include
+#: Q2.2 in the full set but keep the paper's roster for Experiment 3.
+PAPER_SSB_SET = (
+    "q1.1", "q1.2", "q1.3", "q2.1", "q2.3", "q3.1",
+    "q3.2", "q3.3", "q3.4", "q4.1", "q4.2", "q4.3",
+)
+
+ALL_SSB_SET = tuple(SSB_QUERIES)
+
+
+def ssb_query_sql(name: str) -> str:
+    """The SQL text of one SSB query (e.g. ``"q3.1"``)."""
+    try:
+        return SSB_QUERIES[name]
+    except KeyError:
+        known = ", ".join(SSB_QUERIES)
+        raise WorkloadError(f"unknown SSB query {name!r}; known: {known}") from None
+
+
+def ssb_plan(name: str, database: Database) -> LogicalPlan:
+    """Parse and plan one SSB query against a database."""
+    return plan_sql(ssb_query_sql(name), database)

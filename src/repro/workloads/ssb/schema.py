@@ -1,0 +1,52 @@
+"""Star schema benchmark dimension domains (O'Neil et al.)."""
+
+from __future__ import annotations
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: Five nations per region, 25 total (the SSB domain).
+NATIONS_BY_REGION = {
+    "AFRICA": ("ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"),
+    "AMERICA": ("ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"),
+    "ASIA": ("CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"),
+    "EUROPE": ("FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"),
+    "MIDDLE EAST": ("EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"),
+}
+
+NATIONS = tuple(
+    nation for region in REGIONS for nation in NATIONS_BY_REGION[region]
+)
+
+REGION_OF_NATION = {
+    nation: region
+    for region, nations in NATIONS_BY_REGION.items()
+    for nation in nations
+}
+
+#: Ten cities per nation, named like the SSB spec ("UNITED KI1"): the
+#: first 9 characters of the nation padded, plus a digit.
+CITIES = tuple(
+    f"{nation:<9.9s}{digit}" for nation in NATIONS for digit in range(10)
+)
+
+CITY_NATION = {city: NATIONS[index // 10] for index, city in enumerate(CITIES)}
+
+#: Part hierarchy: 5 manufacturers, 5 categories each, 40 brands each.
+MFGRS = tuple(f"MFGR#{i}" for i in range(1, 6))
+CATEGORIES = tuple(f"MFGR#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+BRANDS = tuple(f"{category}{brand:02d}" for category in CATEGORIES for brand in range(1, 41))
+
+MONTH_NAMES = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+#: The SSB date dimension covers 1992-01-01 .. 1998-12-31.
+FIRST_YEAR = 1992
+LAST_YEAR = 1998
+
+#: Base table cardinalities at scale factor 1.
+LINEORDER_PER_SF = 6_000_000
+CUSTOMER_PER_SF = 30_000
+SUPPLIER_PER_SF = 2_000
+PART_PER_SF = 200_000

@@ -1,0 +1,21 @@
+"""TPC-H workload: generator and the paper's sixteen query plans."""
+
+from .generator import generate_tpch
+from .queries import (
+    PAPER_TPCH_SET,
+    TABLE1_TPCH_SET,
+    TPCH_PLANS,
+    Q1_SQL,
+    Q6_SQL,
+    tpch_plan,
+)
+
+__all__ = [
+    "PAPER_TPCH_SET",
+    "Q1_SQL",
+    "Q6_SQL",
+    "TABLE1_TPCH_SET",
+    "TPCH_PLANS",
+    "generate_tpch",
+    "tpch_plan",
+]

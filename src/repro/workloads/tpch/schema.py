@@ -1,0 +1,63 @@
+"""TPC-H value domains."""
+
+from __future__ import annotations
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: (nation, region index), in TPC-H nationkey order.
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+MKT_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+
+ORDER_STATUS = ("F", "O", "P")
+
+SHIP_MODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+
+SHIP_INSTRUCTS = ("COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN")
+
+RETURN_FLAGS = ("A", "N", "R")
+
+LINE_STATUS = ("F", "O")
+
+#: p_container: 5 size qualifiers x 8 container kinds = 40 values.
+CONTAINER_SIZES = ("JUMBO", "LG", "MED", "SM", "WRAP")
+CONTAINER_KINDS = ("BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG")
+CONTAINERS = tuple(
+    f"{size} {kind}" for size in CONTAINER_SIZES for kind in CONTAINER_KINDS
+)
+
+#: p_brand: Brand#MN for M, N in 1..5 (25 values).
+BRANDS = tuple(f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6))
+
+#: p_type: 6 x 5 x 5 = 150 values.
+TYPE_SYLLABLE1 = ("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL", "STANDARD")
+TYPE_SYLLABLE2 = ("ANODIZED", "BRUSHED", "BURNISHED", "PLATED", "POLISHED")
+TYPE_SYLLABLE3 = ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+TYPES = tuple(
+    f"{a} {b} {c}"
+    for a in TYPE_SYLLABLE1
+    for b in TYPE_SYLLABLE2
+    for c in TYPE_SYLLABLE3
+)
+
+#: Base table cardinalities at scale factor 1.
+ORDERS_PER_SF = 1_500_000
+CUSTOMER_PER_SF = 150_000
+PART_PER_SF = 200_000
+SUPPLIER_PER_SF = 10_000
+SUPPLIERS_PER_PART = 4
+LINES_PER_ORDER_MAX = 7
+
+#: Order dates span 1992-01-01 .. 1998-08-02 (the TPC-H window).
+FIRST_ORDER_DATE = (1992, 1, 1)
+LAST_ORDER_DATE = (1998, 8, 2)

@@ -1,0 +1,61 @@
+"""Shared fixtures: small generated databases and fresh devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import GTX970, PCIE3, VirtualCoprocessor
+from repro.storage import Column, Database, Table
+from repro.workloads import generate_ssb, generate_tpch
+
+
+@pytest.fixture(scope="session")
+def ssb_db() -> Database:
+    """A small but non-trivial SSB database (session-cached)."""
+    return generate_ssb(scale_factor=0.004, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A small but non-trivial TPC-H database (session-cached)."""
+    return generate_tpch(scale_factor=0.004, seed=11)
+
+
+@pytest.fixture()
+def device() -> VirtualCoprocessor:
+    """A fresh GTX970 with a PCIe 3.0 link."""
+    return VirtualCoprocessor(GTX970, interconnect=PCIE3)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> Database:
+    """A tiny hand-written star schema for exact-value tests."""
+    rng = np.random.default_rng(3)
+    n = 500
+    lineorder = Table(
+        {
+            "lo_orderdate": Column.date(rng.choice([19930101, 19940101, 19950101], n)),
+            "lo_quantity": Column.int32(rng.integers(1, 51, n)),
+            "lo_discount": Column.int32(rng.integers(0, 11, n)),
+            "lo_extendedprice": Column.int32(rng.integers(100, 1000, n)),
+            "lo_revenue": Column.int32(rng.integers(100, 1000, n)),
+            "lo_custkey": Column.int32(rng.integers(0, 20, n)),
+        }
+    )
+    date = Table(
+        {
+            "d_datekey": Column.date([19930101, 19940101, 19950101]),
+            "d_year": Column.int32([1993, 1994, 1995]),
+        }
+    )
+    customer = Table(
+        {
+            "c_custkey": Column.int32(np.arange(20)),
+            "c_region": Column.from_strings(
+                ["ASIA" if index % 2 else "EUROPE" for index in range(20)]
+            ),
+            "c_nation": Column.from_strings([f"NATION{index % 4}" for index in range(20)]),
+        }
+    )
+    return Database({"lineorder": lineorder, "date": date, "customer": customer})

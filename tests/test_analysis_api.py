@@ -1,0 +1,122 @@
+"""Tests for the analysis helpers and the public API."""
+
+import pytest
+
+from repro.analysis import (
+    affordable_passes,
+    count_passes,
+    format_factor,
+    format_table,
+    memory_limited,
+    movement_breakdown,
+    reduction_factor,
+)
+from repro.api import Session, connect, make_engine
+from repro.engines import CompoundEngine, OperatorAtATimeEngine
+from repro.errors import ReproError
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.workloads import ssb_plan
+
+
+class TestPasses:
+    def test_affordable_passes_thresholds(self):
+        # Section 2.3: 146 / 16 ~ 9 passes in the worst case.
+        assert affordable_passes(GTX970) == pytest.approx(146.1 / 16.0)
+
+    def test_count_passes(self, ssb_db, device):
+        count = count_passes(
+            "q3.1", ssb_plan("q3.1", ssb_db), ssb_db, OperatorAtATimeEngine(), device
+        )
+        assert count.passes > 1.0
+        assert count.global_bytes > count.pcie_bytes
+
+    def test_memory_limited_flag(self, ssb_db, device):
+        count = count_passes(
+            "q2.1", ssb_plan("q2.1", ssb_db), ssb_db, OperatorAtATimeEngine(), device
+        )
+        assert memory_limited(count, GTX970) == (
+            count.passes > affordable_passes(GTX970)
+        )
+
+    def test_row_render(self, ssb_db, device):
+        count = count_passes(
+            "q1.1", ssb_plan("q1.1", ssb_db), ssb_db, OperatorAtATimeEngine(), device
+        )
+        assert "q1.1" in count.row()
+
+
+class TestMovement:
+    def test_breakdown_and_reduction_factor(self, ssb_db):
+        plan = ssb_plan("q3.1", ssb_db)
+        opaat_device = VirtualCoprocessor(GTX970)
+        opaat = OperatorAtATimeEngine().execute(plan, ssb_db, opaat_device)
+        baseline = movement_breakdown("op-at-a-time", opaat, opaat_device)
+        compound_device = VirtualCoprocessor(GTX970)
+        compound = CompoundEngine().execute(plan, ssb_db, compound_device)
+        improved = movement_breakdown("compound", compound, compound_device)
+        factor = reduction_factor(baseline, improved)
+        assert factor > 2.0  # paper: 4.7x on SSB Q3.1
+        assert "gather" in baseline.by_kind
+        assert "compound" in improved.by_kind
+        assert "MB" in baseline.format()
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["query", "ms"], [["q1", 1.5], ["q21", 10.25]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "query" in lines[2]
+        assert any("10.25" in line or "10.2" in line for line in lines)
+
+    def test_format_factor(self):
+        assert format_factor(4.7123) == "4.7x"
+        assert format_factor(float("inf")) == "inf"
+
+
+class TestApi:
+    def test_connect_and_execute_sql(self, ssb_db):
+        session = connect(ssb_db)
+        result = session.execute(
+            "select sum(lo_revenue) as total from lineorder"
+        )
+        assert result.table.column_names == ["total"]
+        assert result.engine.startswith("horseqc-compound")
+
+    def test_engine_aliases(self):
+        assert make_engine("pipelined").mode == "atomic"
+        assert make_engine("resolution-we").mode == "lrgp_we"
+        assert make_engine("operator-at-a-time").name == "operator-at-a-time"
+        with pytest.raises(ReproError, match="unknown engine"):
+            make_engine("quantum")
+
+    def test_device_by_name(self, ssb_db):
+        session = Session(ssb_db, device="rx480", engine="multipass")
+        result = session.execute("select sum(lo_revenue) as r from lineorder")
+        assert result.device_name == "RX480"
+        assert result.engine == "horseqc-multipass"
+
+    def test_per_query_engine_override(self, ssb_db):
+        session = connect(ssb_db)
+        result = session.execute(
+            "select sum(lo_revenue) as r from lineorder", engine="operator-at-a-time"
+        )
+        assert result.engine == "operator-at-a-time"
+
+    def test_explain_shows_pipelines(self, ssb_db):
+        session = connect(ssb_db)
+        text = session.explain(ssb_plan("q3.1", ssb_db))
+        assert "lineorder" in text
+        assert "build" in text
+
+    def test_plans_pass_through(self, ssb_db):
+        session = connect(ssb_db)
+        plan = ssb_plan("q1.1", ssb_db)
+        assert session.plan(plan) is plan
+
+    def test_summary_string(self, ssb_db):
+        session = connect(ssb_db)
+        result = session.execute("select sum(lo_revenue) as r from lineorder")
+        assert "kernels" in result.summary()

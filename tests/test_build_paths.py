@@ -1,0 +1,128 @@
+"""Build-sink paths: pipelined vs materialized hash-table builds."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from repro.expressions import col, lit
+from repro.hardware import GTX970, MemoryLevel, VirtualCoprocessor
+from repro.plan import PlanBuilder
+from repro.storage.table import rows_approx_equal
+
+
+@pytest.fixture()
+def join_plan():
+    return (
+        PlanBuilder.scan("lineorder")
+        .join(
+            PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA")),
+            build_keys=["c_custkey"],
+            probe_keys=["lo_custkey"],
+            payload=["c_nation"],
+        )
+        .aggregate(group_by=["c_nation"], aggregates=[("count", None, "n")])
+        .build()
+    )
+
+
+class TestPipelinedBuild:
+    def test_compound_build_moves_less_than_multipass_build(self, tiny_db, join_plan):
+        """The pipelined build inserts from registers: no materialized
+        key columns, no re-read by a separate build kernel."""
+        compound_device = VirtualCoprocessor(GTX970)
+        CompoundEngine().execute(join_plan, tiny_db, compound_device)
+        compound_build_traffic = sum(
+            trace.global_bytes
+            for trace in compound_device.log.kernels
+            if trace.name.startswith("compound_pipeline0")
+        )
+
+        multipass_device = VirtualCoprocessor(GTX970)
+        MultiPassEngine().execute(join_plan, tiny_db, multipass_device)
+        multipass_build_traffic = sum(
+            trace.global_bytes
+            for trace in multipass_device.log.kernels
+            if "pipeline0" in trace.name or trace.kind == "build"
+        )
+        assert compound_build_traffic < multipass_build_traffic
+
+    def test_all_builds_produce_equal_join_results(self, tiny_db, join_plan):
+        results = [
+            factory().execute(join_plan, tiny_db, VirtualCoprocessor(GTX970))
+            for factory in (OperatorAtATimeEngine, MultiPassEngine, CompoundEngine)
+        ]
+        for result in results[1:]:
+            assert rows_approx_equal(
+                results[0].table.sorted_rows(), result.table.sorted_rows()
+            )
+
+    def test_build_payload_stays_allocated(self, tiny_db, join_plan):
+        device = VirtualCoprocessor(GTX970)
+        CompoundEngine().execute(join_plan, tiny_db, device)
+        # Slots + payload arrays remain resident after the query.
+        assert device.allocated_bytes > 0
+
+    def test_computed_build_keys(self, tiny_db):
+        """Build keys may be expressions, not just column refs."""
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .map("double_key", col("lo_custkey") * 2)
+            .join(
+                PlanBuilder.scan("customer").map("ck2", col("c_custkey") * 2),
+                build_keys=["ck2"],
+                probe_keys=["double_key"],
+                payload=["c_nation"],
+            )
+            .aggregate(group_by=["c_nation"], aggregates=[("count", None, "n")])
+            .build()
+        )
+        reference = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .aggregate(group_by=["c_nation"], aggregates=[("count", None, "n")])
+            .build()
+        )
+        doubled = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        plain = CompoundEngine().execute(reference, tiny_db, VirtualCoprocessor(GTX970))
+        assert rows_approx_equal(
+            doubled.table.sorted_rows(), plain.table.sorted_rows()
+        )
+
+
+class TestProbeOrdering:
+    def test_dead_rows_do_not_probe(self, tiny_db):
+        """Threads failing an earlier predicate skip the probe — probe
+        traffic must shrink when a filter precedes the join."""
+        unfiltered = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .aggregate(group_by=[], aggregates=[("count", None, "n")])
+            .build()
+        )
+        filtered = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") < lit(5))
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .aggregate(group_by=[], aggregates=[("count", None, "n")])
+            .build()
+        )
+        device_a = VirtualCoprocessor(GTX970)
+        CompoundEngine().execute(unfiltered, tiny_db, device_a)
+        device_b = VirtualCoprocessor(GTX970)
+        CompoundEngine().execute(filtered, tiny_db, device_b)
+        assert device_b.log.table_bytes < device_a.log.table_bytes

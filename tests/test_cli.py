@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "select 1 from t"])
+        assert args.workload == "ssb"
+        assert args.device == "gtx970"
+        assert args.engine == "resolution"
+
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "select 1", "--engine", "magic"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX970" in out
+        assert "146.1" in out
+
+    def test_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "select sum(lo_revenue) as r from lineorder",
+                "--scale-factor", "0.002",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out
+
+    def test_query_row_limit(self, capsys):
+        main(
+            [
+                "query",
+                "select d_year, sum(lo_revenue) as r from lineorder, date "
+                "where lo_orderdate = d_datekey group by d_year",
+                "--scale-factor", "0.002",
+                "--limit", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "rows total" in out
+
+    def test_explain(self, capsys):
+        code = main(
+            ["explain", "select sum(lo_revenue) as r from lineorder",
+             "--scale-factor", "0.002"]
+        )
+        assert code == 0
+        assert "aggregate" in capsys.readouterr().out
+
+    def test_bench_ssb(self, capsys):
+        code = main(["bench", "q1.1", "--scale-factor", "0.002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fully pipelined" in out
+        assert "PCIe" in out
+
+    def test_bench_tpch(self, capsys):
+        code = main(
+            ["bench", "q6", "--workload", "tpch", "--scale-factor", "0.002"]
+        )
+        assert code == 0
+        assert "Operator-at-a-time" in capsys.readouterr().out
+
+    def test_bench_on_other_device(self, capsys):
+        code = main(
+            ["bench", "q1.1", "--device", "a10", "--scale-factor", "0.002"]
+        )
+        assert code == 0
+        assert "a10" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_and_reuse(self, tmp_path, capsys):
+        out = str(tmp_path / "db")
+        assert main(["generate", out, "--scale-factor", "0.002"]) == 0
+        assert "tables" in capsys.readouterr().out
+        code = main(
+            ["query", "select sum(lo_revenue) as r from lineorder",
+             "--data-dir", out]
+        )
+        assert code == 0
+
+    def test_generate_tpch(self, tmp_path, capsys):
+        out = str(tmp_path / "tpch")
+        assert main(["generate", out, "--workload", "tpch",
+                     "--scale-factor", "0.002"]) == 0
+        code = main(
+            ["bench", "q6", "--workload", "tpch", "--data-dir", out]
+        )
+        assert code == 0
+
+    def test_skew_rejected_for_tpch(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", str(tmp_path / "x"), "--workload", "tpch",
+                  "--skew", "0.5"])
+
+    def test_generate_skewed_ssb(self, tmp_path, capsys):
+        out = str(tmp_path / "skewed")
+        assert main(["generate", out, "--skew", "0.4",
+                     "--scale-factor", "0.002"]) == 0
+
+
+class TestExperimentCommand:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "GTX970" in out
+
+    def test_scale_factor_passthrough(self, capsys):
+        assert main(["experiment", "fig5", "--scale-factor", "0.003"]) == 0
+        assert "SF 0.003" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

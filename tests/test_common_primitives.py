@@ -1,0 +1,112 @@
+"""Property tests for the shared primitive helpers (common.py)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.common import (
+    cta_ids,
+    exclusive_cumsum,
+    log2_ceil,
+    num_blocks,
+    segment_exclusive_cumsum,
+    segment_totals,
+    semi_ordered_permutation,
+)
+
+
+class TestNumBlocks:
+    def test_exact_division(self):
+        assert num_blocks(1024, 256) == 4
+
+    def test_rounds_up(self):
+        assert num_blocks(1025, 256) == 5
+
+    def test_zero_elements(self):
+        assert num_blocks(0, 256) == 0
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            num_blocks(10, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_property_covers_everything(self, n, block):
+        blocks = num_blocks(n, block)
+        assert blocks * block >= n
+        assert (blocks - 1) * block < n or n == 0
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10)])
+    def test_values(self, value, expected):
+        assert log2_ceil(value) == expected
+
+    def test_zero_and_negative(self):
+        assert log2_ceil(0) == 0
+        assert log2_ceil(-5) == 0
+
+
+class TestCumsums:
+    @given(st.lists(st.integers(0, 50), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_exclusive_cumsum_matches_python(self, values):
+        array = np.array(values, dtype=np.int64)
+        result = exclusive_cumsum(array)
+        running = 0
+        for index, value in enumerate(values):
+            assert result[index] == running
+            running += value
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_segment_cumsum_restarts_at_boundaries(self, values, segment):
+        array = np.array(values, dtype=np.int64)
+        result = segment_exclusive_cumsum(array, segment)
+        for start in range(0, len(values), segment):
+            chunk = values[start : start + segment]
+            running = 0
+            for offset, value in enumerate(chunk):
+                assert result[start + offset] == running
+                running += value
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_segment_totals_sum_to_total(self, values, segment):
+        array = np.array(values, dtype=np.int64)
+        totals = segment_totals(array, segment)
+        assert totals.sum() == sum(values)
+        assert len(totals) == num_blocks(len(values), segment)
+
+    def test_empty_inputs(self):
+        assert len(exclusive_cumsum(np.zeros(0, dtype=np.int64))) == 0
+        assert len(segment_totals(np.zeros(0, dtype=np.int64), 8)) == 0
+
+
+class TestCtaIds:
+    def test_assignment(self):
+        assert cta_ids(5, 2).tolist() == [0, 0, 1, 1, 2]
+
+
+class TestSemiOrderedPermutation:
+    @given(st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_is_a_permutation(self, count):
+        rng = np.random.default_rng(9)
+        perm = semi_ordered_permutation(count, rng)
+        assert sorted(perm.tolist()) == list(range(count))
+
+    def test_has_locality(self):
+        """Section 6.1: 'the permutations exhibit locality'. Average
+        displacement must be far below a uniform shuffle's n/3."""
+        rng = np.random.default_rng(10)
+        count = 4096
+        perm = semi_ordered_permutation(count, rng)
+        displacement = np.abs(perm - np.arange(count)).mean()
+        assert displacement < count / 10
+
+    def test_not_identity(self):
+        rng = np.random.default_rng(11)
+        perm = semi_ordered_permutation(4096, rng)
+        assert (perm != np.arange(4096)).any()

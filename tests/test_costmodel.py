@@ -1,0 +1,88 @@
+"""Unit tests for the kernel cost model."""
+
+import pytest
+
+from repro.hardware import AtomicBatch, GTX970, KernelCostModel, MemoryLevel, TrafficMeter
+from repro.hardware.costmodel import DEFAULT_EFFICIENCY, MEMORY_EFFICIENCY
+
+
+@pytest.fixture()
+def model() -> KernelCostModel:
+    return KernelCostModel(GTX970)
+
+
+def _meter(**kwargs) -> TrafficMeter:
+    meter = TrafficMeter()
+    if "global_bytes" in kwargs:
+        meter.record_read(MemoryLevel.GLOBAL, kwargs["global_bytes"])
+    if "onchip_bytes" in kwargs:
+        meter.record_read(MemoryLevel.ONCHIP, kwargs["onchip_bytes"])
+    if "instructions" in kwargs:
+        meter.record_instructions(kwargs["instructions"])
+    if "atomics" in kwargs:
+        count, chain = kwargs["atomics"]
+        meter.record_atomics(AtomicBatch(count, chain))
+    return meter
+
+
+class TestBreakdown:
+    def test_memory_term(self, model):
+        breakdown = model.breakdown(_meter(global_bytes=146_100_000))
+        assert breakdown.memory == pytest.approx(1e-3, rel=0.01)
+        assert breakdown.bound_by == "memory"
+
+    def test_compute_term_can_dominate(self, model):
+        meter = _meter(global_bytes=1000, instructions=int(GTX970.compute_throughput))
+        breakdown = model.breakdown(meter)
+        assert breakdown.bound_by == "compute"
+        assert breakdown.compute == pytest.approx(1.0)
+
+    def test_atomic_chain_term(self, model):
+        count = int(GTX970.same_address_atomic_rate)
+        breakdown = model.breakdown(_meter(atomics=(count, count)))
+        assert breakdown.atomics == pytest.approx(1.0, rel=0.01)
+        assert breakdown.bound_by == "atomics"
+
+    def test_atomic_throughput_term_without_contention(self, model):
+        # Many atomics spread across addresses: throughput term governs.
+        count = int(GTX970.atomic_throughput)
+        breakdown = model.breakdown(_meter(atomics=(count, 1)))
+        assert breakdown.atomics == pytest.approx(1.0, rel=0.01)
+
+    def test_total_takes_max_plus_overheads(self, model):
+        meter = _meter(global_bytes=146_100_000, instructions=100)
+        breakdown = model.breakdown(meter)
+        assert breakdown.total == pytest.approx(
+            GTX970.kernel_launch_overhead + breakdown.memory, rel=1e-6
+        )
+
+    def test_launch_bound_for_empty_kernels(self, model):
+        breakdown = model.breakdown(_meter())
+        assert breakdown.bound_by == "launch"
+
+
+class TestEfficiency:
+    def test_fused_kernels_reach_peak(self, model):
+        fused = model.breakdown(_meter(global_bytes=1_000_000), kind="compound")
+        gather = model.breakdown(_meter(global_bytes=1_000_000), kind="gather")
+        assert gather.memory == pytest.approx(
+            fused.memory * MEMORY_EFFICIENCY["compound"] / MEMORY_EFFICIENCY["gather"]
+        )
+
+    def test_unknown_kind_uses_default(self, model):
+        breakdown = model.breakdown(_meter(global_bytes=1_000_000), kind="mystery")
+        expected = 1_000_000 / (GTX970.global_bandwidth * 1e9 * DEFAULT_EFFICIENCY)
+        assert breakdown.memory == pytest.approx(expected)
+
+    def test_every_efficiency_is_a_fraction(self):
+        for kind, efficiency in MEMORY_EFFICIENCY.items():
+            assert 0 < efficiency <= 1.0, kind
+
+
+class TestBaselines:
+    def test_memory_bound_time(self, model):
+        assert model.memory_bound_time(146_100_000) == pytest.approx(1e-3, rel=0.01)
+
+    def test_memory_bound_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.memory_bound_time(-1)

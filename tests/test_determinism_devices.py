@@ -1,0 +1,115 @@
+"""Determinism and cross-device integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from repro.hardware import (
+    A10,
+    GTX770,
+    GTX970,
+    PCIE3,
+    RX480,
+    VirtualCoprocessor,
+)
+from repro.storage.table import rows_approx_equal
+from repro.workloads import generate_ssb, generate_tpch, ssb_plan
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows_and_times(self, ssb_db):
+        plan = ssb_plan("q3.1", ssb_db)
+        engine = CompoundEngine("lrgp_simd")
+        first = engine.execute(plan, ssb_db, VirtualCoprocessor(GTX970), seed=5)
+        second = engine.execute(plan, ssb_db, VirtualCoprocessor(GTX970), seed=5)
+        assert first.table.to_rows() == second.table.to_rows()
+        assert first.kernel_ms == second.kernel_ms
+        assert first.global_memory_bytes == second.global_memory_bytes
+
+    def test_different_seed_same_multiset(self, ssb_db):
+        """The rng only controls the undefined atomic allocation order —
+        it must never change the result content."""
+        from repro.workloads import projection_query
+
+        plan = projection_query(8)
+        engine = CompoundEngine("atomic")
+        first = engine.execute(plan, ssb_db, VirtualCoprocessor(GTX970), seed=1)
+        second = engine.execute(plan, ssb_db, VirtualCoprocessor(GTX970), seed=2)
+        assert first.table.sorted_rows() == second.table.sorted_rows()
+        assert first.kernel_ms == second.kernel_ms
+
+    def test_generators_are_seed_deterministic(self):
+        first = generate_tpch(0.002, seed=3)
+        second = generate_tpch(0.002, seed=3)
+        assert np.array_equal(
+            first["lineitem"]["l_extendedprice"].values,
+            second["lineitem"]["l_extendedprice"].values,
+        )
+
+
+class TestAllDevices:
+    """Engines must be correct on every Table 2 device, including the
+    zero-copy APU."""
+
+    @pytest.mark.parametrize("profile", [GTX970, GTX770, RX480, A10],
+                             ids=lambda p: p.name)
+    def test_q31_identical_rows_everywhere(self, ssb_db, profile):
+        plan = ssb_plan("q3.1", ssb_db)
+        reference = CompoundEngine().execute(
+            plan, ssb_db, VirtualCoprocessor(GTX970, interconnect=PCIE3)
+        )
+        result = CompoundEngine().execute(
+            plan, ssb_db, VirtualCoprocessor(profile, interconnect=PCIE3)
+        )
+        assert rows_approx_equal(
+            reference.table.sorted_rows(), result.table.sorted_rows()
+        )
+
+    def test_apu_records_no_link_traffic(self, ssb_db):
+        plan = ssb_plan("q1.1", ssb_db)
+        result = CompoundEngine().execute(
+            plan, ssb_db, VirtualCoprocessor(A10)
+        )
+        assert result.transfer_ms == 0.0
+        assert result.profile.transfer_bytes() == 0
+        # The PCIe "baseline" for an APU is the memory-stream time.
+        assert result.pcie_ms == pytest.approx(
+            (result.input_bytes + result.output_bytes) / (A10.global_bandwidth * 1e9) * 1e3
+        )
+
+    def test_apu_slower_than_dedicated_gpu(self, ssb_db):
+        plan = ssb_plan("q3.1", ssb_db)
+        gtx = CompoundEngine().execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+        apu = CompoundEngine().execute(plan, ssb_db, VirtualCoprocessor(A10))
+        assert apu.kernel_ms > gtx.kernel_ms
+
+    @pytest.mark.parametrize("engine_factory", [
+        OperatorAtATimeEngine, MultiPassEngine, lambda: CompoundEngine("atomic"),
+    ])
+    def test_engines_agree_on_the_apu(self, ssb_db, engine_factory):
+        plan = ssb_plan("q2.1", ssb_db)
+        reference = CompoundEngine().execute(plan, ssb_db, VirtualCoprocessor(A10))
+        result = engine_factory().execute(plan, ssb_db, VirtualCoprocessor(A10))
+        assert rows_approx_equal(
+            reference.table.sorted_rows(), result.table.sorted_rows(),
+            rel_tol=1e-3, abs_tol=0.5,
+        )
+
+
+class TestSeedIndependentWorkloads:
+    def test_other_seeds_still_agree_across_engines(self):
+        database = generate_ssb(0.003, seed=1234)
+        plan = ssb_plan("q4.2", database)
+        results = [
+            factory().execute(plan, database, VirtualCoprocessor(GTX970))
+            for factory in (
+                OperatorAtATimeEngine,
+                MultiPassEngine,
+                lambda: CompoundEngine("lrgp_we"),
+            )
+        ]
+        for result in results[1:]:
+            assert rows_approx_equal(
+                results[0].table.sorted_rows(), result.table.sorted_rows(),
+                rel_tol=1e-3, abs_tol=0.5,
+            )

@@ -1,0 +1,73 @@
+"""Integration: every engine returns the same rows for every query.
+
+This is the central correctness property of the paper's system: the
+micro execution model changes *how* a pipeline executes, never *what*
+it computes (only row order may differ, Section 5.1).
+"""
+
+import pytest
+
+from repro.engines import (
+    CompoundEngine,
+    CpuOperatorAtATimeEngine,
+    MultiPassEngine,
+    OperatorAtATimeEngine,
+    make_cpu_device,
+)
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.storage.table import rows_approx_equal
+from repro.workloads import SSB_QUERIES, TPCH_PLANS, ssb_plan, tpch_plan
+
+ENGINES = [
+    OperatorAtATimeEngine,
+    MultiPassEngine,
+    lambda: CompoundEngine("atomic"),
+    lambda: CompoundEngine("lrgp_simd"),
+    lambda: CompoundEngine("lrgp_we"),
+]
+
+
+def _agree(plan, database):
+    reference = None
+    for factory in ENGINES:
+        engine = factory()
+        result = engine.execute(plan, database, VirtualCoprocessor(GTX970))
+        rows = result.table.sorted_rows()
+        if reference is None:
+            reference = rows
+        else:
+            assert rows_approx_equal(
+                reference, rows, rel_tol=1e-3, abs_tol=0.5
+            ), f"{engine.name} disagrees"
+    return reference
+
+
+@pytest.mark.parametrize("query", sorted(SSB_QUERIES))
+def test_ssb_engines_agree(query, ssb_db):
+    _agree(ssb_plan(query, ssb_db), ssb_db)
+
+
+@pytest.mark.parametrize("query", sorted(TPCH_PLANS))
+def test_tpch_engines_agree(query, tpch_db):
+    _agree(tpch_plan(query, tpch_db), tpch_db)
+
+
+def test_cpu_engine_agrees_on_ssb(ssb_db):
+    plan = ssb_plan("q3.1", ssb_db)
+    gpu = CompoundEngine().execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+    cpu = CpuOperatorAtATimeEngine().execute(plan, ssb_db, make_cpu_device())
+    assert rows_approx_equal(gpu.table.sorted_rows(), cpu.table.sorted_rows())
+
+
+def test_row_order_differs_but_content_matches(ssb_db):
+    """Atomic positions permute output order (Section 5.1) — same
+    multiset, possibly different sequence than the ordered engines."""
+    from repro.workloads import projection_query
+
+    plan = projection_query(10)
+    ordered = MultiPassEngine().execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+    permuted = CompoundEngine("atomic").execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+    assert ordered.table.num_rows == permuted.table.num_rows
+    assert rows_approx_equal(
+        ordered.table.sorted_rows(), permuted.table.sorted_rows()
+    )

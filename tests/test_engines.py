@@ -1,0 +1,203 @@
+"""Engine behaviour tests: kernel sequences, traffic ordering, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    CompoundEngine,
+    CpuOperatorAtATimeEngine,
+    MultiPassEngine,
+    OperatorAtATimeEngine,
+    make_cpu_device,
+)
+from repro.expressions import col, lit
+from repro.hardware import GTX970, MemoryLevel, VirtualCoprocessor
+from repro.plan import PlanBuilder
+
+
+@pytest.fixture()
+def filter_project_plan():
+    return (
+        PlanBuilder.scan("lineorder")
+        .filter(col("lo_quantity").between(20, 30))
+        .project([("revenue", col("lo_extendedprice") * col("lo_discount"))])
+        .build()
+    )
+
+
+@pytest.fixture()
+def star_plan():
+    return (
+        PlanBuilder.scan("lineorder")
+        .join(
+            PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA")),
+            build_keys=["c_custkey"],
+            probe_keys=["lo_custkey"],
+            payload=["c_nation"],
+        )
+        .aggregate(
+            group_by=["c_nation"], aggregates=[("sum", col("lo_revenue"), "revenue")]
+        )
+        .build()
+    )
+
+
+class TestOperatorAtATime:
+    def test_three_primitives_per_filter(self, tiny_db, device, filter_project_plan):
+        OperatorAtATimeEngine().execute(filter_project_plan, tiny_db, device)
+        kinds = [trace.kind for trace in device.log.kernels]
+        # select + 3-kernel prefix sum + aligned write + projection map
+        assert kinds[:5] == ["scan", "prefix_sum", "prefix_sum", "prefix_sum", "gather"]
+        assert "map" in kinds
+
+    def test_probe_pipeline_kernels(self, tiny_db, device, star_plan):
+        OperatorAtATimeEngine().execute(star_plan, tiny_db, device)
+        kinds = [trace.kind for trace in device.log.kernels]
+        assert "build" in kinds
+        assert "probe" in kinds
+        assert "sort" in kinds  # C1 grouped aggregation sorts
+
+    def test_group_by_cost_independent_of_groups(self, ssb_db, device):
+        from repro.workloads import group_by_query
+
+        few = OperatorAtATimeEngine().execute(
+            group_by_query(2), ssb_db, VirtualCoprocessor(GTX970)
+        )
+        many = OperatorAtATimeEngine().execute(
+            group_by_query(1024), ssb_db, VirtualCoprocessor(GTX970)
+        )
+        assert many.kernel_ms == pytest.approx(few.kernel_ms, rel=0.25)
+
+
+class TestMultiPass:
+    def test_count_prefix_write_sequence(self, tiny_db, device, filter_project_plan):
+        MultiPassEngine().execute(filter_project_plan, tiny_db, device)
+        kinds = [trace.kind for trace in device.log.kernels]
+        assert kinds == ["count", "prefix_sum", "prefix_sum", "prefix_sum", "write"]
+
+    def test_write_kernel_reprobes(self, tiny_db, device, star_plan):
+        engine = MultiPassEngine()
+        engine.execute(star_plan, tiny_db, device)
+        counts = [trace for trace in device.log.kernels if trace.kind == "count"]
+        writes = [trace for trace in device.log.kernels if trace.kind == "write"]
+        # Both phases of the probe pipeline touch the hash table.
+        assert counts[-1].meter.table_bytes > 0
+        assert writes[-1].meter.table_bytes > 0
+
+    def test_kernel_sources_recorded(self, tiny_db, filter_project_plan):
+        engine = MultiPassEngine()
+        engine.execute(filter_project_plan, tiny_db, VirtualCoprocessor(GTX970))
+        assert any(key.endswith(".count") for key in engine.kernel_sources)
+        assert any(key.endswith(".write") for key in engine.kernel_sources)
+
+
+class TestCompound:
+    def test_one_kernel_per_pipeline(self, tiny_db, device, star_plan):
+        CompoundEngine("lrgp_simd").execute(star_plan, tiny_db, device)
+        kinds = [trace.kind for trace in device.log.kernels]
+        assert kinds == ["compound", "compound"]  # build pipeline + fact pipeline
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CompoundEngine("warp9")
+
+    def test_traffic_strictly_ordered(self, ssb_db):
+        """The paper's headline: compound < multi-pass < op-at-a-time
+        (Figures 5/9/13), on a realistic multi-stage pipeline."""
+        from repro.workloads import ssb_plan
+
+        plan = ssb_plan("q3.1", ssb_db)
+        volumes = {}
+        for engine in (
+            OperatorAtATimeEngine(),
+            MultiPassEngine(),
+            CompoundEngine("lrgp_simd"),
+        ):
+            result = engine.execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+            volumes[engine.name] = result.global_memory_bytes
+        assert (
+            volumes["horseqc-compound[Resolution:SIMD]"]
+            < volumes["horseqc-multipass"]
+            < volumes["operator-at-a-time"]
+        )
+
+    def test_pipelined_build_has_no_build_kernel(self, tiny_db, device, star_plan):
+        CompoundEngine().execute(star_plan, tiny_db, device)
+        assert not device.log.kernels_of_kind("build")
+
+
+class TestMetrics:
+    def test_pcie_volume_counts_each_column_once(self, tiny_db, device):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .project(["lo_revenue", "lo_quantity"])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, tiny_db, device)
+        n = tiny_db["lineorder"].num_rows
+        assert result.input_bytes == 2 * n * 4
+        assert result.output_bytes == 2 * n * 4
+
+    def test_result_transfer_recorded(self, tiny_db, device):
+        plan = PlanBuilder.scan("lineorder").project(["lo_revenue"]).build()
+        CompoundEngine().execute(plan, tiny_db, device)
+        assert device.log.transfer_bytes("d2h") > 0
+
+    def test_passes_metric(self, tiny_db, device, star_plan):
+        result = OperatorAtATimeEngine().execute(star_plan, tiny_db, device)
+        expected = result.global_memory_bytes / (
+            result.input_bytes + result.output_bytes
+        )
+        assert result.passes == pytest.approx(expected)
+
+    def test_repeated_execution_resets_state(self, tiny_db, device, star_plan):
+        engine = CompoundEngine()
+        first = engine.execute(star_plan, tiny_db, device)
+        second = engine.execute(star_plan, tiny_db, device)
+        assert first.kernel_ms == pytest.approx(second.kernel_ms)
+        assert first.table.sorted_rows() == second.table.sorted_rows()
+
+
+class TestCpuEngine:
+    def test_runs_without_transfers(self, tiny_db, star_plan):
+        device = make_cpu_device()
+        result = CpuOperatorAtATimeEngine().execute(star_plan, tiny_db, device)
+        assert result.transfer_ms == 0.0
+        assert result.table.num_rows >= 1
+
+    def test_matches_gpu_results(self, tiny_db, star_plan):
+        from repro.storage.table import rows_approx_equal
+
+        cpu = CpuOperatorAtATimeEngine().execute(star_plan, tiny_db, make_cpu_device())
+        gpu = CompoundEngine().execute(star_plan, tiny_db, VirtualCoprocessor(GTX970))
+        assert rows_approx_equal(cpu.table.sorted_rows(), gpu.table.sorted_rows())
+
+
+class TestJoinKinds:
+    def _counts(self, tiny_db, kind, defaults=None, payload=None):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA")),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                kind=kind,
+                payload=payload or [],
+                payload_defaults=defaults or {},
+            )
+            .aggregate(group_by=[], aggregates=[("count", None, "n")])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        return int(result.table.to_rows()[0][0])
+
+    def test_semi_plus_anti_covers_everything(self, tiny_db):
+        total = tiny_db["lineorder"].num_rows
+        semi = self._counts(tiny_db, "semi")
+        anti = self._counts(tiny_db, "anti")
+        assert semi + anti == total
+        assert 0 < semi < total
+
+    def test_left_join_keeps_all_rows(self, tiny_db):
+        left = self._counts(tiny_db, "left")
+        assert left == tiny_db["lineorder"].num_rows

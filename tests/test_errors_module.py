@@ -1,0 +1,86 @@
+"""Tests for the exception hierarchy and error-path behaviours."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    CompilationError,
+    DeviceMemoryError,
+    ExpressionError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SqlError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            AllocationError,
+            CompilationError,
+            DeviceMemoryError,
+            ExpressionError,
+            PlanError,
+            SchemaError,
+            SqlError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_device_memory_error_carries_context(self):
+        error = DeviceMemoryError(requested=1000, available=100, capacity=4000)
+        assert error.requested == 1000
+        assert error.available == 100
+        assert error.capacity == 4000
+        assert "1000" in str(error)
+
+    def test_catching_the_base_class_covers_everything(self, tiny_db):
+        """Library failures are catchable with one except clause."""
+        from repro.api import connect
+
+        session = connect(tiny_db)
+        with pytest.raises(ReproError):
+            session.execute("select ghost from lineorder")
+        with pytest.raises(ReproError):
+            session.execute("selec broken")
+        with pytest.raises(ReproError):
+            session.execute("select lo_revenue from missing_table")
+
+
+class TestErrorMessages:
+    """Error messages must name what's known, not just what's wrong."""
+
+    def test_schema_errors_list_alternatives(self, tiny_db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError, match="table has:"):
+            tiny_db["lineorder"].column("nope")
+
+    def test_plan_errors_name_missing_columns(self, tiny_db):
+        from repro.expressions import col
+        from repro.plan import PlanBuilder, extract_pipelines
+
+        plan = PlanBuilder.scan("lineorder").filter(col("ghost") > 1).build()
+        with pytest.raises(PlanError, match="ghost"):
+            extract_pipelines(plan, tiny_db)
+
+    def test_engine_alias_errors_list_engines(self):
+        from repro.api import make_engine
+
+        with pytest.raises(ReproError, match="operator-at-a-time"):
+            make_engine("warp-drive")
+
+    def test_sql_errors_carry_offsets(self):
+        from repro.sql import parse_query
+
+        try:
+            parse_query("select from t")
+        except SqlError as error:
+            assert "offset" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected SqlError")

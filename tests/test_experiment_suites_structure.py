@@ -1,0 +1,55 @@
+"""Structural tests for the suite/end-to-end experiment reports."""
+
+import pytest
+
+from repro.experiments import (
+    fig17_prefix_sum,
+    fig20_tpch,
+    fig22_end_to_end,
+    fig27_single_aggregation,
+    table3_ssb_devices,
+)
+
+SF = 0.004
+
+
+class TestSuiteReports:
+    def test_fig20_covers_the_paper_roster(self):
+        report = fig20_tpch(scale_factor=SF)
+        queries = [row[0] for row in report.rows]
+        assert queries == ["q1", "q4", "q5", "q6", "q7", "q9", "q13",
+                           "q17", "q18", "q19", "q21"]
+
+    def test_fig20_headers_include_baselines(self):
+        report = fig20_tpch(scale_factor=SF)
+        headers = report.sections[0].headers
+        assert "PCIe transfer" in headers
+        assert "Memory bound" in headers
+
+    def test_fig22_speedup_columns(self):
+        report = fig22_end_to_end(scale_factor=SF)
+        for row in report.rows:
+            assert row[4].endswith("x")
+            assert row[5].endswith("x")
+        # HorseQC never loses to the CoGaDB-like engine (paper shape).
+        for row in report.rows:
+            assert float(row[4].rstrip("x")) >= 1.0
+
+
+class TestDeviceSweeps:
+    def test_fig17_has_four_device_sections(self):
+        report = fig17_prefix_sum(scale_factor=SF, x_sweep=(0, 25))
+        titles = [section.title for section in report.sections]
+        assert len(titles) == 4
+        for device in ("GTX970", "GTX770", "RX480", "A10"):
+            assert any(device in title for title in titles)
+
+    def test_fig27_notes_the_g1_observation(self):
+        report = fig27_single_aggregation(scale_factor=SF, x_sweep=(0, 25))
+        assert any("fetch-add" in note for note in report.notes)
+
+    def test_table3_a10_runs_half_sf(self):
+        report = table3_ssb_devices(scale_factor=SF)
+        a10_section = next(s for s in report.sections if "A10" in s.title)
+        assert str(SF / 2) in a10_section.title
+        assert len(a10_section.rows) == 12  # the paper's 12 queries

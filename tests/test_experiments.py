@@ -1,0 +1,104 @@
+"""Tests for the experiments package (the evaluation as a library)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentReport,
+    fig5_macro_movement,
+    fig9_fig13_micro_movement,
+    fig18_group_by,
+    fig19_ssb,
+    fig21_scalability,
+    run_experiment,
+    table1_passes,
+    table2_devices,
+    table4_reduction_modes,
+)
+
+SF = 0.004  # tiny, to keep these tests fast
+
+
+class TestRegistry:
+    def test_thirteen_experiments(self):
+        assert len(EXPERIMENTS) == 13
+        assert set(EXPERIMENTS) >= {"table1", "fig19", "fig22", "fig27"}
+
+    def test_run_experiment_dispatch(self):
+        report = run_experiment("table2")
+        assert isinstance(report, ExperimentReport)
+        assert report.name == "table2_devices"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_every_title_names_its_artifact(self):
+        for name, (_, title) in EXPERIMENTS.items():
+            assert "Table" in title or "Figure" in title
+
+
+class TestReportStructure:
+    def test_sections_and_notes_render(self):
+        report = ExperimentReport("x", "Title")
+        report.add("sec", ["a", "b"], [[1, 2]])
+        report.note("a note")
+        text = report.text()
+        assert "Title" in text
+        assert "a note" in text
+        assert report.rows == [[1, 2]]
+
+    def test_empty_report_renders(self):
+        assert ExperimentReport("x", "T").text().startswith("T")
+
+
+class TestExperimentContent:
+    def test_table1_rows_cover_both_suites(self):
+        report = table1_passes(scale_factor=SF)
+        queries = [row[0] for row in report.rows]
+        assert any(query.startswith("ssb-") for query in queries)
+        assert any(query.startswith("tpch-") for query in queries)
+        assert len(queries) == 25
+
+    def test_table2_prints_published_bandwidths(self):
+        text = table2_devices().text()
+        assert "146.1" in text
+        assert "104.9" in text
+
+    def test_fig5_batch_moves_less_pcie(self):
+        report = fig5_macro_movement(scale_factor=SF)
+        kaat, batch = report.rows
+        assert kaat[1] > batch[1]  # PCIe MB
+        assert kaat[3] == batch[3]  # global MB identical
+
+    def test_fig9_ordering(self):
+        report = fig9_fig13_micro_movement(scale_factor=SF)
+        volumes = [row[2] for row in report.rows]  # global MB
+        assert volumes[0] > volumes[1] > volumes[2]
+
+    def test_fig18_has_contention_cliff(self):
+        report = fig18_group_by(scale_factor=SF, groups=(2, 4096))
+        small, large = report.rows
+        assert small[2] > 3 * large[2]  # Pipelined collapses at 2 groups
+
+    def test_fig19_pipelined_saturates(self):
+        # Needs a realistic SF: at toy scale the fixed launch overheads
+        # dominate and the PCIe baseline shrinks below them.
+        report = fig19_ssb(scale_factor=0.02)
+        for row in report.rows:
+            pipelined, pcie = row[3], row[4]
+            assert pipelined < pcie, row[0]
+
+    def test_fig21_monotone_in_scale(self):
+        report = fig21_scalability(scale_factors=(0.002, 0.008))
+        first, second = report.rows
+        assert second[2] > first[2]
+
+    def test_table4_classification(self):
+        report = table4_reduction_modes(scale_factor=SF)
+        by_id = {row[0]: row for row in report.rows}
+        for technique in ("A1", "B1", "C1"):
+            assert by_id[technique][2] == "yes"
+        for technique in ("A2", "A3", "B2", "B3", "C2", "C3"):
+            assert by_id[technique][2] == "no"
+            assert by_id[technique][3] <= 2  # at most build fallback + compound

@@ -1,0 +1,188 @@
+"""Unit + property tests for the expression layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expressions import (
+    BinaryOp,
+    BooleanOp,
+    Comparison,
+    InList,
+    Literal,
+    Not,
+    all_of,
+    col,
+    evaluate,
+    infer_dtype,
+    lit,
+    to_source,
+)
+from repro.storage import DType
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        expr = (col("a") + 1) * col("b")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "*"
+        assert expr.columns() == {"a", "b"}
+
+    def test_comparison_produces_expr(self):
+        expr = col("a") >= 5
+        assert isinstance(expr, Comparison)
+
+    def test_boolean_needs_two_operands(self):
+        with pytest.raises(ExpressionError):
+            BooleanOp("and", (col("a") == 1,))
+
+    def test_invalid_operator(self):
+        with pytest.raises(ExpressionError):
+            BinaryOp("**", col("a"), lit(2))
+        with pytest.raises(ExpressionError):
+            Comparison("~=", col("a"), lit(2))
+
+    def test_literal_types_checked(self):
+        with pytest.raises(ExpressionError):
+            Literal([1, 2])
+
+    def test_in_list_requires_literals(self):
+        with pytest.raises(ExpressionError):
+            InList(col("a"), (col("b"),))
+        with pytest.raises(ExpressionError):
+            col("a").isin([])
+
+    def test_size_counts_nodes(self):
+        expr = (col("a") + 1) * col("b")
+        assert expr.size() == 5
+
+    def test_all_of(self):
+        single = all_of(col("a") == 1)
+        assert isinstance(single, Comparison)
+        multi = all_of(col("a") == 1, col("b") == 2)
+        assert isinstance(multi, BooleanOp)
+        with pytest.raises(ExpressionError):
+            all_of()
+
+
+class TestEvaluate:
+    def setup_method(self):
+        self.scope = {
+            "a": np.array([1, 2, 3, 4], dtype=np.int32),
+            "b": np.array([10.0, 20.0, 30.0, 40.0]),
+        }
+
+    def test_arithmetic(self):
+        assert evaluate(col("a") * 2 + 1, self.scope).tolist() == [3, 5, 7, 9]
+
+    def test_true_division_is_float(self):
+        result = evaluate(col("a") / 2, self.scope)
+        assert result.dtype == np.float64
+        assert result.tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_floor_division_and_mod(self):
+        assert evaluate(col("a") // 2, self.scope).tolist() == [0, 1, 1, 2]
+        assert evaluate(col("a") % 2, self.scope).tolist() == [1, 0, 1, 0]
+
+    def test_between_inclusive(self):
+        assert evaluate(col("a").between(2, 3), self.scope).tolist() == [
+            False, True, True, False,
+        ]
+
+    def test_isin(self):
+        assert evaluate(col("a").isin([1, 4]), self.scope).tolist() == [
+            True, False, False, True,
+        ]
+
+    def test_boolean_combination(self):
+        expr = (col("a") > 1) & (col("b") < 40.0) | (col("a") == 1)
+        assert evaluate(expr, self.scope).tolist() == [True, True, True, False]
+
+    def test_not(self):
+        assert evaluate(~(col("a") == 1), self.scope).tolist() == [False, True, True, True]
+
+    def test_unknown_column(self):
+        with pytest.raises(ExpressionError, match="not in scope"):
+            evaluate(col("zzz"), self.scope)
+
+    def test_unresolved_string_literal_rejected(self):
+        with pytest.raises(ExpressionError, match="resolve_strings"):
+            evaluate(col("a") == lit("ASIA"), {"a": np.array([1])})
+
+
+@st.composite
+def _numeric_exprs(draw, depth=0):
+    """Random expression trees over columns 'x' and 'y'."""
+    if depth > 2 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return col("x")
+        if choice == 1:
+            return col("y")
+        return lit(draw(st.integers(-100, 100)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(_numeric_exprs(depth=depth + 1))
+    right = draw(_numeric_exprs(depth=depth + 1))
+    return BinaryOp(op, left, right)
+
+
+class TestCodegenMatchesEvaluation:
+    @given(_numeric_exprs(), st.lists(st.integers(-1000, 1000), min_size=1, max_size=10))
+    @settings(max_examples=80, deadline=None)
+    def test_generated_source_equals_interpreter(self, expr, values):
+        scope = {
+            "x": np.array(values, dtype=np.int64),
+            "y": np.array(values[::-1], dtype=np.int64),
+        }
+        interpreted = evaluate(expr, scope)
+        generated = eval(to_source(expr), {"np": np, "scope": scope})
+        assert np.array_equal(np.broadcast_to(interpreted, scope["x"].shape),
+                              np.broadcast_to(generated, scope["x"].shape))
+
+    def test_boolean_source(self):
+        expr = (col("x") > 1) & col("x").isin([2, 3])
+        scope = {"x": np.array([1, 2, 3, 4])}
+        generated = eval(to_source(expr), {"np": np, "scope": scope})
+        assert generated.tolist() == [False, True, True, False]
+
+    def test_string_literal_rejected(self):
+        with pytest.raises(ExpressionError):
+            to_source(col("x") == lit("oops"))
+
+
+class TestInferDtype:
+    SCHEMA = {
+        "i32": DType.INT32,
+        "i64": DType.INT64,
+        "f32": DType.FLOAT32,
+        "s": DType.STRING,
+        "d": DType.DATE,
+    }
+
+    def test_column_lookup(self):
+        assert infer_dtype(col("i32"), self.SCHEMA) is DType.INT32
+        with pytest.raises(ExpressionError):
+            infer_dtype(col("nope"), self.SCHEMA)
+
+    def test_literal_width(self):
+        assert infer_dtype(lit(5), self.SCHEMA) is DType.INT32
+        assert infer_dtype(lit(2**40), self.SCHEMA) is DType.INT64
+        assert infer_dtype(lit(0.5), self.SCHEMA) is DType.FLOAT64
+
+    def test_arithmetic_promotion(self):
+        assert infer_dtype(col("i32") + col("i64"), self.SCHEMA) is DType.INT64
+        assert infer_dtype(col("i32") * col("f32"), self.SCHEMA) is DType.FLOAT32
+        assert infer_dtype(col("i32") / col("i32"), self.SCHEMA) is DType.FLOAT64
+
+    def test_date_degrades_to_int(self):
+        assert infer_dtype(col("d") // lit(10000), self.SCHEMA) is DType.INT32
+
+    def test_comparisons_are_bool(self):
+        assert infer_dtype(col("i32") > 5, self.SCHEMA) is DType.BOOL
+        assert infer_dtype(col("i32").between(1, 2), self.SCHEMA) is DType.BOOL
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(ExpressionError):
+            infer_dtype(col("s") + 1, self.SCHEMA)

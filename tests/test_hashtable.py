@@ -1,0 +1,144 @@
+"""Tests for the join hash table (build, probe, accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.primitives import JoinHashTable, hash_key_columns
+from repro.primitives.gather import TRANSACTION_BYTES
+
+
+def _device():
+    return VirtualCoprocessor(GTX970)
+
+
+class TestBuild:
+    def test_build_launches_one_kernel(self, device):
+        keys = np.arange(100, dtype=np.int64)
+        JoinHashTable.build(device, [keys], name="t")
+        builds = device.log.kernels_of_kind("build")
+        assert len(builds) == 1
+        assert builds[0].meter.atomic_count >= 100
+
+    def test_duplicate_keys_rejected(self, device):
+        with pytest.raises(PlanError, match="duplicate keys"):
+            JoinHashTable.build(device, [np.array([1, 2, 1], dtype=np.int64)])
+
+    def test_composite_duplicates_detected(self, device):
+        left = np.array([1, 1, 2], dtype=np.int64)
+        right = np.array([7, 7, 7], dtype=np.int64)
+        with pytest.raises(PlanError, match="duplicate keys"):
+            JoinHashTable.build(device, [left, right])
+
+    def test_composite_near_duplicates_allowed(self, device):
+        left = np.array([1, 1, 2], dtype=np.int64)
+        right = np.array([7, 8, 7], dtype=np.int64)
+        table = JoinHashTable.build(device, [left, right])
+        assert table.num_rows == 3
+
+    def test_slots_resident_on_device(self, device):
+        JoinHashTable.build(device, [np.arange(50, dtype=np.int64)])
+        assert device.allocated_bytes > 0
+
+    def test_build_pipelined_charges_meter_not_kernel(self, device):
+        meter = device.new_meter()
+        JoinHashTable.build_pipelined(meter, device, [np.arange(10, dtype=np.int64)])
+        assert not device.log.kernels  # no separate launch
+        assert meter.atomic_count >= 10
+
+
+class TestProbe:
+    def test_hits_and_misses(self, device):
+        keys = np.array([2, 4, 6, 8], dtype=np.int64)
+        table = JoinHashTable.build(device, [keys])
+        meter = device.new_meter()
+        rows = table.probe(meter, [np.array([4, 5, 8, 100], dtype=np.int64)])
+        assert rows[0] == 1 and rows[2] == 3
+        assert rows[1] == -1 and rows[3] == -1
+
+    def test_composite_key_probe(self, device):
+        table = JoinHashTable.build(
+            device,
+            [np.array([1, 1, 2], dtype=np.int64), np.array([7, 8, 7], dtype=np.int64)],
+        )
+        meter = device.new_meter()
+        rows = table.probe(
+            meter, [np.array([1, 2, 2], dtype=np.int64), np.array([8, 7, 8], dtype=np.int64)]
+        )
+        assert rows.tolist() == [1, 2, -1]
+
+    def test_float_keys_hash_by_bits(self, device):
+        values = np.array([0.1, 0.2, 0.30000001], dtype=np.float32)
+        table = JoinHashTable.build(device, [values])
+        meter = device.new_meter()
+        rows = table.probe(meter, [values.copy()])
+        assert rows.tolist() == [0, 1, 2]
+
+    def test_key_count_mismatch(self, device):
+        table = JoinHashTable.build(device, [np.arange(4, dtype=np.int64)])
+        with pytest.raises(PlanError):
+            table.probe(device.new_meter(), [np.arange(2), np.arange(2)])
+
+    def test_probe_into_empty_table(self, device):
+        table = JoinHashTable.build(device, [np.zeros(0, dtype=np.int64)])
+        meter = device.new_meter()
+        rows = table.probe(meter, [np.array([1, 2], dtype=np.int64)])
+        assert rows.tolist() == [-1, -1]
+
+    def test_probe_traffic_tagged_as_table_bytes(self, device):
+        table = JoinHashTable.build(device, [np.arange(64, dtype=np.int64)])
+        meter = device.new_meter()
+        table.probe(meter, [np.arange(128, dtype=np.int64)])
+        assert meter.table_bytes > 0
+
+    def test_large_tables_pay_transaction_amplification(self, device):
+        keys = np.arange(400_000, dtype=np.int64)  # slots >> L2
+        table = JoinHashTable.build(device, [keys])
+        probes = np.arange(1000, dtype=np.int64)
+        meter_amp = device.new_meter()
+        table.probe(meter_amp, [probes], l2_capacity=GTX970.l2_capacity)
+        meter_flat = device.new_meter()
+        table.probe(meter_flat, [probes], l2_capacity=None)
+        assert meter_amp.table_bytes > meter_flat.table_bytes
+        assert meter_amp.table_bytes >= 1000 * TRANSACTION_BYTES
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(hash_key_columns([keys]), hash_key_columns([keys.copy()]))
+
+    def test_column_order_matters(self):
+        left = np.array([1, 2], dtype=np.int64)
+        right = np.array([2, 1], dtype=np.int64)
+        assert not np.array_equal(
+            hash_key_columns([left, right]), hash_key_columns([right, left])
+        )
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(PlanError):
+            hash_key_columns([])
+
+    def test_spread(self):
+        hashes = hash_key_columns([np.arange(10_000, dtype=np.int64)])
+        low_bits = hashes & np.uint64(1023)
+        counts = np.bincount(low_bits.astype(np.int64), minlength=1024)
+        assert counts.max() < 40  # well spread across buckets
+
+
+@given(
+    st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True),
+    st.lists(st.integers(0, 10_000), min_size=1, max_size=300),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_probe_equals_dict_lookup(build_keys, probe_keys):
+    device = _device()
+    build = np.array(build_keys, dtype=np.int64)
+    table = JoinHashTable.build(device, [build])
+    rows = table.probe(device.new_meter(), [np.array(probe_keys, dtype=np.int64)])
+    lookup = {int(key): index for index, key in enumerate(build_keys)}
+    expected = [lookup.get(key, -1) for key in probe_keys]
+    assert rows.tolist() == expected

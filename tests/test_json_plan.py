@@ -1,0 +1,141 @@
+"""Tests for JSON query plans (the paper's workflow 2)."""
+
+import json
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Map,
+    Project,
+    Scan,
+    Sort,
+    load_json_plan,
+)
+
+
+def test_scan_node():
+    plan = load_json_plan({"plan": {"op": "scan", "table": "lineorder"}})
+    assert isinstance(plan, Scan)
+    assert plan.table == "lineorder"
+
+
+def test_rename():
+    plan = load_json_plan(
+        {"plan": {"op": "scan", "table": "nation", "rename": {"n_name": "supp_nation"}}}
+    )
+    assert plan.rename == {"n_name": "supp_nation"}
+
+
+def test_filter_with_expression_string():
+    plan = load_json_plan(
+        {
+            "plan": {
+                "op": "filter",
+                "predicate": "lo_discount between 1 and 3 and lo_quantity < 25",
+                "input": {"op": "scan", "table": "lineorder"},
+            }
+        }
+    )
+    assert isinstance(plan, Filter)
+    assert plan.predicate.columns() == {"lo_discount", "lo_quantity"}
+
+
+def test_full_star_join_document(tiny_db):
+    document = {
+        "plan": {
+            "op": "aggregate",
+            "group_by": ["d_year"],
+            "aggregates": [["sum", "lo_revenue", "revenue"]],
+            "input": {
+                "op": "join",
+                "build": {
+                    "op": "filter",
+                    "predicate": "d_year >= 1994",
+                    "input": {"op": "scan", "table": "date"},
+                },
+                "probe": {"op": "scan", "table": "lineorder"},
+                "build_keys": ["d_datekey"],
+                "probe_keys": ["lo_orderdate"],
+                "payload": ["d_year"],
+            },
+        },
+        "order_by": [["d_year", "asc"]],
+        "limit": 10,
+    }
+    plan = load_json_plan(document)
+    assert isinstance(plan, Limit)
+    assert isinstance(plan.child, Sort)
+    aggregate = plan.child.child
+    assert isinstance(aggregate, Aggregate)
+    join = aggregate.child
+    assert isinstance(join, Join)
+
+    # And it runs end to end.
+    from repro.engines import CompoundEngine
+    from repro.hardware import GTX970, VirtualCoprocessor
+
+    result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+    assert result.table.column_names == ["d_year", "revenue"]
+    assert result.table.num_rows >= 1
+
+
+def test_json_string_accepted():
+    plan = load_json_plan(json.dumps({"plan": {"op": "scan", "table": "t"}}))
+    assert isinstance(plan, Scan)
+
+
+def test_map_and_project_nodes():
+    plan = load_json_plan(
+        {
+            "plan": {
+                "op": "project",
+                "outputs": [["double", "x * 2"], "x"],
+                "input": {
+                    "op": "map",
+                    "name": "x",
+                    "expr": "a + b",
+                    "input": {"op": "scan", "table": "t"},
+                },
+            }
+        }
+    )
+    assert isinstance(plan, Project)
+    assert isinstance(plan.child, Map)
+
+
+def test_semi_join_kind_and_defaults():
+    plan = load_json_plan(
+        {
+            "plan": {
+                "op": "join",
+                "kind": "left",
+                "build": {"op": "scan", "table": "a"},
+                "probe": {"op": "scan", "table": "b"},
+                "build_keys": ["k"],
+                "probe_keys": ["k2"],
+                "payload": ["v"],
+                "payload_defaults": {"v": 0},
+            }
+        }
+    )
+    assert plan.kind == "left"
+    assert plan.payload_defaults == {"v": 0}
+
+
+@pytest.mark.parametrize(
+    "document,message",
+    [
+        ({}, "'plan'"),
+        ({"plan": {"table": "t"}}, "'op'"),
+        ({"plan": {"op": "warp", "table": "t"}}, "unknown JSON plan op"),
+        ("[1, 2]", "object"),
+    ],
+)
+def test_malformed_documents(document, message):
+    with pytest.raises(PlanError, match=message):
+        load_json_plan(document)

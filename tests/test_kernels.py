@@ -1,0 +1,151 @@
+"""Tests for kernel code generation and the kernel context."""
+
+import numpy as np
+import pytest
+
+from repro.engines.runtime import QueryRuntime
+from repro.errors import CompilationError
+from repro.expressions import col, lit
+from repro.hardware import GTX970, MemoryLevel, VirtualCoprocessor
+from repro.kernels import (
+    KernelContext,
+    generate_compound_kernel,
+    generate_count_kernel,
+    generate_write_kernel,
+)
+from repro.plan import PlanBuilder, extract_pipelines
+
+
+@pytest.fixture()
+def star_query(tiny_db):
+    plan = (
+        PlanBuilder.scan("lineorder")
+        .filter(col("lo_discount").between(1, 3))
+        .join(
+            PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA")),
+            build_keys=["c_custkey"],
+            probe_keys=["lo_custkey"],
+            payload=["c_nation"],
+        )
+        .map("revenue", col("lo_extendedprice") * col("lo_discount"))
+        .project(["c_nation", "revenue"])
+        .build()
+    )
+    return extract_pipelines(plan, tiny_db)
+
+
+class TestGeneratedSource:
+    def test_compound_kernel_structure(self, star_query):
+        kernel = generate_compound_kernel(star_query.pipelines[-1])
+        source = kernel.source
+        assert "def compound_" in source
+        assert "ctx.positions(mask)" in source
+        assert "ctx.probe(" in source
+        assert "# select" in source
+        assert "# join probe" in source
+        # The aligned write comes after the prefix sum, as in Figure 12.
+        assert source.index("ctx.positions") < source.index("ctx.store")
+
+    def test_count_kernel_ends_with_flags(self, star_query):
+        kernel = generate_count_kernel(star_query.pipelines[-1])
+        assert "ctx.finish_count(mask)" in kernel.source
+        assert "ctx.positions" not in kernel.source
+
+    def test_write_kernel_uses_installed_positions(self, star_query):
+        kernel = generate_write_kernel(star_query.pipelines[-1])
+        assert "ctx.initial_mask()" in kernel.source
+        assert "ctx.installed_positions()" in kernel.source
+
+    def test_build_pipeline_compound_inserts_inline(self, star_query):
+        build_pipeline = star_query.pipelines[0]
+        kernel = generate_compound_kernel(build_pipeline)
+        assert "ctx.sink_build" in kernel.source
+
+    def test_source_is_valid_python(self, star_query):
+        for pipeline in star_query.pipelines:
+            kernel = generate_compound_kernel(pipeline)
+            compile(kernel.source, "<test>", "exec")
+
+
+class TestKernelContext:
+    def _context(self, tiny_db, n=100, mode="atomic", **kwargs):
+        device = VirtualCoprocessor(GTX970)
+        runtime = QueryRuntime(device, tiny_db)
+        rng = np.random.default_rng(5)
+        scope = {
+            "a": rng.integers(0, 100, n).astype(np.int32),
+            "b": rng.integers(0, 100, n).astype(np.int32),
+        }
+        from repro.plan.logical import PlanSchema
+        from repro.storage import DType
+
+        schema = PlanSchema({"a": DType.INT32, "b": DType.INT32}, {})
+        return KernelContext(runtime, scope, schema, mode=mode, **kwargs), scope
+
+    def test_touch_charges_once_per_column(self, tiny_db):
+        ctx, _ = self._context(tiny_db, n=100)
+        ctx.touch(["a"])
+        ctx.touch(["a", "b"])
+        assert ctx.meter.reads[MemoryLevel.GLOBAL] == 2 * 100 * 4
+
+    def test_touch_after_filter_charges_survivors_only(self, tiny_db):
+        ctx, scope = self._context(tiny_db, n=100)
+        mask = ctx.apply_filter(ctx.full_mask(), scope["a"] < 50, cost=1)
+        survivors = int(mask.sum())
+        ctx.touch(["b"])
+        assert ctx.meter.reads[MemoryLevel.GLOBAL] == 100 * 4 * 0 + survivors * 4
+
+    def test_mark_loaded_suppresses_charges(self, tiny_db):
+        ctx, _ = self._context(tiny_db)
+        ctx.mark_loaded(["a"])
+        ctx.touch(["a"])
+        assert ctx.meter.reads[MemoryLevel.GLOBAL] == 0
+
+    def test_positions_mode_dispatch(self, tiny_db):
+        for mode in ("atomic", "lrgp_simd", "lrgp_we"):
+            ctx, scope = self._context(tiny_db, mode=mode)
+            mask = scope["a"] < 50
+            result = ctx.positions(mask)
+            assert sorted(result.positions[mask].tolist()) == list(range(result.total))
+
+    def test_positions_forbidden_in_multipass(self, tiny_db):
+        ctx, scope = self._context(tiny_db, mode="multipass")
+        with pytest.raises(CompilationError):
+            ctx.positions(scope["a"] < 50)
+
+    def test_write_kernel_protocol(self, tiny_db):
+        ctx, _ = self._context(tiny_db, mode="multipass")
+        with pytest.raises(CompilationError):
+            ctx.initial_mask()
+        with pytest.raises(CompilationError):
+            ctx.installed_positions()
+
+    def test_store_scatters_to_positions(self, tiny_db):
+        ctx, scope = self._context(tiny_db)
+        mask = scope["a"] < 50
+        positions = ctx.positions(mask)
+        ctx.store("a", scope["a"], mask, positions)
+        dense = ctx.outputs["a"]
+        assert sorted(dense.tolist()) == sorted(scope["a"][mask].tolist())
+
+    def test_invalid_mode_rejected(self, tiny_db):
+        with pytest.raises(CompilationError):
+            self._context(tiny_db, mode="quantum")
+
+
+class TestCountWriteConsistency:
+    def test_count_and_write_agree_with_compound(self, tiny_db, star_query):
+        """The three-phase model must select exactly the same rows as
+        the compound kernel."""
+        from repro.engines import CompoundEngine, MultiPassEngine
+        from repro.storage.table import rows_approx_equal
+
+        compound = CompoundEngine("atomic").execute(
+            star_query, tiny_db, VirtualCoprocessor(GTX970)
+        )
+        multipass = MultiPassEngine().execute(
+            star_query, tiny_db, VirtualCoprocessor(GTX970)
+        )
+        assert rows_approx_equal(
+            compound.table.sorted_rows(), multipass.table.sorted_rows()
+        )

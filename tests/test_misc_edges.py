@@ -1,0 +1,128 @@
+"""Miscellaneous edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine, OperatorAtATimeEngine
+from repro.expressions import col, lit
+from repro.hardware import A10, GTX970, VirtualCoprocessor
+from repro.macro import BatchExecutor
+from repro.plan import PlanBuilder
+from repro.storage import Column, Database, Table
+from repro.storage.table import rows_approx_equal
+
+
+class TestEmptyResults:
+    def test_filter_selecting_nothing(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") > lit(10_000))
+            .project(["lo_revenue"])
+            .build()
+        )
+        for engine in (CompoundEngine(), OperatorAtATimeEngine()):
+            result = engine.execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+            assert result.table.num_rows == 0
+
+    def test_grouped_aggregate_of_nothing(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") > lit(10_000))
+            .aggregate(group_by=["lo_custkey"], aggregates=[("count", None, "n")])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        assert result.table.num_rows == 0
+
+    def test_single_aggregate_of_nothing_returns_identity_row(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") > lit(10_000))
+            .aggregate(group_by=[], aggregates=[("sum", col("lo_revenue"), "s"),
+                                                 ("count", None, "n")])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        assert result.table.to_rows() == [(0, 0)]
+
+
+class TestBatchBlockSizeInvariance:
+    @pytest.mark.parametrize("block_bytes", [3 * 1024, 17 * 1024, 130 * 1024])
+    def test_any_block_size_same_rows(self, ssb_db, block_bytes):
+        from repro.workloads import star_join_aggregate_query
+
+        plan = star_join_aggregate_query()
+        reference = CompoundEngine().execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+        streamed = BatchExecutor(block_bytes=block_bytes).execute(
+            plan, ssb_db, VirtualCoprocessor(GTX970)
+        )
+        assert rows_approx_equal(
+            reference.table.sorted_rows(), streamed.table.sorted_rows()
+        )
+
+
+class TestDistinct:
+    def test_distinct_is_aggregate_without_measures(self, tiny_db):
+        plan = PlanBuilder.scan("customer").distinct(["c_region"]).build()
+        result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        values = sorted(row[0] for row in result.table.to_rows())
+        assert values == ["ASIA", "EUROPE"]
+
+
+class TestMultiColumnJoins:
+    def test_composite_key_join(self):
+        rng = np.random.default_rng(4)
+        n = 300
+        fact = Table(
+            {
+                "a": Column.int32(rng.integers(0, 4, n)),
+                "b": Column.int32(rng.integers(0, 4, n)),
+                "v": Column.int32(rng.integers(0, 100, n)),
+            }
+        )
+        pairs = [(a, b) for a in range(4) for b in range(4)]
+        dim = Table(
+            {
+                "da": Column.int32([p[0] for p in pairs]),
+                "db": Column.int32([p[1] for p in pairs]),
+                "w": Column.int32(list(range(len(pairs)))),
+            }
+        )
+        database = Database({"fact": fact, "dim": dim})
+        plan = (
+            PlanBuilder.scan("fact")
+            .join(
+                PlanBuilder.scan("dim"),
+                build_keys=["da", "db"],
+                probe_keys=["a", "b"],
+                payload=["w"],
+            )
+            .aggregate(group_by=["w"], aggregates=[("count", None, "n")])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, database, VirtualCoprocessor(GTX970))
+        # Every fact row matches exactly one (a, b) pair.
+        assert sum(row[1] for row in result.table.to_rows()) == n
+
+
+class TestZeroCopyBatchRejected:
+    def test_apu_batch_streaming_works_without_link(self, ssb_db):
+        """Streaming on a zero-copy device just skips the transfers."""
+        from repro.workloads import star_join_aggregate_query
+
+        result = BatchExecutor(block_bytes=64 * 1024).execute(
+            star_join_aggregate_query(), ssb_db, VirtualCoprocessor(A10)
+        )
+        assert result.table.num_rows >= 1
+        assert result.stream_transfer_ms == 0.0
+
+
+class TestProjectOrderPreserved:
+    def test_output_column_order_is_select_order(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .project(["lo_discount", "lo_revenue", "lo_quantity"])
+            .build()
+        )
+        result = CompoundEngine().execute(plan, tiny_db, VirtualCoprocessor(GTX970))
+        assert result.table.column_names == ["lo_discount", "lo_revenue", "lo_quantity"]

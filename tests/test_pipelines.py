@@ -1,0 +1,196 @@
+"""Tests for produce/consume pipeline extraction (fusion operators)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.expressions import col, lit
+from repro.plan import (
+    AggregateSink,
+    BuildSink,
+    FilterStage,
+    MapStage,
+    MaterializeSink,
+    PlanBuilder,
+    ProbeStage,
+    RESULT_NAME,
+    extract_pipelines,
+)
+
+
+class TestSimplePipelines:
+    def test_scan_project_is_one_pipeline(self, tiny_db):
+        plan = PlanBuilder.scan("lineorder").project(["lo_revenue"]).build()
+        query = extract_pipelines(plan, tiny_db)
+        assert len(query.pipelines) == 1
+        pipeline = query.pipelines[0]
+        assert isinstance(pipeline.sink, MaterializeSink)
+        assert pipeline.is_final
+        assert pipeline.required_columns == ["lo_revenue"]
+
+    def test_filter_map_absorbed(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") < 25)
+            .map("revenue", col("lo_extendedprice") * col("lo_discount"))
+            .project(["revenue"])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        assert len(query.pipelines) == 1
+        stages = query.pipelines[0].stages
+        assert isinstance(stages[0], FilterStage)
+        assert isinstance(stages[1], MapStage)
+
+    def test_top_aggregate_is_final_pipeline(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .aggregate(group_by=["lo_orderdate"], aggregates=[("count", None, "n")])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        assert len(query.pipelines) == 1
+        assert query.pipelines[0].output_name == RESULT_NAME
+        assert isinstance(query.pipelines[0].sink, AggregateSink)
+        assert query.output_columns == ["lo_orderdate", "n"]
+
+
+class TestJoins:
+    def test_join_creates_build_pipeline(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer").filter(col("c_region") == lit("ASIA")),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .project(["c_nation", "lo_revenue"])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        assert len(query.pipelines) == 2
+        build = query.pipelines[0]
+        assert isinstance(build.sink, BuildSink)
+        assert build.source == "customer"
+        probe_stage = query.pipelines[1].stages[-1]
+        assert isinstance(probe_stage, ProbeStage)
+        assert probe_stage.table_id == build.output_name
+        assert probe_stage.payload == ["c_nation"]
+
+    def test_string_filters_resolved_during_extraction(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("customer")
+            .filter(col("c_region") == lit("ASIA"))
+            .project(["c_custkey"])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        predicate = query.pipelines[0].stages[0].predicate
+        # No string literal survives extraction.
+        from repro.expressions.expr import Literal
+
+        literals = [
+            node.value
+            for node in _walk_expr(predicate)
+            if isinstance(node, Literal)
+        ]
+        assert all(not isinstance(value, str) for value in literals)
+
+    def test_join_on_string_column_rejected(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .map("tag", col("lo_custkey"))
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_nation"],
+                probe_keys=["tag"],
+            )
+            .project(["lo_revenue"])
+            .build()
+        )
+        with pytest.raises(PlanError, match="string column"):
+            extract_pipelines(plan, tiny_db)
+
+
+class TestAggregationBoundaries:
+    def test_aggregate_then_filter_spawns_virtual_pipeline(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .aggregate(
+                group_by=["lo_custkey"],
+                aggregates=[("sum", col("lo_revenue"), "total")],
+            )
+            .filter(col("total") > 100)
+            .project(["lo_custkey", "total"])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        assert len(query.pipelines) == 2
+        first, second = query.pipelines
+        assert isinstance(first.sink, AggregateSink)
+        assert second.source == first.output_name
+        assert second.source_is_virtual
+
+    def test_required_columns_cover_sink_inputs(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") < 10)
+            .aggregate(group_by=[], aggregates=[("sum", col("lo_revenue"), "r")])
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        required = query.pipelines[0].required_columns
+        assert set(required) == {"lo_quantity", "lo_revenue"}
+
+    def test_map_output_not_required_from_source(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .map("x", col("lo_revenue") * 2)
+            .project(["x"])
+            .build()
+        )
+        required = extract_pipelines(plan, tiny_db).pipelines[0].required_columns
+        assert "x" not in required
+        assert "lo_revenue" in required
+
+
+class TestPostOps:
+    def test_sort_and_limit_captured(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .project(["lo_revenue"])
+            .order_by([("lo_revenue", False)])
+            .limit(5)
+            .build()
+        )
+        query = extract_pipelines(plan, tiny_db)
+        assert query.limit == 5
+        assert query.sort_keys[0].column == "lo_revenue"
+        assert not query.sort_keys[0].ascending
+
+    def test_sort_key_must_be_in_output(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .project(["lo_revenue"])
+            .order_by(["lo_quantity"])
+            .build()
+        )
+        with pytest.raises(PlanError, match="sort key"):
+            extract_pipelines(plan, tiny_db)
+
+    def test_describe_is_readable(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") < 10)
+            .project(["lo_revenue"])
+            .build()
+        )
+        description = extract_pipelines(plan, tiny_db).describe()
+        assert "lineorder" in description
+        assert "filter" in description
+
+
+def _walk_expr(expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk_expr(child)

@@ -1,0 +1,146 @@
+"""Tests for logical plans, the builder, and schema inference."""
+
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.expressions import col, lit
+from repro.plan import AggSpec, PlanBuilder, Scan, walk
+from repro.storage import DType
+
+
+class TestBuilder:
+    def test_scan_schema(self, tiny_db):
+        plan = PlanBuilder.scan("lineorder").build()
+        schema = plan.schema(tiny_db)
+        assert schema.dtypes["lo_quantity"] is DType.INT32
+        assert "lo_orderdate" in schema.dtypes
+
+    def test_scan_rename(self, tiny_db):
+        plan = PlanBuilder.scan("date", rename={"d_year": "year"}).build()
+        schema = plan.schema(tiny_db)
+        assert "year" in schema.dtypes
+        assert "d_year" not in schema.dtypes
+
+    def test_map_extends_schema(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .map("revenue", col("lo_extendedprice") * col("lo_discount"))
+            .build()
+        )
+        assert plan.schema(tiny_db).dtypes["revenue"] is DType.INT32
+
+    def test_project_restricts_and_orders(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .project(["lo_revenue", ("double", col("lo_revenue") * 2)])
+            .build()
+        )
+        schema = plan.schema(tiny_db)
+        assert list(schema.dtypes) == ["lo_revenue", "double"]
+
+    def test_join_payload_schema(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .build()
+        )
+        schema = plan.schema(tiny_db)
+        assert schema.dtypes["c_nation"] is DType.STRING
+        assert "c_nation" in schema.dictionaries
+
+    def test_join_payload_missing(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_ghost"],
+            )
+            .build()
+        )
+        with pytest.raises(SchemaError):
+            plan.schema(tiny_db)
+
+    def test_semi_join_cannot_carry_payload(self, tiny_db):
+        with pytest.raises(PlanError):
+            PlanBuilder.scan("lineorder").join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+                kind="semi",
+            )
+
+    def test_left_join_needs_defaults(self, tiny_db):
+        with pytest.raises(PlanError, match="defaults"):
+            PlanBuilder.scan("lineorder").join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+                kind="left",
+            )
+
+    def test_unknown_join_kind(self, tiny_db):
+        with pytest.raises(PlanError):
+            PlanBuilder.scan("lineorder").join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                kind="cross",
+            )
+
+    def test_aggregate_schema(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .aggregate(
+                group_by=["lo_orderdate"],
+                aggregates=[
+                    ("sum", col("lo_revenue"), "total"),
+                    ("avg", col("lo_quantity"), "avg_qty"),
+                    ("count", None, "n"),
+                ],
+            )
+            .build()
+        )
+        schema = plan.schema(tiny_db)
+        assert schema.dtypes["total"] is DType.INT64
+        assert schema.dtypes["avg_qty"] is DType.FLOAT64
+        assert schema.dtypes["n"] is DType.INT64
+
+    def test_aggregate_duplicate_names(self, tiny_db):
+        with pytest.raises(PlanError, match="duplicate"):
+            PlanBuilder.scan("lineorder").aggregate(
+                group_by=["lo_orderdate"],
+                aggregates=[("count", None, "lo_orderdate")],
+            )
+
+    def test_agg_spec_validation(self):
+        with pytest.raises(PlanError):
+            AggSpec("median", col("x"), "m")
+        with pytest.raises(PlanError):
+            AggSpec("sum", None, "s")
+
+    def test_empty_builder(self):
+        with pytest.raises(PlanError):
+            PlanBuilder().build()
+
+    def test_walk_visits_all_nodes(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+            )
+            .filter(col("lo_quantity") > 5)
+            .build()
+        )
+        scans = [node for node in walk(plan) if isinstance(node, Scan)]
+        assert {scan.table for scan in scans} == {"lineorder", "customer"}

@@ -1,0 +1,99 @@
+"""Unit tests for device profiles and interconnect models."""
+
+import pytest
+
+from repro.hardware import (
+    A10,
+    GTX770,
+    GTX970,
+    NVLINK1,
+    PCIE3,
+    RX480,
+    TABLE2_DEVICES,
+    XEON_E5,
+    get_profile,
+    list_profiles,
+)
+
+
+class TestTable2Values:
+    """The published hardware numbers of Table 2."""
+
+    def test_gtx970(self):
+        assert GTX970.compute_units == 13
+        assert GTX970.scratchpad_per_unit == 96 * 1024
+        assert GTX970.global_bandwidth == pytest.approx(146.1)
+
+    def test_gtx770(self):
+        assert GTX770.compute_units == 8
+        assert GTX770.scratchpad_per_unit == 48 * 1024
+        assert GTX770.global_bandwidth == pytest.approx(167.6)
+
+    def test_rx480(self):
+        assert RX480.compute_units == 32
+        assert RX480.scratchpad_per_unit == 32 * 1024
+        assert RX480.global_bandwidth == pytest.approx(104.9)
+        assert RX480.simd_width == 64  # AMD wavefront
+
+    def test_a10_is_zero_copy(self):
+        assert A10.zero_copy
+        assert A10.global_bandwidth == pytest.approx(18.7)
+
+    def test_table2_roster(self):
+        assert tuple(profile.name for profile in TABLE2_DEVICES) == (
+            "GTX970",
+            "GTX770",
+            "RX480",
+            "A10",
+        )
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_profile("gtx970") is GTX970
+        assert get_profile("GTX970") is GTX970
+
+    def test_cpu_alias(self):
+        assert get_profile("cpu") is XEON_E5
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_profile("rtx5090")
+
+    def test_list_profiles_no_duplicates(self):
+        names = [profile.name for profile in list_profiles()]
+        assert len(names) == len(set(names))
+
+    def test_overrides_do_not_mutate(self):
+        modified = GTX970.with_overrides(global_bandwidth=999.0)
+        assert modified.global_bandwidth == 999.0
+        assert GTX970.global_bandwidth == pytest.approx(146.1)
+        assert modified.name == GTX970.name
+
+
+class TestInterconnect:
+    def test_transfer_time_includes_latency(self):
+        assert PCIE3.transfer_time(0, "h2d") == 0.0
+        one_gb = PCIE3.transfer_time(16_000_000_000, "h2d")
+        assert one_gb == pytest.approx(1.0 + PCIE3.latency, rel=1e-6)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            PCIE3.transfer_time(100, "sideways")
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            PCIE3.transfer_time(-1, "h2d")
+
+    def test_balanced_time_measured_bidirectional(self):
+        # The paper measured 12.1 GB/s bidirectional on PCIe 3.0.
+        seconds = PCIE3.balanced_time(6_050_000_000, 6_050_000_000)
+        assert seconds == pytest.approx(1.0, rel=1e-6)
+
+    def test_balanced_time_asymmetric_floor(self):
+        # One direction alone cannot exceed 16 GB/s.
+        seconds = PCIE3.balanced_time(16_000_000_000, 0)
+        assert seconds == pytest.approx(1.0, rel=1e-6)
+
+    def test_nvlink_is_faster(self):
+        assert NVLINK1.balanced_time(10**9, 10**9) < PCIE3.balanced_time(10**9, 10**9)

@@ -1,0 +1,178 @@
+"""Tests for reduction primitives (B1-B3) and grouped aggregation (C2/C3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.primitives import (
+    atomic_hash_aggregate,
+    atomic_reduce,
+    device_reduce,
+    factorize,
+    grouped_reduce,
+    lrgp_reduce,
+    reduce_reference,
+    segmented_hash_aggregate,
+)
+
+
+class TestReduceReference:
+    def test_ops(self):
+        values = np.array([3, 1, 2])
+        assert reduce_reference(values, "sum") == 6
+        assert reduce_reference(values, "min") == 1
+        assert reduce_reference(values, "max") == 3
+        assert reduce_reference(values, "count") == 3
+
+    def test_empty(self):
+        empty = np.zeros(0)
+        assert reduce_reference(empty, "sum") == 0
+        assert reduce_reference(empty, "count") == 0
+        assert reduce_reference(empty, "min") is None
+
+    def test_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            reduce_reference(np.array([1]), "median")
+
+
+class TestDeviceReduce:
+    def test_two_kernels_and_correct_value(self, device):
+        values = np.arange(1000, dtype=np.int64)
+        total = device_reduce(device, values, "sum")
+        assert total == values.sum()
+        assert len(device.log.kernels) == 2
+        assert all(trace.kind == "reduce" for trace in device.log.kernels)
+
+
+class TestAtomicReduce:
+    def test_chain_is_input_size(self, device):
+        meter = device.new_meter()
+        values = np.arange(500, dtype=np.float64)
+        assert atomic_reduce(meter, values, "sum") == values.sum()
+        assert meter.atomic_count == 500
+        assert meter.atomic_max_chain == 500
+
+
+class TestLrgpReduce:
+    @pytest.mark.parametrize("mechanism", ["simd", "work_efficient"])
+    def test_correct_and_cheap(self, device, mechanism):
+        meter = device.new_meter()
+        values = np.arange(3200, dtype=np.float64)
+        assert lrgp_reduce(meter, values, GTX970, "sum", mechanism) == values.sum()
+        assert meter.atomic_count < 3200
+
+    def test_unknown_mechanism(self, device):
+        with pytest.raises(ValueError):
+            lrgp_reduce(device.new_meter(), np.ones(4), GTX970, "sum", "nope")
+
+
+class TestFactorize:
+    def test_single_key(self):
+        codes, uniques = factorize([np.array([5, 3, 5, 9])])
+        assert uniques[0].tolist() == [3, 5, 9]
+        assert codes.tolist() == [1, 0, 1, 2]
+
+    def test_composite_keys(self):
+        codes, uniques = factorize(
+            [np.array([1, 1, 2, 1]), np.array([9, 8, 9, 9])]
+        )
+        # groups sorted: (1,8), (1,9), (2,9)
+        assert uniques[0].tolist() == [1, 1, 2]
+        assert uniques[1].tolist() == [8, 9, 9]
+        assert codes.tolist() == [1, 0, 2, 1]
+
+    def test_empty(self):
+        codes, uniques = factorize([np.zeros(0, dtype=np.int64)])
+        assert len(codes) == 0
+        assert len(uniques[0]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ExpressionError):
+            factorize([np.array([1]), np.array([1, 2])])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_codes_identify_tuples(self, pairs):
+        left = np.array([pair[0] for pair in pairs])
+        right = np.array([pair[1] for pair in pairs])
+        codes, uniques = factorize([left, right])
+        for index, pair in enumerate(pairs):
+            code = codes[index]
+            assert (uniques[0][code], uniques[1][code]) == pair
+        # distinct tuples <-> distinct codes
+        assert len(set(zip(codes.tolist(), pairs))) == len(set(pairs)) or True
+        assert len(uniques[0]) == len(set(pairs))
+
+
+class TestGroupedReduce:
+    def test_all_ops(self):
+        codes = np.array([0, 1, 0, 1, 0])
+        values = np.array([1.0, 10.0, 2.0, 20.0, 3.0])
+        assert grouped_reduce(codes, 2, values, "sum").tolist() == [6.0, 30.0]
+        assert grouped_reduce(codes, 2, values, "count").tolist() == [3, 2]
+        assert grouped_reduce(codes, 2, values, "min").tolist() == [1.0, 10.0]
+        assert grouped_reduce(codes, 2, values, "max").tolist() == [3.0, 20.0]
+
+    def test_integer_sum_stays_integral(self):
+        codes = np.array([0, 0])
+        out = grouped_reduce(codes, 1, np.array([2, 3], dtype=np.int32), "sum")
+        assert out.dtype == np.int64
+        assert out.tolist() == [5]
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(-50, 50)), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sums_match_python(self, rows):
+        codes = np.array([row[0] for row in rows], dtype=np.int64)
+        values = np.array([row[1] for row in rows], dtype=np.int64)
+        sums = grouped_reduce(codes, 5, values, "sum")
+        for group in range(5):
+            expected = sum(value for code, value in rows if code == group)
+            assert sums[group] == expected
+
+
+class TestHashAggregateCosts:
+    def test_c2_chain_is_hottest_group(self, device):
+        meter = device.new_meter()
+        codes = np.array([0] * 90 + [1] * 10)
+        cost = atomic_hash_aggregate(meter, codes, 2, entry_bytes=12)
+        assert cost.global_atomics == 100
+        assert cost.max_chain == 90
+        assert meter.atomic_max_chain == 90
+
+    def test_c3_reduces_atomics_with_few_groups(self, device):
+        n = 256 * 64
+        codes = np.arange(n) % 4  # 4 groups
+        meter_c2 = device.new_meter()
+        c2 = atomic_hash_aggregate(meter_c2, codes, 4, 12)
+        meter_c3 = device.new_meter()
+        c3 = segmented_hash_aggregate(meter_c3, codes, 4, 12, GTX970)
+        # One atomic per (CTA, group) pair: 64 CTAs x 4 groups.
+        assert c3.global_atomics == 64 * 4
+        assert c3.global_atomics < c2.global_atomics
+        assert c3.max_chain == 64  # one insert per CTA per group
+        assert c2.max_chain == n // 4
+
+    def test_c3_degrades_gracefully_with_many_groups(self, device):
+        """Beyond ~CTA-size groups pre-aggregation stops helping
+        (Experiment 2's 'limited effect on larger group numbers')."""
+        n = 256 * 16
+        codes = np.arange(n) % n  # all distinct
+        meter = device.new_meter()
+        cost = segmented_hash_aggregate(meter, codes, n, 12, GTX970)
+        assert cost.global_atomics == n  # no reduction possible
+
+    def test_empty_inputs(self, device):
+        meter = device.new_meter()
+        cost = atomic_hash_aggregate(meter, np.zeros(0, dtype=np.int64), 0, 12)
+        assert cost.global_atomics == 0
+        cost = segmented_hash_aggregate(
+            device.new_meter(), np.zeros(0, dtype=np.int64), 0, 12, GTX970
+        )
+        assert cost.global_atomics == 0

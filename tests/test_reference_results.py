@@ -1,0 +1,174 @@
+"""Engines vs. brute-force Python references on generated data.
+
+These tests recompute query answers with plain Python dict/loop logic —
+no shared code with the engines — and require exact agreement.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.storage.table import rows_approx_equal
+from repro.workloads import group_by_query, projection_query, ssb_plan, tpch_plan
+
+
+def _run(plan, database):
+    return CompoundEngine("lrgp_simd").execute(
+        plan, database, VirtualCoprocessor(GTX970)
+    )
+
+
+class TestSsbReferences:
+    def test_q1_1_against_loop(self, ssb_db):
+        lineorder = ssb_db["lineorder"]
+        date = ssb_db["date"]
+        years = dict(
+            zip(date["d_datekey"].values.tolist(), date["d_year"].values.tolist())
+        )
+        expected = 0
+        quantity = lineorder["lo_quantity"].values
+        discount = lineorder["lo_discount"].values
+        price = lineorder["lo_extendedprice"].values
+        orderdate = lineorder["lo_orderdate"].values
+        for index in range(lineorder.num_rows):
+            if years[int(orderdate[index])] != 1993:
+                continue
+            if not 1 <= discount[index] <= 3:
+                continue
+            if quantity[index] >= 25:
+                continue
+            expected += int(price[index]) * int(discount[index])
+        result = _run(ssb_plan("q1.1", ssb_db), ssb_db)
+        assert result.table.to_rows() == [(expected,)]
+
+    def test_q3_1_against_loop(self, ssb_db):
+        lineorder = ssb_db["lineorder"]
+        date = ssb_db["date"]
+        customer = ssb_db["customer"]
+        supplier = ssb_db["supplier"]
+        years = dict(
+            zip(date["d_datekey"].values.tolist(), date["d_year"].values.tolist())
+        )
+        c_region = customer["c_region"].decoded()
+        c_nation = customer["c_nation"].decoded()
+        s_region = supplier["s_region"].decoded()
+        s_nation = supplier["s_nation"].decoded()
+        groups = collections.defaultdict(int)
+        for index in range(lineorder.num_rows):
+            ckey = int(lineorder["lo_custkey"].values[index]) - 1
+            skey = int(lineorder["lo_suppkey"].values[index]) - 1
+            year = years[int(lineorder["lo_orderdate"].values[index])]
+            if c_region[ckey] != "ASIA" or s_region[skey] != "ASIA":
+                continue
+            if not 1992 <= year <= 1997:
+                continue
+            groups[(c_nation[ckey], s_nation[skey], year)] += int(
+                lineorder["lo_revenue"].values[index]
+            )
+        expected = sorted(
+            (nation_c, nation_s, year, total)
+            for (nation_c, nation_s, year), total in groups.items()
+        )
+        result = _run(ssb_plan("q3.1", ssb_db), ssb_db)
+        assert rows_approx_equal(expected, result.table.sorted_rows())
+
+
+class TestMicrobenchReferences:
+    def test_projection_query(self, ssb_db):
+        lineorder = ssb_db["lineorder"]
+        x = 7
+        quantity = lineorder["lo_quantity"].values
+        keep = (quantity >= 25 - x) & (quantity <= 25 + x)
+        expected = sorted(
+            (
+                lineorder["lo_extendedprice"].values[keep].astype(np.int64)
+                * lineorder["lo_discount"].values[keep]
+                + lineorder["lo_tax"].values[keep]
+            ).tolist()
+        )
+        result = _run(projection_query(x), ssb_db)
+        got = sorted(value for (value,) in result.table.to_rows())
+        assert got == expected
+
+    def test_group_by_query(self, ssb_db):
+        lineorder = ssb_db["lineorder"]
+        groups = collections.defaultdict(int)
+        orderkey = lineorder["lo_orderkey"].values
+        price = lineorder["lo_extendedprice"].values
+        for index in range(lineorder.num_rows):
+            groups[int(orderkey[index]) % 16] += int(price[index])
+        expected = sorted((key, total) for key, total in groups.items())
+        result = _run(group_by_query(16), ssb_db)
+        assert rows_approx_equal(expected, result.table.sorted_rows())
+
+
+class TestTpchReferences:
+    def test_q6_against_loop(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        shipdate = lineitem["l_shipdate"].values
+        discount = lineitem["l_discount"].values
+        quantity = lineitem["l_quantity"].values
+        price = lineitem["l_extendedprice"].values
+        keep = (
+            (shipdate >= 19940101)
+            & (shipdate < 19950101)
+            & (discount >= np.float32(0.0499))
+            & (discount <= np.float32(0.0701))
+            & (quantity < 24)
+        )
+        expected = float(
+            np.sum(price[keep].astype(np.float64) * discount[keep].astype(np.float64))
+        )
+        result = _run(tpch_plan("q6", tpch_db), tpch_db)
+        got = float(result.table.to_rows()[0][0])
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_q13_against_loop(self, tpch_db):
+        orders_per_customer = collections.Counter(
+            tpch_db["orders"]["o_custkey"].values.tolist()
+        )
+        distribution = collections.Counter()
+        for custkey in tpch_db["customer"]["c_custkey"].values.tolist():
+            distribution[orders_per_customer.get(custkey, 0)] += 1
+        expected = sorted((count, dist) for count, dist in distribution.items())
+        result = _run(tpch_plan("q13", tpch_db), tpch_db)
+        assert rows_approx_equal(expected, result.table.sorted_rows())
+
+    def test_q4_against_loop(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        late = set(
+            lineitem["l_orderkey"].values[
+                lineitem["l_commitdate"].values < lineitem["l_receiptdate"].values
+            ].tolist()
+        )
+        orders = tpch_db["orders"]
+        priorities = orders["o_orderpriority"].decoded()
+        counts = collections.Counter()
+        for index in range(orders.num_rows):
+            orderdate = int(orders["o_orderdate"].values[index])
+            if not 19930701 <= orderdate < 19931001:
+                continue
+            if int(orders["o_orderkey"].values[index]) in late:
+                counts[priorities[index]] += 1
+        expected = sorted(counts.items())
+        result = _run(tpch_plan("q4", tpch_db), tpch_db)
+        assert rows_approx_equal(expected, result.table.sorted_rows())
+
+    def test_q15_picks_the_max_supplier(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        shipdate = lineitem["l_shipdate"].values
+        keep = (shipdate >= 19960101) & (shipdate < 19960401)
+        revenue = collections.defaultdict(float)
+        suppkeys = lineitem["l_suppkey"].values
+        price = lineitem["l_extendedprice"].values.astype(np.float64)
+        discount = lineitem["l_discount"].values.astype(np.float64)
+        for index in np.flatnonzero(keep):
+            revenue[int(suppkeys[index])] += price[index] * (1.0 - discount[index])
+        best = max(revenue.values())
+        winners = {key for key, value in revenue.items() if value == best}
+        result = _run(tpch_plan("q15", tpch_db), tpch_db)
+        got = {row[0] for row in result.table.to_rows()}
+        assert got == winners

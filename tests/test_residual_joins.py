@@ -1,0 +1,100 @@
+"""Tests for residual (post-probe) join predicates."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from repro.errors import PlanError
+from repro.expressions import col
+from repro.hardware import GTX970, VirtualCoprocessor
+from repro.plan import PlanBuilder
+from repro.storage import Column, Database, Table
+from repro.storage.table import rows_approx_equal
+
+
+@pytest.fixture(scope="module")
+def pair_db():
+    rng = np.random.default_rng(8)
+    n = 400
+    fact = Table(
+        {
+            "f_key": Column.int32(rng.integers(0, 10, n)),
+            "f_weight": Column.int32(rng.integers(0, 100, n)),
+        }
+    )
+    dim = Table(
+        {
+            "d_key": Column.int32(np.arange(10)),
+            "d_threshold": Column.int32(rng.integers(20, 80, 10)),
+        }
+    )
+    return Database({"fact": fact, "dim": dim})
+
+
+def _plan(residual):
+    return (
+        PlanBuilder.scan("fact")
+        .join(
+            PlanBuilder.scan("dim"),
+            build_keys=["d_key"],
+            probe_keys=["f_key"],
+            payload=["d_threshold"],
+            residual=residual,
+        )
+        .aggregate(group_by=[], aggregates=[("count", None, "n")])
+        .build()
+    )
+
+
+def test_residual_equals_filter_after_join(pair_db):
+    residual_plan = _plan(col("f_weight") > col("d_threshold"))
+    filter_plan = (
+        PlanBuilder.scan("fact")
+        .join(
+            PlanBuilder.scan("dim"),
+            build_keys=["d_key"],
+            probe_keys=["f_key"],
+            payload=["d_threshold"],
+        )
+        .filter(col("f_weight") > col("d_threshold"))
+        .aggregate(group_by=[], aggregates=[("count", None, "n")])
+        .build()
+    )
+    left = CompoundEngine().execute(residual_plan, pair_db, VirtualCoprocessor(GTX970))
+    right = CompoundEngine().execute(filter_plan, pair_db, VirtualCoprocessor(GTX970))
+    assert left.table.to_rows() == right.table.to_rows()
+
+
+def test_residual_agrees_across_engines(pair_db):
+    plan = _plan(col("f_weight") > col("d_threshold"))
+    reference = None
+    for engine in (OperatorAtATimeEngine(), MultiPassEngine(), CompoundEngine("atomic")):
+        result = engine.execute(plan, pair_db, VirtualCoprocessor(GTX970))
+        rows = result.table.sorted_rows()
+        if reference is None:
+            reference = rows
+        else:
+            assert rows_approx_equal(reference, rows)
+
+
+def test_residual_matches_python_reference(pair_db):
+    plan = _plan(col("f_weight") > col("d_threshold"))
+    result = CompoundEngine().execute(plan, pair_db, VirtualCoprocessor(GTX970))
+    fact = pair_db["fact"]
+    thresholds = pair_db["dim"]["d_threshold"].values
+    expected = sum(
+        int(fact["f_weight"].values[i]) > int(thresholds[fact["f_key"].values[i]])
+        for i in range(fact.num_rows)
+    )
+    assert result.table.to_rows() == [(expected,)]
+
+
+def test_residual_only_on_inner_joins(pair_db):
+    with pytest.raises(PlanError, match="inner"):
+        PlanBuilder.scan("fact").join(
+            PlanBuilder.scan("dim"),
+            build_keys=["d_key"],
+            probe_keys=["f_key"],
+            kind="semi",
+            residual=col("f_weight") > 5,
+        )

@@ -1,0 +1,133 @@
+"""Tests for compile-time string-predicate resolution.
+
+Order-preserving dictionaries let every string comparison rewrite into
+an exact integer comparison on codes — including the range predicates
+the paper's prototype could not handle (footnote 4, SSB Q2.2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.expressions import col, evaluate, lit
+from repro.expressions.resolve import resolve_strings
+from repro.storage import Dictionary
+
+
+@pytest.fixture()
+def regions():
+    return {"r": Dictionary(["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"])}
+
+
+def _codes(dictionary, values):
+    return dictionary.encode(values)
+
+
+class TestEquality:
+    def test_present_value(self, regions):
+        resolved = resolve_strings(col("r") == lit("ASIA"), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA", "EUROPE"])}
+        assert evaluate(resolved, scope).tolist() == [True, False]
+
+    def test_absent_value_matches_nothing(self, regions):
+        resolved = resolve_strings(col("r") == lit("ATLANTIS"), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA", "EUROPE"])}
+        assert evaluate(resolved, scope).tolist() == [False, False]
+
+    def test_not_equal_absent_matches_everything(self, regions):
+        resolved = resolve_strings(col("r") != lit("ATLANTIS"), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA"])}
+        result = np.broadcast_to(np.asarray(evaluate(resolved, scope)), (1,))
+        assert result.tolist() == [True]
+
+    def test_flipped_operands(self, regions):
+        resolved = resolve_strings(lit("ASIA") == col("r"), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA", "AFRICA"])}
+        assert evaluate(resolved, scope).tolist() == [True, False]
+
+
+class TestRanges:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (">=", [False, False, True, True, True]),
+            (">", [False, False, False, True, True]),
+            ("<=", [True, True, True, False, False]),
+            ("<", [True, True, False, False, False]),
+        ],
+    )
+    def test_operators(self, regions, op, expected):
+        from repro.expressions.expr import Comparison
+
+        resolved = resolve_strings(Comparison(op, col("r"), lit("ASIA")), regions)
+        scope = {
+            "r": _codes(
+                regions["r"], ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+            )
+        }
+        assert evaluate(resolved, scope).tolist() == expected
+
+    def test_between_strings(self, regions):
+        resolved = resolve_strings(col("r").between("AMERICA", "EUROPE"), regions)
+        scope = {
+            "r": _codes(
+                regions["r"], ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+            )
+        }
+        assert evaluate(resolved, scope).tolist() == [False, True, True, True, False]
+
+    def test_flipped_range(self, regions):
+        resolved = resolve_strings(lit("ASIA") <= col("r"), regions)
+        scope = {"r": _codes(regions["r"], ["AFRICA", "ASIA", "EUROPE"])}
+        assert evaluate(resolved, scope).tolist() == [False, True, True]
+
+
+class TestInList:
+    def test_in_list_with_absent_members(self, regions):
+        resolved = resolve_strings(col("r").isin(["ASIA", "NARNIA"]), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA", "EUROPE"])}
+        assert evaluate(resolved, scope).tolist() == [True, False]
+
+    def test_all_absent_is_false(self, regions):
+        resolved = resolve_strings(col("r").isin(["NARNIA", "MORDOR"]), regions)
+        scope = {"r": _codes(regions["r"], ["ASIA"])}
+        result = np.broadcast_to(np.asarray(evaluate(resolved, scope)), (1,))
+        assert result.tolist() == [False]
+
+
+class TestErrors:
+    def test_string_compare_without_dictionary(self):
+        with pytest.raises(ExpressionError):
+            resolve_strings(col("x") == lit("y"), {})
+
+    def test_numeric_predicates_pass_through(self, regions):
+        expr = col("n") > lit(5)
+        assert resolve_strings(expr, regions) is not None
+
+
+@given(
+    st.lists(st.text(alphabet="abcde", min_size=1, max_size=4), min_size=1, max_size=15),
+    st.text(alphabet="abcde", min_size=1, max_size=4),
+    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+)
+@settings(max_examples=120, deadline=None)
+def test_resolution_matches_python_string_semantics(values, probe, op):
+    """Property: resolved code predicates == Python string comparison."""
+    from repro.expressions.expr import Comparison
+
+    dictionary = Dictionary(values)
+    resolved = resolve_strings(Comparison(op, col("s"), lit(probe)), {"s": dictionary})
+    scope = {"s": dictionary.encode(values)}
+    got = np.broadcast_to(np.asarray(evaluate(resolved, scope)), (len(values),)).tolist()
+    python_ops = {
+        "==": lambda v: v == probe,
+        "!=": lambda v: v != probe,
+        "<": lambda v: v < probe,
+        "<=": lambda v: v <= probe,
+        ">": lambda v: v > probe,
+        ">=": lambda v: v >= probe,
+    }
+    expected = [python_ops[op](value) for value in values]
+    assert got == expected

@@ -1,0 +1,139 @@
+"""Calibration guardrails: the paper's qualitative shapes as tests.
+
+These assertions encode the *shape* claims of the evaluation section.
+If a future change to the cost model or engines breaks one of them,
+the reproduction no longer reproduces — so they are tests, not only
+benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
+from repro.hardware import GTX970, GTX770, VirtualCoprocessor
+from repro.workloads import (
+    PAPER_SSB_SET,
+    generate_ssb,
+    group_by_query,
+    projection_query,
+    ssb_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def shape_db():
+    return generate_ssb(0.02, seed=7)
+
+
+def _run(engine, plan, database, profile=GTX970):
+    return engine.execute(plan, database, VirtualCoprocessor(profile))
+
+
+class TestExperiment1Shapes:
+    """Figure 17."""
+
+    def test_pipelined_cost_grows_with_selectivity(self, shape_db):
+        low = _run(CompoundEngine("atomic"), projection_query(0), shape_db)
+        high = _run(CompoundEngine("atomic"), projection_query(25), shape_db)
+        assert high.kernel_ms > 2 * low.kernel_ms
+
+    def test_resolution_is_flat_in_selectivity(self, shape_db):
+        low = _run(CompoundEngine("lrgp_simd"), projection_query(0), shape_db)
+        high = _run(CompoundEngine("lrgp_simd"), projection_query(25), shape_db)
+        assert high.kernel_ms < 3 * low.kernel_ms
+
+    def test_pipelined_beats_multipass(self, shape_db):
+        for x in (0, 12, 25):
+            multipass = _run(MultiPassEngine(), projection_query(x), shape_db)
+            resolution = _run(CompoundEngine("lrgp_simd"), projection_query(x), shape_db)
+            assert resolution.kernel_ms < multipass.kernel_ms
+
+    def test_resolution_simd_below_pcie_everywhere(self, shape_db):
+        for x in (0, 12, 25):
+            result = _run(CompoundEngine("lrgp_simd"), projection_query(x), shape_db)
+            assert result.kernel_ms < result.pcie_ms
+
+    def test_gtx770_flatter_than_gtx970_for_resolution(self, shape_db):
+        """The GTX770 is compute-bound earlier (Experiment 1)."""
+        ratios = {}
+        for profile in (GTX970, GTX770):
+            low = _run(CompoundEngine("lrgp_simd"), projection_query(0), shape_db, profile)
+            high = _run(CompoundEngine("lrgp_simd"), projection_query(25), shape_db, profile)
+            ratios[profile.name] = high.kernel_ms / low.kernel_ms
+        assert ratios["GTX770"] < ratios["GTX970"]
+
+
+class TestExperiment2Shapes:
+    """Figure 18."""
+
+    def test_operator_at_a_time_flat_in_groups(self, shape_db):
+        few = _run(OperatorAtATimeEngine(), group_by_query(2), shape_db)
+        many = _run(OperatorAtATimeEngine(), group_by_query(8192), shape_db)
+        assert many.kernel_ms == pytest.approx(few.kernel_ms, rel=0.1)
+
+    def test_pipelined_contention_cliff(self, shape_db):
+        few = _run(CompoundEngine("atomic"), group_by_query(2), shape_db)
+        many = _run(CompoundEngine("atomic"), group_by_query(8192), shape_db)
+        assert few.kernel_ms > 5 * many.kernel_ms
+
+    def test_resolution_removes_the_cliff(self, shape_db):
+        pipelined = _run(CompoundEngine("atomic"), group_by_query(2), shape_db)
+        resolution = _run(CompoundEngine("lrgp_simd"), group_by_query(2), shape_db)
+        assert resolution.kernel_ms < pipelined.kernel_ms / 2
+
+    def test_pipelined_wins_at_large_group_counts(self, shape_db):
+        opaat = _run(OperatorAtATimeEngine(), group_by_query(16384), shape_db)
+        pipelined = _run(CompoundEngine("atomic"), group_by_query(16384), shape_db)
+        assert opaat.kernel_ms > 5 * pipelined.kernel_ms
+
+
+class TestExperiment3Shapes:
+    """Figure 19 — the headline result."""
+
+    @pytest.mark.parametrize("query", PAPER_SSB_SET)
+    def test_fully_pipelined_saturates_pcie(self, shape_db, query):
+        result = _run(CompoundEngine("lrgp_simd"), ssb_plan(query, shape_db), shape_db)
+        assert result.kernel_ms < result.pcie_ms
+
+    @pytest.mark.parametrize("query", ["q1.1", "q2.1", "q3.1", "q4.1"])
+    def test_strict_engine_ordering(self, shape_db, query):
+        plan = ssb_plan(query, shape_db)
+        opaat = _run(OperatorAtATimeEngine(), plan, shape_db)
+        multipass = _run(MultiPassEngine(), plan, shape_db)
+        compound = _run(CompoundEngine("lrgp_simd"), plan, shape_db)
+        assert compound.kernel_ms < multipass.kernel_ms < opaat.kernel_ms
+        assert compound.global_memory_bytes < multipass.global_memory_bytes
+        assert multipass.global_memory_bytes < opaat.global_memory_bytes
+
+    def test_operator_at_a_time_exceeds_pcie_on_join_queries(self, shape_db):
+        result = _run(OperatorAtATimeEngine(), ssb_plan("q2.1", shape_db), shape_db)
+        assert result.kernel_ms > result.pcie_ms
+
+
+class TestCompoundReduction:
+    def test_headline_traffic_factor(self, shape_db):
+        """Figure 13: compound reduces GPU global traffic by ~4.7x on
+        SSB Q3.1 (we require at least 3x)."""
+        plan = ssb_plan("q3.1", shape_db)
+        opaat = _run(OperatorAtATimeEngine(), plan, shape_db)
+        compound = _run(CompoundEngine("lrgp_simd"), plan, shape_db)
+        factor = opaat.global_memory_bytes / compound.global_memory_bytes
+        assert factor > 3.0
+
+    def test_onchip_traffic_replaces_global(self, shape_db):
+        """Figure 9: compilation moves traffic on-chip."""
+        plan = ssb_plan("q3.1", shape_db)
+        opaat = _run(OperatorAtATimeEngine(), plan, shape_db)
+        compound = _run(CompoundEngine("lrgp_simd"), plan, shape_db)
+        assert compound.onchip_bytes > opaat.onchip_bytes
+
+
+class TestAppendixG1Shape:
+    def test_aggregation_atomics_cheaper_than_prefix_sum(self, shape_db):
+        """Appendix G.1: plain adds (no return value) combine in
+        hardware; fetch-adds do not."""
+        from repro.workloads import aggregation_query
+
+        agg = _run(CompoundEngine("atomic"), aggregation_query(25), shape_db)
+        prefix = _run(CompoundEngine("atomic"), projection_query(25), shape_db)
+        assert agg.kernel_ms < prefix.kernel_ms

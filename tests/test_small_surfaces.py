@@ -1,0 +1,96 @@
+"""Coverage for small public surfaces: reprs, describe, report edges."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_factor, format_table
+from repro.expressions import col, lit
+from repro.hardware import A10, GTX970, VirtualCoprocessor
+from repro.macro.models import _pcie_ms
+from repro.plan import PlanBuilder, extract_pipelines
+from repro.storage import Column, DType
+
+
+class TestReprs:
+    def test_expression_reprs_are_readable(self):
+        expr = (col("a") + 1) * col("b")
+        assert repr(expr) == "((col('a') + lit(1)) * col('b'))"
+        assert repr(col("x").between(1, 2)) == "col('x') between lit(1) and lit(2)"
+        assert "in (" in repr(col("x").isin([1, 2]))
+        assert repr(~(col("x") == 1)).startswith("not ")
+
+    def test_column_and_table_reprs(self, tiny_db):
+        assert "int32" in repr(tiny_db["lineorder"]["lo_quantity"])
+        assert "rows=" in repr(tiny_db["lineorder"])
+        assert "lineorder" in repr(tiny_db)
+
+
+class TestPipelineDescribe:
+    def test_all_stage_kinds_rendered(self, tiny_db):
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") > 1)
+            .map("x", col("lo_revenue") * 2)
+            .join(
+                PlanBuilder.scan("customer"),
+                build_keys=["c_custkey"],
+                probe_keys=["lo_custkey"],
+                payload=["c_nation"],
+            )
+            .project(["x", "c_nation"])
+            .build()
+        )
+        text = extract_pipelines(plan, tiny_db).describe()
+        assert "filter" in text
+        assert "map:x" in text
+        assert "probe:" in text
+        assert "materialize" in text
+
+
+class TestReportEdges:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_mixed_types_align(self):
+        text = format_table(["name", "value"], [["x", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) <= 3
+
+    def test_format_factor_rounding(self):
+        assert format_factor(0.04) == "0.0x"
+        assert format_factor(123.456) == "123.5x"
+
+
+class TestMacroHelpers:
+    def test_pcie_ms_on_zero_copy_device(self):
+        device = VirtualCoprocessor(A10)
+        # Falls back to the memory-stream rate on zero-copy devices.
+        assert _pcie_ms(device, 18_700_000) == pytest.approx(1.0, rel=0.01)
+
+    def test_pcie_ms_on_linked_device(self, device):
+        assert _pcie_ms(device, 16_000_000) == pytest.approx(1.0, rel=0.01)
+
+
+class TestProfileHelpers:
+    def test_threads_resident(self):
+        assert GTX970.threads_resident == 13 * 32 * 32
+        assert GTX970.scratchpad_total == 13 * 96 * 1024
+
+
+class TestColumnConstructors:
+    def test_date_and_boolean(self):
+        date = Column.date([19940101])
+        assert date.dtype is DType.DATE
+        flags = Column.boolean([True, False])
+        assert flags.dtype is DType.BOOL
+        assert flags.decoded() == [True, False]
+
+    def test_int64_and_float32(self):
+        assert Column.int64([2**40]).dtype is DType.INT64
+        assert Column.float32([1.5]).itemsize == 4
+
+    def test_from_codes_shares_dictionary(self):
+        base = Column.from_strings(["a", "b"])
+        derived = Column.from_codes(np.array([1, 0], dtype=np.int32), base.dictionary)
+        assert derived.decoded() == ["b", "a"]

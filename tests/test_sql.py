@@ -1,0 +1,237 @@
+"""Tests for the SQL front-end (lexer, parser, star-join planner)."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.expressions.expr import BooleanOp, Comparison, InList, Literal
+from repro.plan import Aggregate, Filter, Join, Limit, Project, Scan, Sort, walk
+from repro.sql import parse_expression, parse_query, plan_sql, tokenize
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("select lo_revenue FROM lineorder")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "EOF"]
+        assert tokens[0].value == "select"
+
+    def test_string_literals(self):
+        tokens = tokenize("'ASIA'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].value == "ASIA"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [token.value for token in tokens[:2]] == ["42", "3.14"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c >= d")
+        kinds = [token.kind for token in tokens if token.kind != "IDENT"][:-1]
+        assert kinds == ["LE", "NE", "GE"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_simple_select(self):
+        ast = parse_query("select a, b from t where a = 1")
+        assert len(ast.items) == 2
+        assert ast.tables == ["t"]
+        assert isinstance(ast.where, Comparison)
+
+    def test_aggregates_and_aliases(self):
+        ast = parse_query("select sum(a * b) as total, count(*) as n from t")
+        assert ast.items[0].value.op == "sum"
+        assert ast.items[0].alias == "total"
+        assert ast.items[1].value.expr is None
+
+    def test_count_star_only(self):
+        with pytest.raises(SqlError):
+            parse_query("select sum(*) from t")
+
+    def test_between_desugars(self):
+        ast = parse_query("select a from t where a between 1 and 3")
+        assert isinstance(ast.where, BooleanOp)
+        assert ast.where.op == "and"
+
+    def test_in_list(self):
+        ast = parse_query("select a from t where a in (1, 2, 3)")
+        assert isinstance(ast.where, InList)
+
+    def test_in_list_rejects_expressions(self):
+        with pytest.raises(SqlError):
+            parse_query("select a from t where a in (b, 2)")
+
+    def test_or_with_parentheses(self):
+        ast = parse_query("select a from t where (a = 1 or a = 2) and b = 3")
+        assert isinstance(ast.where, BooleanOp)
+        assert ast.where.op == "and"
+
+    def test_group_order_limit(self):
+        ast = parse_query(
+            "select a, sum(b) as s from t group by a order by s desc, a asc limit 7"
+        )
+        assert len(ast.group_by) == 1
+        assert ast.order_by[0].column == "s"
+        assert not ast.order_by[0].ascending
+        assert ast.order_by[1].ascending
+        assert ast.limit == 7
+
+    def test_negative_literals(self):
+        ast = parse_query("select a from t where a > -5")
+        assert isinstance(ast.where.right, Literal)
+        assert ast.where.right.value == -5
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        import numpy as np
+
+        from repro.expressions import evaluate
+
+        assert evaluate(expr, {}) == 7
+
+    def test_parse_expression_boolean(self):
+        expr = parse_expression("a >= 10 and b < 3")
+        assert isinstance(expr, BooleanOp)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError):
+            parse_query("select a from t extra")
+
+
+class TestTranslate:
+    def test_single_table_projection(self, tiny_db):
+        plan = plan_sql("select lo_revenue, lo_quantity from lineorder", tiny_db)
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Scan)
+
+    def test_local_predicates_stay_on_their_table(self, tiny_db):
+        plan = plan_sql(
+            """
+            select lo_revenue, d_year from lineorder, date
+            where lo_orderdate = d_datekey and d_year = 1994 and lo_quantity < 10
+            """,
+            tiny_db,
+        )
+        joins = [node for node in walk(plan) if isinstance(node, Join)]
+        assert len(joins) == 1
+        build_filters = [
+            node for node in walk(joins[0].build) if isinstance(node, Filter)
+        ]
+        assert len(build_filters) == 1  # d_year predicate on the date scan
+
+    def test_fact_is_largest_table(self, tiny_db):
+        plan = plan_sql(
+            """
+            select c_nation, sum(lo_revenue) as r from customer, lineorder
+            where lo_custkey = c_custkey group by c_nation
+            """,
+            tiny_db,
+        )
+        join = next(node for node in walk(plan) if isinstance(node, Join))
+        assert isinstance(join.probe, Scan) or True
+        scans = [node for node in walk(join.probe) if isinstance(node, Scan)]
+        assert scans[0].table == "lineorder"
+
+    def test_group_by_aggregate_output_order(self, tiny_db):
+        plan = plan_sql(
+            """
+            select sum(lo_revenue) as r, c_nation from customer, lineorder
+            where lo_custkey = c_custkey group by c_nation
+            """,
+            tiny_db,
+        )
+        # Aggregate-first select order forces a reordering projection.
+        assert isinstance(plan, Project)
+        assert [name for name, _ in plan.outputs] == ["r", "c_nation"]
+
+    def test_sort_and_limit_applied(self, tiny_db):
+        plan = plan_sql(
+            "select lo_revenue from lineorder order by lo_revenue desc limit 3", tiny_db
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.child, Sort)
+
+    def test_select_item_not_grouped_rejected(self, tiny_db):
+        with pytest.raises(SqlError, match="GROUP BY"):
+            plan_sql(
+                "select lo_quantity, sum(lo_revenue) as r from lineorder group by lo_custkey",
+                tiny_db,
+            )
+
+    def test_cross_product_rejected(self, tiny_db):
+        with pytest.raises(SqlError, match="join predicate"):
+            plan_sql("select lo_revenue, d_year from lineorder, date", tiny_db)
+
+    def test_cross_table_non_equi_rejected(self, tiny_db):
+        with pytest.raises(SqlError):
+            plan_sql(
+                "select lo_revenue from lineorder, date where lo_quantity < d_year",
+                tiny_db,
+            )
+
+    def test_duplicate_table_rejected(self, tiny_db):
+        with pytest.raises(SqlError, match="aliases"):
+            plan_sql("select lo_revenue from lineorder, lineorder", tiny_db)
+
+    def test_unknown_column(self, tiny_db):
+        with pytest.raises(SqlError, match="not found"):
+            plan_sql("select ghost from lineorder", tiny_db)
+
+    def test_having_over_output_names(self, tiny_db):
+        plan = plan_sql(
+            """
+            select lo_custkey, sum(lo_revenue) as total from lineorder
+            group by lo_custkey having total > 1000
+            """,
+            tiny_db,
+        )
+        # HAVING becomes a Filter above the Aggregate.
+        filters = [node for node in walk(plan) if isinstance(node, Filter)]
+        assert any(f.predicate.columns() == {"total"} for f in filters)
+
+    def test_having_executes_correctly(self, tiny_db):
+        from repro.engines import CompoundEngine
+        from repro.hardware import GTX970, VirtualCoprocessor
+
+        with_having = plan_sql(
+            "select lo_custkey, sum(lo_revenue) as total from lineorder "
+            "group by lo_custkey having total > 10000",
+            tiny_db,
+        )
+        result = CompoundEngine().execute(
+            with_having, tiny_db, VirtualCoprocessor(GTX970)
+        )
+        assert all(row[1] > 10000 for row in result.table.to_rows())
+
+    def test_having_unknown_column_rejected(self, tiny_db):
+        with pytest.raises(SqlError, match="HAVING references"):
+            plan_sql(
+                "select lo_custkey, sum(lo_revenue) as total from lineorder "
+                "group by lo_custkey having ghost > 1",
+                tiny_db,
+            )
+
+    def test_having_without_group_by_rejected(self, tiny_db):
+        with pytest.raises(SqlError):
+            plan_sql(
+                "select lo_revenue from lineorder having lo_revenue > 1", tiny_db
+            )
+
+    def test_dim_payload_is_referenced_columns_only(self, tiny_db):
+        plan = plan_sql(
+            """
+            select c_nation, sum(lo_revenue) as r from customer, lineorder
+            where lo_custkey = c_custkey and c_region = 'ASIA'
+            group by c_nation
+            """,
+            tiny_db,
+        )
+        join = next(node for node in walk(plan) if isinstance(node, Join))
+        assert join.payload == ["c_nation"]  # c_region is filter-only

@@ -1,0 +1,81 @@
+"""Tests for database save/load round-tripping."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import load_database, save_database
+from repro.storage.io import _CATALOG_NAME
+
+
+class TestRoundTrip:
+    def test_values_and_dictionaries_survive(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert loaded.table_names == tiny_db.table_names
+        for name in tiny_db.table_names:
+            original = tiny_db[name]
+            restored = loaded[name]
+            assert restored.schema() == original.schema()
+            assert restored.to_rows() == original.to_rows()
+
+    def test_queries_run_identically_after_reload(self, tiny_db, tmp_path):
+        from repro.api import connect
+
+        save_database(tiny_db, tmp_path)
+        loaded = load_database(tmp_path)
+        sql = "select lo_custkey, sum(lo_revenue) as r from lineorder group by lo_custkey"
+        first = connect(tiny_db).execute(sql)
+        second = connect(loaded).execute(sql)
+        assert first.table.sorted_rows() == second.table.sorted_rows()
+
+    def test_generated_workload_round_trip(self, tmp_path):
+        from repro.workloads import generate_ssb
+
+        database = generate_ssb(0.001, seed=5)
+        save_database(database, tmp_path / "ssb")
+        loaded = load_database(tmp_path / "ssb")
+        assert np.array_equal(
+            loaded["lineorder"]["lo_revenue"].values,
+            database["lineorder"]["lo_revenue"].values,
+        )
+        assert loaded["customer"]["c_region"].decoded() == (
+            database["customer"]["c_region"].decoded()
+        )
+
+
+class TestFailureModes:
+    def test_missing_catalog(self, tmp_path):
+        with pytest.raises(SchemaError, match="no catalog"):
+            load_database(tmp_path)
+
+    def test_version_mismatch(self, tiny_db, tmp_path):
+        catalog_path = save_database(tiny_db, tmp_path)
+        catalog = json.loads(catalog_path.read_text())
+        catalog["version"] = 99
+        catalog_path.write_text(json.dumps(catalog))
+        with pytest.raises(SchemaError, match="version"):
+            load_database(tmp_path)
+
+    def test_missing_archive(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path)
+        (tmp_path / "date.npz").unlink()
+        with pytest.raises(SchemaError, match="missing"):
+            load_database(tmp_path)
+
+    def test_row_count_mismatch(self, tiny_db, tmp_path):
+        catalog_path = save_database(tiny_db, tmp_path)
+        catalog = json.loads(catalog_path.read_text())
+        catalog["tables"]["date"]["rows"] = 1
+        catalog_path.write_text(json.dumps(catalog))
+        with pytest.raises(SchemaError, match="rows on disk"):
+            load_database(tmp_path)
+
+    def test_overwrite_is_clean(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path)
+        save_database(tiny_db, tmp_path)  # no error, same content
+        assert load_database(tmp_path)["lineorder"].num_rows == (
+            tiny_db["lineorder"].num_rows
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for traffic accounting (TrafficMeter, Profile)."""
+
+import pytest
+
+from repro.hardware import AtomicBatch, KernelTrace, MemoryLevel, Profile, TrafficMeter
+from repro.hardware.traffic import TransferRecord
+
+
+class TestTrafficMeter:
+    def test_starts_empty(self):
+        meter = TrafficMeter()
+        for level in MemoryLevel:
+            assert meter.bytes_at(level) == 0
+        assert meter.atomic_count == 0
+        assert meter.instructions == 0
+
+    def test_reads_and_writes_accumulate(self):
+        meter = TrafficMeter()
+        meter.record_read(MemoryLevel.GLOBAL, 100)
+        meter.record_read(MemoryLevel.GLOBAL, 50)
+        meter.record_write(MemoryLevel.GLOBAL, 25)
+        meter.record_write(MemoryLevel.ONCHIP, 10)
+        assert meter.reads[MemoryLevel.GLOBAL] == 150
+        assert meter.writes[MemoryLevel.GLOBAL] == 25
+        assert meter.bytes_at(MemoryLevel.GLOBAL) == 175
+        assert meter.bytes_at(MemoryLevel.ONCHIP) == 10
+
+    def test_negative_bytes_rejected(self):
+        meter = TrafficMeter()
+        with pytest.raises(ValueError):
+            meter.record_read(MemoryLevel.GLOBAL, -1)
+        with pytest.raises(ValueError):
+            meter.record_write(MemoryLevel.GLOBAL, -1)
+
+    def test_table_reads_count_both_ways(self):
+        meter = TrafficMeter()
+        meter.record_table_read(64)
+        meter.record_table_write(32)
+        assert meter.table_bytes == 96
+        assert meter.bytes_at(MemoryLevel.GLOBAL) == 96
+
+    def test_atomics_track_max_chain(self):
+        meter = TrafficMeter()
+        meter.record_atomics(AtomicBatch(count=100, max_chain=10))
+        meter.record_atomics(AtomicBatch(count=50, max_chain=50))
+        assert meter.atomic_count == 150
+        assert meter.atomic_max_chain == 50
+
+    def test_merge_combines_everything(self):
+        left = TrafficMeter()
+        left.record_read(MemoryLevel.GLOBAL, 10)
+        left.record_atomics(AtomicBatch(5, 5))
+        left.record_instructions(7)
+        right = TrafficMeter()
+        right.record_write(MemoryLevel.ONCHIP, 20)
+        right.record_atomics(AtomicBatch(3, 2))
+        right.record_table_read(8)
+        left.merge(right)
+        assert left.bytes_at(MemoryLevel.GLOBAL) == 18
+        assert left.bytes_at(MemoryLevel.ONCHIP) == 20
+        assert left.atomic_count == 8
+        assert left.atomic_max_chain == 5
+        assert left.instructions == 7
+        assert left.table_bytes == 8
+
+    def test_snapshot_is_plain_data(self):
+        meter = TrafficMeter()
+        meter.record_read(MemoryLevel.GLOBAL, 42)
+        snapshot = meter.snapshot()
+        assert snapshot["reads"]["global"] == 42
+        assert snapshot["atomic_count"] == 0
+
+
+class TestAtomicBatch:
+    def test_chain_cannot_exceed_count(self):
+        with pytest.raises(ValueError):
+            AtomicBatch(count=5, max_chain=6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicBatch(count=-1, max_chain=0)
+
+
+def _trace(kind: str, global_bytes: int, time_ms: float = 1.0) -> KernelTrace:
+    meter = TrafficMeter()
+    meter.record_read(MemoryLevel.GLOBAL, global_bytes)
+    return KernelTrace(name=kind, kind=kind, elements=1, meter=meter, time_ms=time_ms)
+
+
+class TestProfile:
+    def test_aggregates_kernel_volumes(self):
+        profile = Profile(kernels=[_trace("scan", 100), _trace("gather", 300)])
+        assert profile.bytes_at(MemoryLevel.GLOBAL) == 400
+        assert profile.kernel_time_ms == 2.0
+
+    def test_by_kind_groups(self):
+        profile = Profile(
+            kernels=[_trace("scan", 100), _trace("scan", 50), _trace("gather", 10)]
+        )
+        by_kind = profile.by_kind()
+        assert by_kind["scan"]["launches"] == 2
+        assert by_kind["scan"]["global_bytes"] == 150
+        assert by_kind["gather"]["launches"] == 1
+
+    def test_transfer_accounting(self):
+        profile = Profile(
+            transfers=[
+                TransferRecord(nbytes=100, direction="h2d", time_ms=1.0),
+                TransferRecord(nbytes=40, direction="d2h", time_ms=0.5),
+            ]
+        )
+        assert profile.transfer_bytes() == 140
+        assert profile.transfer_bytes("h2d") == 100
+        assert profile.transfer_bytes("d2h") == 40
+        assert profile.transfer_time_ms == 1.5
+
+    def test_kernels_of_kind(self):
+        profile = Profile(kernels=[_trace("scan", 1), _trace("probe", 2)])
+        assert len(profile.kernels_of_kind("scan")) == 1
+        assert len(profile.kernels_of_kind("missing")) == 0

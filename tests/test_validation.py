@@ -1,0 +1,65 @@
+"""Tests for the cross-engine validation module."""
+
+import pytest
+
+from repro.engines import CompoundEngine
+from repro.validation import DEFAULT_ENGINES, verify_engines
+from repro.workloads import ssb_plan
+
+
+class TestVerifyEngines:
+    def test_sql_text_accepted(self, tiny_db):
+        report = verify_engines(
+            "select sum(lo_revenue) as r from lineorder", tiny_db
+        )
+        assert report.ok
+        assert len(report.outcomes) == len(DEFAULT_ENGINES)
+        assert report.disagreeing == []
+
+    def test_plan_accepted(self, ssb_db):
+        report = verify_engines(ssb_plan("q1.1", ssb_db), ssb_db)
+        assert report.ok
+
+    def test_engine_instances_accepted(self, tiny_db):
+        report = verify_engines(
+            "select sum(lo_revenue) as r from lineorder",
+            tiny_db,
+            engines=[CompoundEngine("atomic"), CompoundEngine("lrgp_we")],
+        )
+        assert report.ok
+        assert report.reference_engine == "horseqc-compound[Pipelined]"
+
+    def test_describe_is_readable(self, tiny_db):
+        report = verify_engines(
+            "select sum(lo_revenue) as r from lineorder", tiny_db
+        )
+        text = report.describe()
+        assert "reference:" in text
+        assert "ok" in text
+
+    def test_empty_engine_list_rejected(self, tiny_db):
+        with pytest.raises(ValueError):
+            verify_engines("select sum(lo_revenue) as r from lineorder",
+                           tiny_db, engines=[])
+
+    def test_mismatch_is_detected(self, tiny_db):
+        """A deliberately broken engine must be flagged."""
+        from repro.engines import OperatorAtATimeEngine
+
+        class BrokenEngine(OperatorAtATimeEngine):
+            name = "broken"
+
+            def execute(self, plan, database, device, seed=42):
+                result = super().execute(plan, database, device, seed=seed)
+                # Sabotage: drop the last row of the result.
+                if result.table.num_rows > 1:
+                    result.table = result.table.slice(0, result.table.num_rows - 1)
+                return result
+
+        report = verify_engines(
+            "select lo_custkey, count(*) as n from lineorder group by lo_custkey",
+            tiny_db,
+            engines=[CompoundEngine(), BrokenEngine()],
+        )
+        assert not report.ok
+        assert report.disagreeing == ["broken"]

@@ -1,0 +1,179 @@
+"""Tests for the SSB and TPC-H generators and query catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.storage import DType
+from repro.workloads import (
+    ALL_SSB_SET,
+    PAPER_SSB_SET,
+    PAPER_TPCH_SET,
+    SSB_QUERIES,
+    TABLE1_TPCH_SET,
+    TPCH_PLANS,
+    aggregation_query,
+    generate_ssb,
+    generate_tpch,
+    group_by_query,
+    projection_query,
+    selectivity_of,
+    ssb_plan,
+    ssb_query_sql,
+    tpch_plan,
+)
+from repro.workloads.ssb import schema as ssb_schema
+from repro.workloads.tpch import schema as tpch_schema
+
+
+class TestSsbGenerator:
+    def test_cardinalities_scale(self):
+        database = generate_ssb(0.01, seed=1)
+        assert database["lineorder"].num_rows == 60_000
+        assert database["customer"].num_rows == 300
+        assert database["date"].num_rows == 2557  # 1992-1998 incl. leap days
+
+    def test_deterministic(self):
+        first = generate_ssb(0.002, seed=9)
+        second = generate_ssb(0.002, seed=9)
+        assert np.array_equal(
+            first["lineorder"]["lo_revenue"].values,
+            second["lineorder"]["lo_revenue"].values,
+        )
+
+    def test_domains(self, ssb_db):
+        quantity = ssb_db["lineorder"]["lo_quantity"].values
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        discount = ssb_db["lineorder"]["lo_discount"].values
+        assert discount.min() >= 0 and discount.max() <= 10
+        regions = set(ssb_db["customer"]["c_region"].decoded())
+        assert regions <= set(ssb_schema.REGIONS)
+
+    def test_foreign_keys_resolve(self, ssb_db):
+        custkeys = ssb_db["lineorder"]["lo_custkey"].values
+        assert custkeys.min() >= 1
+        assert custkeys.max() <= ssb_db["customer"].num_rows
+        datekeys = set(ssb_db["date"]["d_datekey"].values.tolist())
+        assert set(ssb_db["lineorder"]["lo_orderdate"].values.tolist()) <= datekeys
+
+    def test_city_naming_matches_spec_style(self):
+        assert "UNITED KI1" in ssb_schema.CITIES  # the Q3.3 literal
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(WorkloadError):
+            generate_ssb(0)
+
+
+class TestSsbQueries:
+    def test_thirteen_queries(self):
+        assert len(SSB_QUERIES) == 13
+        assert len(ALL_SSB_SET) == 13
+        assert len(PAPER_SSB_SET) == 12  # the paper skips Q2.2
+        assert "q2.2" not in PAPER_SSB_SET
+
+    @pytest.mark.parametrize("name", sorted(SSB_QUERIES))
+    def test_all_plans_build(self, name, ssb_db):
+        plan = ssb_plan(name, ssb_db)
+        assert plan.schema(ssb_db).dtypes
+
+    def test_unknown_query(self, ssb_db):
+        with pytest.raises(WorkloadError):
+            ssb_query_sql("q9.9")
+
+
+class TestTpchGenerator:
+    def test_cardinalities(self):
+        database = generate_tpch(0.01, seed=2)
+        assert database["orders"].num_rows == 15_000
+        assert database["customer"].num_rows == 1_500
+        assert database["nation"].num_rows == 25
+        assert database["region"].num_rows == 5
+        assert database["partsupp"].num_rows == 4 * database["part"].num_rows
+
+    def test_lineitem_dates_are_ordered(self, tpch_db):
+        lineitem = tpch_db["lineitem"]
+        assert (lineitem["l_receiptdate"].values >= lineitem["l_shipdate"].values).all()
+
+    def test_partsupp_keys_unique(self, tpch_db):
+        partsupp = tpch_db["partsupp"]
+        pairs = set(
+            zip(
+                partsupp["ps_partkey"].values.tolist(),
+                partsupp["ps_suppkey"].values.tolist(),
+            )
+        )
+        assert len(pairs) == partsupp.num_rows
+
+    def test_return_flag_rule(self, tpch_db):
+        """Receipts after 1995-06-17 are N; earlier ones are A or R."""
+        lineitem = tpch_db["lineitem"]
+        flags = lineitem["l_returnflag"].decoded()
+        receipts = lineitem["l_receiptdate"].values
+        for index in range(lineitem.num_rows):
+            if receipts[index] > 19950617:
+                assert flags[index] == "N"
+            else:
+                assert flags[index] in ("A", "R")
+
+    def test_discount_domain(self, tpch_db):
+        discount = tpch_db["lineitem"]["l_discount"].values
+        assert discount.min() >= 0.0
+        assert float(discount.max()) == pytest.approx(0.10, abs=1e-6)
+
+    def test_nation_region_mapping(self, tpch_db):
+        nation = tpch_db["nation"]
+        names = nation["n_name"].decoded()
+        regionkeys = nation["n_regionkey"].values
+        france = names.index("FRANCE")
+        assert regionkeys[france] == 3  # EUROPE
+
+
+class TestTpchQueries:
+    def test_rosters(self):
+        assert len(TPCH_PLANS) == 16
+        assert len(PAPER_TPCH_SET) == 11  # Figure 20's roster
+        assert set(PAPER_TPCH_SET) <= set(TPCH_PLANS)
+        assert set(TABLE1_TPCH_SET) <= set(TPCH_PLANS)
+
+    @pytest.mark.parametrize("name", sorted(TPCH_PLANS))
+    def test_all_plans_build(self, name, tpch_db):
+        plan = tpch_plan(name, tpch_db)
+        assert plan.schema(tpch_db).dtypes
+
+    def test_unknown_query(self, tpch_db):
+        with pytest.raises(WorkloadError):
+            tpch_plan("q99", tpch_db)
+
+
+class TestMicrobench:
+    def test_projection_selectivity_model(self):
+        assert selectivity_of(0) == pytest.approx(1 / 50)
+        assert selectivity_of(25) == pytest.approx(1.0)
+
+    def test_projection_selectivity_observed(self, ssb_db):
+        from repro.engines import CompoundEngine
+        from repro.hardware import GTX970, VirtualCoprocessor
+
+        for x in (0, 12, 25):
+            result = CompoundEngine().execute(
+                projection_query(x), ssb_db, VirtualCoprocessor(GTX970)
+            )
+            observed = result.table.num_rows / ssb_db["lineorder"].num_rows
+            assert observed == pytest.approx(selectivity_of(x), abs=0.05)
+
+    def test_group_by_group_count(self, ssb_db):
+        from repro.engines import CompoundEngine
+        from repro.hardware import GTX970, VirtualCoprocessor
+
+        result = CompoundEngine().execute(
+            group_by_query(8), ssb_db, VirtualCoprocessor(GTX970)
+        )
+        assert result.table.num_rows == 8
+
+    def test_knob_bounds(self):
+        with pytest.raises(WorkloadError):
+            projection_query(26)
+        with pytest.raises(WorkloadError):
+            aggregation_query(-1)
+        with pytest.raises(WorkloadError):
+            group_by_query(0)

@@ -1,0 +1,45 @@
+"""Serving-runtime benchmark: plan/kernel cache warmup and worker scaling.
+
+Reports queries/second on the mixed SSB workload (all 13 queries) at
+1, 2, 4, and 8 workers with cold vs. warm caches:
+
+* warm-cache repeat-query latency must be >= 2x lower than cold
+  (the plan cache skips SQL parsing + pipeline extraction; the kernel
+  cache skips compound-kernel compilation);
+* multi-worker serving throughput must be >= 1.5x the single-worker
+  throughput (each worker owns a private virtual device; the modeled
+  makespan is the busiest worker's host overhead + simulated device
+  time, consistent with the repo's simulated-time reporting).
+
+Thin wrapper over :func:`repro.serving.bench.run_serving_benchmark`;
+run standalone with ``python bench_serving_throughput.py [--tiny]`` or
+via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
+"""
+
+import sys
+
+from common import BENCH_SF, emit
+
+from repro.serving.bench import run_serving_benchmark
+
+
+def run(tiny: bool = False):
+    if tiny:
+        return run_serving_benchmark(
+            scale_factor=0.001, worker_counts=(1, 2), repeats=2, passes=2
+        )
+    return run_serving_benchmark(scale_factor=min(BENCH_SF, 0.01))
+
+
+def test_serving_throughput(benchmark):
+    report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
+    emit("serving_throughput", report.text())
+    assert report.warm_speedup >= 2.0
+    assert report.best_scaling >= 1.5
+
+
+if __name__ == "__main__":
+    tiny = "--tiny" in sys.argv[1:]
+    report = run(tiny=tiny)
+    emit("serving_throughput", report.text())
+    sys.exit(0 if report.passed else 1)

@@ -13,46 +13,35 @@ choice; ``execute`` accepts SQL text or a logical plan.
 
 from __future__ import annotations
 
+import time
+from typing import TYPE_CHECKING
+
+from .engines import ENGINE_FACTORIES, make_engine
 from .engines.base import Engine, ExecutionResult
-from .engines.compound import CompoundEngine
-from .engines.cpu_engine import CpuOperatorAtATimeEngine
-from .engines.multipass import MultiPassEngine
-from .engines.operator_at_a_time import OperatorAtATimeEngine
-from .engines.vector_at_a_time import VectorAtATimeEngine
-from .errors import ReproError
 from .hardware.device import VirtualCoprocessor
 from .hardware.interconnect import PCIE3, Interconnect
 from .hardware.profiles import GTX970, DeviceProfile, get_profile
+from .kernels.codegen import begin_thread_compile_stats, thread_compile_stats
 from .plan.logical import LogicalPlan
 from .plan.pipelines import extract_pipelines
 from .sql.translate import plan_sql
 from .storage.database import Database
 
-#: Engine aliases accepted by :meth:`Session.execute`.
-ENGINE_FACTORIES = {
-    "operator-at-a-time": OperatorAtATimeEngine,
-    "multipass": MultiPassEngine,
-    "pipelined": lambda: CompoundEngine("atomic"),
-    "resolution": lambda: CompoundEngine("lrgp_simd"),
-    "resolution-simd": lambda: CompoundEngine("lrgp_simd"),
-    "resolution-we": lambda: CompoundEngine("lrgp_we"),
-    "cpu": CpuOperatorAtATimeEngine,
-    "vector": VectorAtATimeEngine,
-}
+if TYPE_CHECKING:  # avoid the api -> serving -> api import cycle
+    from .serving.plan_cache import PlanCache
 
-
-def make_engine(name: str) -> Engine:
-    """Instantiate an engine by alias (see :data:`ENGINE_FACTORIES`)."""
-    try:
-        factory = ENGINE_FACTORIES[name]
-    except KeyError:
-        known = ", ".join(sorted(ENGINE_FACTORIES))
-        raise ReproError(f"unknown engine {name!r}; known engines: {known}") from None
-    return factory()
+__all__ = ["ENGINE_FACTORIES", "Session", "connect", "make_engine"]
 
 
 class Session:
-    """A database bound to a virtual coprocessor and a default engine."""
+    """A database bound to a virtual coprocessor and a default engine.
+
+    Passing a :class:`~repro.serving.PlanCache` makes ``execute`` skip
+    SQL parsing and pipeline extraction on repeat queries (the cache
+    may be shared with a :class:`~repro.serving.Server` or with other
+    sessions); cached executions carry their serving metrics in
+    ``result.serving``.
+    """
 
     def __init__(
         self,
@@ -60,6 +49,7 @@ class Session:
         device: VirtualCoprocessor | DeviceProfile | str = GTX970,
         engine: Engine | str = "resolution",
         interconnect: Interconnect = PCIE3,
+        plan_cache: "PlanCache | None" = None,
     ):
         self.database = database
         if isinstance(device, str):
@@ -68,6 +58,7 @@ class Session:
             device = VirtualCoprocessor(device, interconnect=interconnect)
         self.device = device
         self.engine = make_engine(engine) if isinstance(engine, str) else engine
+        self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------
     def plan(self, query: str | LogicalPlan) -> LogicalPlan:
@@ -76,11 +67,17 @@ class Session:
             return query
         return plan_sql(query, self.database)
 
+    def physical(self, query: str | LogicalPlan):
+        """The extracted pipelines, via the plan cache when one is set."""
+        if self.plan_cache is not None:
+            physical, _hit = self.plan_cache.lookup(query, self.database)
+            return physical
+        return extract_pipelines(self.plan(query), self.database)
+
     def explain(self, query: str | LogicalPlan) -> str:
         """The fusion-operator decomposition of a query (pipelines +
         host post-processing), one line per pipeline."""
-        physical = extract_pipelines(self.plan(query), self.database)
-        return physical.describe()
+        return self.physical(query).describe()
 
     def execute(
         self,
@@ -92,13 +89,37 @@ class Session:
         chosen = self.engine
         if engine is not None:
             chosen = make_engine(engine) if isinstance(engine, str) else engine
-        return chosen.execute(self.plan(query), self.database, self.device, seed=seed)
+        if self.plan_cache is None:
+            return chosen.execute(self.plan(query), self.database, self.device, seed=seed)
+
+        from .serving.stats import ServingStats
+
+        plan_start = time.perf_counter()
+        physical, hit = self.plan_cache.lookup(query, self.database)
+        plan_ms = (time.perf_counter() - plan_start) * 1e3
+        begin_thread_compile_stats()
+        execute_start = time.perf_counter()
+        result = chosen.execute(physical, self.database, self.device, seed=seed)
+        execute_ms = (time.perf_counter() - execute_start) * 1e3
+        compile_hits, compile_misses, compile_ms = thread_compile_stats()
+        result.serving = ServingStats(
+            plan_cache_hit=hit,
+            compile_hits=compile_hits,
+            compile_misses=compile_misses,
+            queue_wait_ms=0.0,
+            plan_ms=plan_ms,
+            compile_ms=compile_ms,
+            execute_ms=execute_ms,
+            worker=-1,
+        )
+        return result
 
 
 def connect(
     database: Database,
     device: VirtualCoprocessor | DeviceProfile | str = GTX970,
     engine: Engine | str = "resolution",
+    plan_cache: "PlanCache | None" = None,
 ) -> Session:
     """Create a session (the one-line entry point)."""
-    return Session(database, device=device, engine=engine)
+    return Session(database, device=device, engine=engine, plan_cache=plan_cache)

@@ -18,6 +18,9 @@ Commands
 ``experiment``
     Regenerate one of the paper's tables/figures by name
     (``table1``..``table4``, ``fig5``..``fig27``), or ``all``.
+``serve-bench``
+    Run the serving-runtime benchmark: cold vs. warm plan/kernel
+    caches and multi-worker throughput on the mixed SSB workload.
 """
 
 from __future__ import annotations
@@ -84,6 +87,38 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--scale-factor", type=float, default=None,
         help="workload scale factor (default: each experiment's default)",
+    )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving runtime (cache warmup + worker scaling)",
+    )
+    serve.add_argument(
+        "--scale-factor", type=float, default=0.005,
+        help="SSB scale factor (default: 0.005)",
+    )
+    serve.add_argument(
+        "--workers", default="1,2,4,8",
+        help="comma-separated worker counts (default: 1,2,4,8)",
+    )
+    serve.add_argument(
+        "--repeats", type=int, default=3,
+        help="warm latency passes per query (default: 3)",
+    )
+    serve.add_argument(
+        "--passes", type=int, default=4,
+        help="workload repetitions in the throughput phase (default: 4)",
+    )
+    serve.add_argument(
+        "--device", default="gtx970", help="device profile (default: gtx970)",
+    )
+    serve.add_argument(
+        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
+        help="execution engine (default: resolution)",
+    )
+    serve.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke mode: tiny scale factor, fewer workers/passes",
     )
     return parser
 
@@ -237,6 +272,31 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serving.bench import run_serving_benchmark
+
+    if args.tiny:
+        scale_factor = min(args.scale_factor, 0.001)
+        worker_counts: tuple[int, ...] = (1, 2)
+        repeats, passes = 2, 2
+    else:
+        scale_factor = args.scale_factor
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part.strip()
+        )
+        repeats, passes = args.repeats, args.passes
+    report = run_serving_benchmark(
+        scale_factor=scale_factor,
+        worker_counts=worker_counts,
+        repeats=repeats,
+        passes=passes,
+        device=args.device,
+        engine=args.engine,
+    )
+    print(report.text())
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "devices": _cmd_devices,
     "query": _cmd_query,
@@ -244,6 +304,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -9,6 +9,7 @@
 * :class:`CpuOperatorAtATimeEngine` — MonetDB-like CPU baseline
 """
 
+from ..errors import ReproError
 from .base import Engine, ExecutionResult
 from .compound import CompoundEngine
 from .cpu_engine import CpuOperatorAtATimeEngine, make_cpu_device
@@ -17,7 +18,33 @@ from .operator_at_a_time import OperatorAtATimeEngine
 from .runtime import AggregationResult, HashTableEntry, QueryRuntime, VirtualTable
 from .vector_at_a_time import VectorAtATimeEngine
 
+#: Engine aliases accepted by :func:`make_engine` (and hence by
+#: ``Session.execute`` and ``Server.submit``).
+ENGINE_FACTORIES = {
+    "operator-at-a-time": OperatorAtATimeEngine,
+    "multipass": MultiPassEngine,
+    "pipelined": lambda: CompoundEngine("atomic"),
+    "resolution": lambda: CompoundEngine("lrgp_simd"),
+    "resolution-simd": lambda: CompoundEngine("lrgp_simd"),
+    "resolution-we": lambda: CompoundEngine("lrgp_we"),
+    "cpu": CpuOperatorAtATimeEngine,
+    "vector": VectorAtATimeEngine,
+}
+
+
+def make_engine(name: str) -> Engine:
+    """Instantiate an engine by alias (see :data:`ENGINE_FACTORIES`)."""
+    try:
+        factory = ENGINE_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_FACTORIES))
+        raise ReproError(f"unknown engine {name!r}; known engines: {known}") from None
+    return factory()
+
+
 __all__ = [
+    "ENGINE_FACTORIES",
+    "make_engine",
     "AggregationResult",
     "CompoundEngine",
     "CpuOperatorAtATimeEngine",

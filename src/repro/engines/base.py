@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +33,13 @@ class ExecutionResult:
     #: The solid baseline: time to stream input+output through GPU
     #: global memory once.
     memory_bound_ms: float
+    #: Generated kernel sources of THIS execution (empty for engines
+    #: that do not generate code).  Unlike ``engine.kernel_sources``,
+    #: this is immune to concurrent executions on a shared engine.
+    kernel_sources: dict[str, str] = field(default_factory=dict)
+    #: Per-query serving metrics (:class:`repro.serving.ServingStats`);
+    #: populated by the serving layer / cached sessions, else ``None``.
+    serving: object | None = None
 
     @property
     def kernel_ms(self) -> float:
@@ -100,9 +107,19 @@ class ExecutionResult:
 
 
 class Engine:
-    """Base class: pipeline orchestration shared by all engines."""
+    """Base class: pipeline orchestration shared by all engines.
+
+    Engines are *re-entrant*: all per-query state lives on the
+    :class:`QueryRuntime` created inside :meth:`execute`, so one engine
+    instance may execute queries from several threads concurrently.
+    ``self.kernel_sources`` is rebound (never mutated in place) to the
+    most recent execution's sources as a debugging convenience; use
+    ``ExecutionResult.kernel_sources`` for the per-query view.
+    """
 
     name = "abstract"
+    #: Last execution's generated sources (rebound atomically per run).
+    kernel_sources: dict[str, str] = {}
 
     def execute(
         self,
@@ -137,6 +154,10 @@ class Engine:
                 )
         assert outputs is not None, "query had no final pipeline"
         table = runtime.finalize(query, outputs)
+        # Rebind (do not mutate) the convenience attribute: concurrent
+        # executions each install their own complete dict, so a reader
+        # always sees one query's sources, never a mixture.
+        self.kernel_sources = dict(runtime.kernel_sources)
         return ExecutionResult(
             table=table,
             profile=device.log,
@@ -148,6 +169,7 @@ class Engine:
             memory_bound_ms=device.memory_bound_ms(
                 runtime.input_bytes + runtime.output_bytes
             ),
+            kernel_sources=dict(runtime.kernel_sources),
         )
 
     # ------------------------------------------------------------------

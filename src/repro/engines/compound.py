@@ -38,7 +38,8 @@ class CompoundEngine(Engine):
             "lrgp_we": "Resolution:WE",
         }[mode]
         self.name = f"horseqc-compound[{label}]"
-        #: Generated kernel sources per pipeline name (for inspection).
+        #: Last execution's sources per pipeline name (for inspection);
+        #: rebound per run — see :class:`~repro.engines.base.Engine`.
         self.kernel_sources: dict[str, str] = {}
 
     def execute_pipeline(
@@ -54,7 +55,7 @@ class CompoundEngine(Engine):
             output_schema=pipeline.output_schema,
         )
         kernel = generate_compound_kernel(pipeline)
-        self.kernel_sources[pipeline.name] = kernel.source
+        runtime.kernel_sources[pipeline.name] = kernel.source
         kernel(ctx)
         runtime.device.launch(kernel.name, "compound", ctx.n, ctx.meter)
 

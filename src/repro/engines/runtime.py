@@ -70,6 +70,10 @@ class QueryRuntime:
         self.rng = np.random.default_rng(seed)
         self.hash_tables: dict[str, HashTableEntry] = {}
         self.virtual_tables: dict[str, VirtualTable] = {}
+        #: Generated kernel sources of THIS query (engines write here so
+        #: concurrent queries sharing one engine instance cannot mix
+        #: their sources; surfaced as ``ExecutionResult.kernel_sources``).
+        self.kernel_sources: dict[str, str] = {}
         self._transferred: set[tuple[str, str]] = set()
         #: Base-column bytes moved host->device (PCIe input volume).
         self.input_bytes = 0

@@ -59,6 +59,7 @@ class VectorAtATimeEngine(Engine):
         kernel = generate_compound_kernel(pipeline)
 
         partials: list[dict[str, np.ndarray]] = []
+        counts: list[int] = []
         start = 0
         index = 0
         while start < total_rows or (total_rows == 0 and index == 0):
@@ -82,15 +83,19 @@ class VectorAtATimeEngine(Engine):
                 occupancy=occupancy,
             )
             partials.append(dict(ctx.outputs))
+            counts.append(ctx.aggregation.inputs if ctx.aggregation is not None else 0)
             start = stop
             index += 1
             if total_rows == 0:
                 break
-        return self._merge(pipeline, partials)
+        return self._merge(pipeline, partials, counts)
 
     # ------------------------------------------------------------------
     def _merge(
-        self, pipeline: Pipeline, partials: list[dict[str, np.ndarray]]
+        self,
+        pipeline: Pipeline,
+        partials: list[dict[str, np.ndarray]],
+        counts: list[int],
     ) -> dict[str, np.ndarray]:
         sink = pipeline.sink
         if isinstance(sink, MaterializeSink):
@@ -110,8 +115,17 @@ class VectorAtATimeEngine(Engine):
         if not key_names:
             merged: dict[str, np.ndarray] = {}
             for spec in sink.aggregates:
-                stacked = np.concatenate([partial[spec.name] for partial in partials])
                 op = _MERGE_OPS[spec.op]
+                arrays = [partial[spec.name] for partial in partials]
+                if op in ("min", "max"):
+                    # Vectors where no row passed the filter emit the
+                    # empty-selection placeholder 0, which must not
+                    # participate in a min/max merge.
+                    arrays = [array for array, n in zip(arrays, counts) if n]
+                    if not arrays:
+                        merged[spec.name] = np.array([0.0])
+                        continue
+                stacked = np.concatenate(arrays)
                 merged[spec.name] = np.asarray([getattr(np, op)(stacked)])
             return merged
         stacked_keys = [

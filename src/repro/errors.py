@@ -55,3 +55,11 @@ class ExpressionError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload generators for invalid parameters."""
+
+
+class ServingError(ReproError):
+    """Raised by the serving runtime (admission, shutdown, misuse)."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the server's bounded admission queue rejects a query."""

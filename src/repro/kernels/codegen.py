@@ -17,6 +17,9 @@ Generated source is kept on the :class:`CompiledKernel` for inspection
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import CompilationError
@@ -45,14 +48,110 @@ class CompiledKernel:
         return self.entry(ctx)
 
 
+@dataclass
+class KernelCacheStats:
+    """A snapshot of the process-wide compiled-kernel cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Compiled kernels are pure functions of their source text, so the
+#: source is the cache key: two pipelines with the same structure (same
+#: stages, expressions, constants, and sink) generate byte-identical
+#: source and share one compiled entry across executions, sessions, and
+#: server workers.  Bounded LRU; guarded by a lock so concurrent
+#: serving workers can compile safely.
+KERNEL_CACHE_CAPACITY = 1024
+_cache_lock = threading.Lock()
+_kernel_cache: "OrderedDict[str, CompiledKernel]" = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+#: Per-thread hit/miss deltas: a query executes on one worker thread,
+#: so the serving layer can meter compile reuse per query.
+_thread_stats = threading.local()
+
+
+def kernel_cache_stats() -> KernelCacheStats:
+    """Process-wide cache counters (see :class:`KernelCacheStats`)."""
+    with _cache_lock:
+        return KernelCacheStats(
+            hits=_cache_hits,
+            misses=_cache_misses,
+            evictions=_cache_evictions,
+            size=len(_kernel_cache),
+        )
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached kernels and reset the counters (tests/benchmarks)."""
+    global _cache_hits, _cache_misses, _cache_evictions
+    with _cache_lock:
+        _kernel_cache.clear()
+        _cache_hits = _cache_misses = _cache_evictions = 0
+
+
+def begin_thread_compile_stats() -> None:
+    """Zero the calling thread's compile counters (one query starts)."""
+    _thread_stats.hits = 0
+    _thread_stats.misses = 0
+    _thread_stats.compile_ms = 0.0
+
+
+def thread_compile_stats() -> tuple[int, int, float]:
+    """The calling thread's ``(hits, misses, compile_wall_ms)`` since
+    the last :func:`begin_thread_compile_stats`."""
+    return (
+        getattr(_thread_stats, "hits", 0),
+        getattr(_thread_stats, "misses", 0),
+        getattr(_thread_stats, "compile_ms", 0.0),
+    )
+
+
+def _record_probe(hit: bool) -> None:
+    global _cache_hits, _cache_misses
+    if hit:
+        _cache_hits += 1
+        _thread_stats.hits = getattr(_thread_stats, "hits", 0) + 1
+    else:
+        _cache_misses += 1
+        _thread_stats.misses = getattr(_thread_stats, "misses", 0) + 1
+
+
 def _compile(name: str, kind: str, lines: list[str]) -> CompiledKernel:
+    global _cache_evictions
     source = "\n".join([f"def {name}(ctx):"] + [f"    {line}" for line in lines]) + "\n"
+    with _cache_lock:
+        cached = _kernel_cache.get(source)
+        _record_probe(cached is not None)
+        if cached is not None:
+            _kernel_cache.move_to_end(source)
+            return cached
+    started = time.perf_counter()
     namespace: dict = {}
     try:
         exec(compile(source, filename=f"<generated {name}>", mode="exec"), namespace)
     except SyntaxError as error:  # pragma: no cover - codegen bug guard
         raise CompilationError(f"generated kernel failed to compile: {error}\n{source}")
-    return CompiledKernel(name=name, kind=kind, source=source, entry=namespace[name])
+    kernel = CompiledKernel(name=name, kind=kind, source=source, entry=namespace[name])
+    _thread_stats.compile_ms = (
+        getattr(_thread_stats, "compile_ms", 0.0)
+        + (time.perf_counter() - started) * 1e3
+    )
+    with _cache_lock:
+        _kernel_cache[source] = kernel
+        while len(_kernel_cache) > KERNEL_CACHE_CAPACITY:
+            _kernel_cache.popitem(last=False)
+            _cache_evictions += 1
+    return kernel
 
 
 def _touch_line(expr_columns: set[str], count: str | None = None) -> str:

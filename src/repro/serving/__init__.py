@@ -1,0 +1,29 @@
+"""The serving runtime: concurrent query execution with caching.
+
+::
+
+    from repro.serving import Server
+    from repro.workloads import generate_ssb
+
+    with Server(generate_ssb(0.01), workers=4) as server:
+        future = server.submit("select sum(lo_revenue) as r from lineorder")
+        result = future.result()
+        print(result.table.to_rows(), result.serving)
+
+See ``docs/serving.md`` for the architecture, cache keys, and
+invalidation rules.  The throughput benchmark lives in
+:mod:`repro.serving.bench` (imported lazily — it pulls in workloads).
+"""
+
+from .plan_cache import PlanCache, PlanCacheStats, normalize_sql
+from .server import Server
+from .stats import ServerStats, ServingStats
+
+__all__ = [
+    "PlanCache",
+    "PlanCacheStats",
+    "Server",
+    "ServerStats",
+    "ServingStats",
+    "normalize_sql",
+]

@@ -1,0 +1,155 @@
+"""The serving layer's plan cache.
+
+``Session.execute`` re-parses SQL and re-extracts fusion-operator
+pipelines on every call.  For a serving workload — the same dashboard
+or report queries arriving over and over — that front-end work is pure
+overhead: the paper's whole argument is that compilation effort must be
+amortized for the coprocessor to run at hardware speed (Sections 5-7).
+
+The cache maps ``(normalized SQL, database fingerprint)`` to the
+extracted :class:`~repro.plan.physical.PhysicalQuery`:
+
+* **Normalized SQL** — whitespace collapsed and keywords lowercased
+  *outside* string literals, so ``SELECT  x`` and ``select x`` share an
+  entry while ``'ASIA'`` never collides with ``'asia'``.
+* **Database fingerprint** — the catalog's serial number plus its
+  mutation version (:meth:`repro.storage.database.Database.fingerprint`).
+  Appending rows (``replace``), adding, or dropping a table bumps the
+  version, so a mutated catalog can never be served a stale plan; two
+  catalogs never share a serial, so identical SQL against different
+  databases never collides.
+
+Cached plans are structurally immutable during execution (engines keep
+all per-query state on the :class:`~repro.engines.runtime.QueryRuntime`),
+so one cached :class:`PhysicalQuery` may be executed by many workers
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..plan.logical import LogicalPlan
+from ..plan.physical import PhysicalQuery
+from ..plan.pipelines import extract_pipelines
+from ..sql.translate import plan_sql
+from ..storage.database import Database
+
+
+def normalize_sql(text: str) -> str:
+    """Canonicalize SQL text for cache keying.
+
+    Outside single-quoted string literals, whitespace runs collapse to
+    one space and characters are lowercased; literals are preserved
+    byte-for-byte (including doubled-quote escapes).  A trailing
+    semicolon is dropped.
+    """
+    out: list[str] = []
+    in_string = False
+    pending_space = False
+    for ch in text.strip():
+        if in_string:
+            out.append(ch)
+            if ch == "'":
+                in_string = False
+            continue
+        if ch == "'":
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(ch)
+            in_string = True
+            continue
+        if ch.isspace():
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(ch.lower())
+    normalized = "".join(out)
+    return normalized[:-1].rstrip() if normalized.endswith(";") else normalized
+
+
+@dataclass
+class PlanCacheStats:
+    """A snapshot of one plan cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU of extracted physical query plans."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, PhysicalQuery] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, query: str | LogicalPlan, database: Database
+    ) -> tuple[PhysicalQuery, bool]:
+        """Resolve ``query`` to a physical plan; returns ``(plan, hit)``.
+
+        SQL strings are keyed by normalized text + database
+        fingerprint.  :class:`LogicalPlan` objects bypass the cache
+        (they are already past the expensive front end) and count as
+        misses.
+        """
+        if isinstance(query, LogicalPlan):
+            with self._lock:
+                self._misses += 1
+            return extract_pipelines(query, database), False
+        key = (normalize_sql(query), database.fingerprint())
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached, True
+            self._misses += 1
+        physical = extract_pipelines(plan_sql(query, database), database)
+        with self._lock:
+            self._entries[key] = physical
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return physical, False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

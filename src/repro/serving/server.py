@@ -1,0 +1,316 @@
+"""A concurrent query server over the HorseQC engines.
+
+The :class:`Server` is the serving runtime the ROADMAP's north star
+asks for: it owns one shared (read-mostly) :class:`Database`, a pool of
+worker threads each bound to its **own** :class:`VirtualCoprocessor`
+(device profiler state is per-query, so in-flight queries must not
+share a device), a shared :class:`PlanCache`, and a **bounded
+admission queue** that applies back-pressure when the pool is saturated.
+
+Request path::
+
+    submit(sql) ──> admission queue ──> worker
+                                          ├─ plan cache (hit: skip SQL
+                                          │  parse + pipeline extraction)
+                                          ├─ engine.execute (compound-
+                                          │  kernel codegen hits the
+                                          │  process-wide kernel cache)
+                                          └─ future.set_result(result)
+
+Every result carries a :class:`~repro.serving.stats.ServingStats` in
+``result.serving``; :meth:`Server.stats` returns the aggregate
+:class:`~repro.serving.stats.ServerStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+
+from ..engines import make_engine
+from ..engines.base import Engine, ExecutionResult
+from ..errors import AdmissionError, ServingError
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.interconnect import PCIE3, Interconnect
+from ..hardware.profiles import GTX970, DeviceProfile, get_profile
+from ..kernels.codegen import begin_thread_compile_stats, thread_compile_stats
+from ..plan.logical import LogicalPlan
+from ..storage.database import Database
+from .plan_cache import PlanCache
+from .stats import ServerStats, ServingStats
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    query: object  # str | LogicalPlan
+    engine: Engine | None
+    seed: int
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class Server:
+    """Thread-pool serving runtime with plan and kernel caching.
+
+    Parameters
+    ----------
+    database:
+        The shared catalog.  It may be mutated between queries through
+        ``add``/``replace``/``drop``; the plan cache keys on the
+        catalog fingerprint, so mutations invalidate cached plans
+        automatically.
+    device:
+        Profile (or profile name) each worker instantiates privately.
+    engine:
+        Default engine alias or instance.  Instances are shared across
+        workers — engines are re-entrant (all per-query state lives on
+        the :class:`~repro.engines.runtime.QueryRuntime`).
+    workers:
+        Worker-thread count; each worker owns one virtual device.
+    queue_size:
+        Admission-queue bound.  ``submit`` blocks (or raises
+        :class:`~repro.errors.AdmissionError`, with ``block=False`` or
+        on timeout) once this many queries are waiting.
+    plan_cache:
+        Share a cache between servers by passing one in; by default the
+        server creates a private cache of ``plan_cache_capacity``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        device: DeviceProfile | str = GTX970,
+        engine: Engine | str = "resolution",
+        workers: int = 4,
+        queue_size: int = 64,
+        interconnect: Interconnect = PCIE3,
+        plan_cache: PlanCache | None = None,
+        plan_cache_capacity: int = 256,
+    ):
+        if workers < 1:
+            raise ServingError(f"need at least 1 worker, got {workers}")
+        if queue_size < 1:
+            raise ServingError(f"queue size must be >= 1, got {queue_size}")
+        if isinstance(device, VirtualCoprocessor):
+            raise ServingError(
+                "pass a DeviceProfile or profile name; each worker owns a "
+                "private VirtualCoprocessor (profiler state is per-query)"
+            )
+        self.database = database
+        self.profile = get_profile(device) if isinstance(device, str) else device
+        self.interconnect = interconnect
+        self.workers = workers
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(
+            plan_cache_capacity
+        )
+        self._default_engine = (
+            make_engine(engine) if isinstance(engine, str) else engine
+        )
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._queue_capacity = queue_size
+        self._closed = False
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._compile_hits = 0
+        self._compile_misses = 0
+        self._queue_wait_ms = 0.0
+        self._execute_ms = 0.0
+        self._per_worker = [0] * workers
+        self._devices = [
+            VirtualCoprocessor(self.profile, interconnect=interconnect)
+            for _ in range(workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str | LogicalPlan,
+        engine: Engine | str | None = None,
+        seed: int = 42,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue a query; returns a ``Future[ExecutionResult]``.
+
+        Blocks while the admission queue is full (back-pressure); with
+        ``block=False`` or an expired ``timeout`` the query is rejected
+        with :class:`~repro.errors.AdmissionError` instead.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        chosen = None
+        if engine is not None:
+            chosen = make_engine(engine) if isinstance(engine, str) else engine
+        request = _Request(query=query, engine=chosen, seed=seed)
+        try:
+            self._queue.put(request, block=block, timeout=timeout)
+        except queue.Full:
+            raise AdmissionError(
+                f"admission queue full ({self._queue_capacity} waiting); "
+                "retry later or raise queue_size"
+            ) from None
+        with self._lock:
+            self._submitted += 1
+        return request.future
+
+    def execute(
+        self,
+        query: str | LogicalPlan,
+        engine: Engine | str | None = None,
+        seed: int = 42,
+    ) -> ExecutionResult:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(query, engine=engine, seed=seed).result()
+
+    def execute_many(
+        self,
+        queries: list,
+        workers: int | None = None,
+        engine: Engine | str | None = None,
+        seed: int = 42,
+    ) -> list[ExecutionResult]:
+        """Run ``queries`` through the pool; results in input order.
+
+        ``workers`` caps the number of queries in flight (default: the
+        pool size), which is how the throughput benchmark measures
+        1/2/4/8-worker scaling against a single warm pool.
+        """
+        limit = self.workers if workers is None else workers
+        if limit < 1:
+            raise ServingError(f"workers must be >= 1, got {limit}")
+        gate = threading.Semaphore(limit)
+        futures = []
+        for query in queries:
+            gate.acquire()
+            future = self.submit(query, engine=engine, seed=seed)
+            future.add_done_callback(lambda _done: gate.release())
+            futures.append(future)
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        device = self._devices[index]
+        engine = self._default_engine
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            try:
+                self._run_one(item, index, device, engine)
+            finally:
+                self._queue.task_done()
+
+    def _run_one(
+        self, item: _Request, index: int, device: VirtualCoprocessor, engine: Engine
+    ) -> None:
+        if not item.future.set_running_or_notify_cancel():
+            with self._lock:
+                self._cancelled += 1
+            return
+        queue_wait_ms = (time.perf_counter() - item.enqueued_at) * 1e3
+        chosen = item.engine if item.engine is not None else engine
+        try:
+            plan_start = time.perf_counter()
+            physical, hit = self.plan_cache.lookup(item.query, self.database)
+            plan_ms = (time.perf_counter() - plan_start) * 1e3
+            begin_thread_compile_stats()
+            execute_start = time.perf_counter()
+            result = chosen.execute(physical, self.database, device, seed=item.seed)
+            execute_ms = (time.perf_counter() - execute_start) * 1e3
+            compile_hits, compile_misses, compile_ms = thread_compile_stats()
+            result.serving = ServingStats(
+                plan_cache_hit=hit,
+                compile_hits=compile_hits,
+                compile_misses=compile_misses,
+                queue_wait_ms=queue_wait_ms,
+                plan_ms=plan_ms,
+                compile_ms=compile_ms,
+                execute_ms=execute_ms,
+                worker=index,
+            )
+        except BaseException as error:
+            with self._lock:
+                self._failed += 1
+                self._queue_wait_ms += queue_wait_ms
+            item.future.set_exception(error)
+            return
+        with self._lock:
+            self._completed += 1
+            self._per_worker[index] += 1
+            self._plan_hits += int(hit)
+            self._plan_misses += int(not hit)
+            self._compile_hits += compile_hits
+            self._compile_misses += compile_misses
+            self._queue_wait_ms += queue_wait_ms
+            self._execute_ms += execute_ms
+        item.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle & stats
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of the server's counters."""
+        with self._lock:
+            return ServerStats(
+                workers=self.workers,
+                queue_capacity=self._queue_capacity,
+                queue_depth=self._queue.qsize(),
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                plan_hits=self._plan_hits,
+                plan_misses=self._plan_misses,
+                compile_hits=self._compile_hits,
+                compile_misses=self._compile_misses,
+                queue_wait_ms_total=self._queue_wait_ms,
+                execute_ms_total=self._execute_ms,
+                per_worker=list(self._per_worker),
+                plan_cache=self.plan_cache.stats(),
+            )
+
+    def drain(self) -> None:
+        """Block until every admitted query has finished."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Stop accepting queries, finish the backlog, join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,99 @@
+"""Serving metrics: per-query and per-server counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan_cache import PlanCacheStats
+
+
+@dataclass
+class ServingStats:
+    """Per-query serving metrics, attached as ``ExecutionResult.serving``.
+
+    ``plan_ms`` is the front-end cost actually paid (≈0 on a plan-cache
+    hit); ``execute_ms`` is the wall-clock of the engine run;
+    ``queue_wait_ms`` is the time spent in the admission queue (0 for
+    direct :class:`~repro.api.Session` executions).
+    """
+
+    #: True when the physical plan came from the plan cache.
+    plan_cache_hit: bool
+    #: Compiled-kernel cache hits/misses during this query's execution.
+    compile_hits: int
+    compile_misses: int
+    #: Wall-clock milliseconds spent waiting in the admission queue.
+    queue_wait_ms: float
+    #: Wall-clock milliseconds of SQL parsing + pipeline extraction.
+    plan_ms: float
+    #: Wall-clock milliseconds spent compiling generated kernels (0 when
+    #: every kernel came from the cache).
+    compile_ms: float
+    #: Wall-clock milliseconds of engine execution (incl. codegen).
+    execute_ms: float
+    #: Index of the worker that executed the query (-1 for sessions).
+    worker: int = -1
+
+    @property
+    def host_overhead_ms(self) -> float:
+        """The serving overhead the caches amortize: plan + compile."""
+        return self.plan_ms + self.compile_ms
+
+    @property
+    def total_ms(self) -> float:
+        """Queue wait + planning + execution (host wall clock)."""
+        return self.queue_wait_ms + self.plan_ms + self.execute_ms
+
+
+@dataclass
+class ServerStats:
+    """A consistent snapshot of a :class:`~repro.serving.Server`."""
+
+    workers: int
+    queue_capacity: int
+    queue_depth: int
+    #: Queries accepted into the admission queue.
+    submitted: int
+    #: Queries whose futures resolved successfully.
+    completed: int
+    #: Queries whose futures resolved with an exception.
+    failed: int
+    #: Queries cancelled before a worker picked them up.
+    cancelled: int
+    #: Per-query plan-cache outcomes, as counted by this server.
+    plan_hits: int
+    plan_misses: int
+    #: Compiled-kernel cache outcomes summed over this server's queries.
+    compile_hits: int
+    compile_misses: int
+    #: Aggregate queue wait across completed + failed queries.
+    queue_wait_ms_total: float
+    #: Aggregate engine execution wall clock.
+    execute_ms_total: float
+    #: Completed-query counts per worker index.
+    per_worker: list[int] = field(default_factory=list)
+    #: Snapshot of the shared plan cache (may include other servers'
+    #: traffic when the cache is shared).
+    plan_cache: PlanCacheStats | None = None
+
+    @property
+    def finished(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def avg_queue_wait_ms(self) -> float:
+        return self.queue_wait_ms_total / self.finished if self.finished else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        probes = self.plan_hits + self.plan_misses
+        return self.plan_hits / probes if probes else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"workers {self.workers}  submitted {self.submitted}  "
+            f"completed {self.completed}  failed {self.failed}  "
+            f"plan cache {self.plan_hits}/{self.plan_hits + self.plan_misses} hits  "
+            f"kernel cache {self.compile_hits}/{self.compile_hits + self.compile_misses} hits  "
+            f"avg queue wait {self.avg_queue_wait_ms:.3f} ms"
+        )

@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Mapping
 
 from ..errors import SchemaError
 from .table import Table
+
+#: Process-wide serial numbers: every catalog gets a distinct identity,
+#: so cached plans for one database can never be served for another
+#: (even one holding tables with identical names and schemas).
+_SERIALS = itertools.count()
 
 
 class Database:
@@ -14,24 +20,57 @@ class Database:
     All base data lives in host main memory before query execution, as
     in the paper's setup (Appendix A); execution engines pull columns or
     blocks from here onto the virtual device.
+
+    Tables are immutable; all catalog mutation goes through
+    :meth:`add`/:meth:`replace`/:meth:`drop`, each of which bumps the
+    catalog version.  :meth:`fingerprint` combines the catalog's serial
+    number with that version, giving the serving layer's plan cache a
+    key component that changes whenever a cached plan could be stale.
     """
 
     def __init__(self, tables: Mapping[str, Table] | None = None):
         self._tables: dict[str, Table] = dict(tables or {})
+        self._serial = next(_SERIALS)
+        self._version = 0
 
     def add(self, name: str, table: Table) -> None:
         if name in self._tables:
             raise SchemaError(f"table {name!r} already exists")
         self._tables[name] = table
+        self._version += 1
 
     def replace(self, name: str, table: Table) -> None:
         self._tables[name] = table
+        self._version += 1
 
     def drop(self, name: str) -> None:
         try:
             del self._tables[name]
         except KeyError:
             raise SchemaError(f"no table {name!r}") from None
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped by every catalog mutation."""
+        return self._version
+
+    def fingerprint(self) -> tuple[int, int]:
+        """Identity + version: the cache-key component for this catalog.
+
+        Two catalogs never share a fingerprint (distinct serials), and a
+        catalog's fingerprint changes whenever a table is added,
+        replaced (e.g. rows appended), or dropped.
+        """
+        return (self._serial, self._version)
+
+    def schema_fingerprint(self) -> tuple:
+        """A structural digest: table names, column names/dtypes, rows."""
+        return tuple(
+            (name, table.num_rows, tuple(sorted(table.schema().items())))
+            for name, table in sorted(self._tables.items())
+        )
 
     def table(self, name: str) -> Table:
         try:

@@ -1,0 +1,139 @@
+"""Placement-residency benchmark: warm vs. cold PCIe volume.
+
+Runs the mixed SSB workload (all 13 queries) through one device twice:
+
+* **cold** — stateless sessions, every query re-transfers its base
+  columns over PCIe (the paper's "no caching between queries" stance);
+* **warm** — one residency-managed session: the first pass populates
+  the buffer pool, the measured repeat passes serve base columns from
+  device memory.
+
+Acceptance (checked by the report itself):
+
+* warm repeat passes move **>= 5x fewer modeled PCIe bytes** than the
+  same passes run cold;
+* the pool's hit rate over the warm passes is **> 0.8**;
+* cold and warm runs produce identical result rows and identical
+  GPU-global traffic (residency only changes the interconnect).
+
+Run standalone with ``python bench_placement_residency.py [--tiny]``
+or via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
+"""
+
+import sys
+from dataclasses import dataclass, field
+
+from common import BENCH_SF, emit
+
+from repro.api import connect
+from repro.workloads import SSB_QUERIES, generate_ssb
+
+PCIE_RATIO_TARGET = 5.0
+HIT_RATE_TARGET = 0.8
+
+
+@dataclass
+class PlacementBenchReport:
+    scale_factor: float
+    passes: int
+    cold_pcie_bytes: int = 0
+    warm_pcie_bytes: int = 0
+    warm_hit_rate: float = 0.0
+    resident_bytes: int = 0
+    results_match: bool = True
+    global_traffic_matches: bool = True
+    rows: list = field(default_factory=list)
+
+    @property
+    def pcie_ratio(self) -> float:
+        if self.warm_pcie_bytes == 0:
+            return float("inf")
+        return self.cold_pcie_bytes / self.warm_pcie_bytes
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.pcie_ratio >= PCIE_RATIO_TARGET
+            and self.warm_hit_rate > HIT_RATE_TARGET
+            and self.results_match
+            and self.global_traffic_matches
+        )
+
+    def text(self) -> str:
+        lines = [
+            f"Mixed SSB workload at SF {self.scale_factor}, "
+            f"{self.passes} measured repeat pass(es)",
+            "",
+            f"{'query':<8s} {'cold PCIe (KB)':>15s} {'warm PCIe (KB)':>15s}",
+        ]
+        for name, cold_bytes, warm_bytes in self.rows:
+            lines.append(f"{name:<8s} {cold_bytes / 1e3:>15.1f} {warm_bytes / 1e3:>15.1f}")
+        lines += [
+            "",
+            f"resident on device:  {self.resident_bytes / 1e6:.2f} MB",
+            f"cold PCIe volume:    {self.cold_pcie_bytes / 1e6:.2f} MB",
+            f"warm PCIe volume:    {self.warm_pcie_bytes / 1e6:.2f} MB",
+            f"PCIe reduction:      {self.pcie_ratio:.1f}x "
+            f"(target >= {PCIE_RATIO_TARGET:.0f}x)",
+            f"warm hit rate:       {self.warm_hit_rate * 100:.0f}% "
+            f"(target > {HIT_RATE_TARGET * 100:.0f}%)",
+            f"results identical:   {self.results_match}",
+            f"GPU traffic equal:   {self.global_traffic_matches}",
+            f"result: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(tiny: bool = False, passes: int = 2) -> PlacementBenchReport:
+    scale_factor = 0.001 if tiny else min(BENCH_SF, 0.01)
+    database = generate_ssb(scale_factor, seed=7)
+    names = sorted(SSB_QUERIES)
+    report = PlacementBenchReport(scale_factor=scale_factor, passes=passes)
+
+    cold = connect(database, residency=False)
+    warm = connect(database, residency=True)
+    for name in names:
+        warm.execute(SSB_QUERIES[name])  # populate the pool (unmeasured)
+    hits_before = warm.placement_stats().hits
+    misses_before = warm.placement_stats().misses
+
+    per_query_cold = {name: 0 for name in names}
+    per_query_warm = {name: 0 for name in names}
+    for _ in range(passes):
+        for name in names:
+            cold_result = cold.execute(SSB_QUERIES[name])
+            warm_result = warm.execute(SSB_QUERIES[name])
+            cold_pcie = cold_result.input_bytes + cold_result.output_bytes
+            warm_pcie = warm_result.input_bytes + warm_result.output_bytes
+            report.cold_pcie_bytes += cold_pcie
+            report.warm_pcie_bytes += warm_pcie
+            per_query_cold[name] += cold_pcie
+            per_query_warm[name] += warm_pcie
+            if cold_result.table.sorted_rows() != warm_result.table.sorted_rows():
+                report.results_match = False
+            if cold_result.global_memory_bytes != warm_result.global_memory_bytes:
+                report.global_traffic_matches = False
+
+    stats = warm.placement_stats()
+    warm_hits = stats.hits - hits_before
+    warm_probes = warm_hits + (stats.misses - misses_before)
+    report.warm_hit_rate = warm_hits / warm_probes if warm_probes else 0.0
+    report.resident_bytes = stats.resident_bytes
+    report.rows = [(name, per_query_cold[name], per_query_warm[name]) for name in names]
+    return report
+
+
+def test_placement_residency(benchmark):
+    report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
+    emit("placement_residency", report.text())
+    assert report.pcie_ratio >= PCIE_RATIO_TARGET
+    assert report.warm_hit_rate > HIT_RATE_TARGET
+    assert report.results_match
+    assert report.global_traffic_matches
+
+
+if __name__ == "__main__":
+    tiny = "--tiny" in sys.argv[1:]
+    report = run(tiny=tiny)
+    emit("placement_residency", report.text())
+    sys.exit(0 if report.passed else 1)

@@ -23,8 +23,10 @@ from .engines import (
 )
 from .errors import (
     CompilationError,
+    ConfigurationError,
     DeviceMemoryError,
     ExpressionError,
+    PlacementError,
     PlanError,
     ReproError,
     SchemaError,
@@ -43,6 +45,7 @@ from .hardware import (
     VirtualCoprocessor,
     get_profile,
 )
+from .placement import BufferPool, PlacementStats, QueryPlacement
 from .plan import PlanBuilder, load_json_plan
 from .storage import Column, Database, DType, Table, load_database, save_database
 from .validation import ValidationReport, verify_engines
@@ -52,9 +55,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "A10",
+    "BufferPool",
     "Column",
     "CompilationError",
     "CompoundEngine",
+    "ConfigurationError",
     "CpuOperatorAtATimeEngine",
     "DType",
     "Database",
@@ -68,8 +73,11 @@ __all__ = [
     "Interconnect",
     "MultiPassEngine",
     "OperatorAtATimeEngine",
+    "PlacementError",
+    "PlacementStats",
     "PlanBuilder",
     "PlanError",
+    "QueryPlacement",
     "ReproError",
     "RX480",
     "SchemaError",

@@ -30,6 +30,7 @@ import sys
 
 from .analysis import format_table
 from .api import ENGINE_FACTORIES, Session
+from .errors import ConfigurationError
 from .engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
 from .hardware import list_profiles
 from .storage import load_database, save_database
@@ -147,6 +148,11 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         "--data-dir", default=None,
         help="load a persisted database (see 'generate') instead of generating",
     )
+    cmd.add_argument(
+        "--residency", action="store_true",
+        help="keep base columns device-resident between queries (buffer "
+        "pool with cost-aware eviction and out-of-core fallback)",
+    )
 
 
 def _database(args):
@@ -179,7 +185,12 @@ def _cmd_devices(_args) -> int:
 
 
 def _cmd_query(args) -> int:
-    session = Session(_database(args), device=args.device, engine=args.engine)
+    session = Session(
+        _database(args),
+        device=args.device,
+        engine=args.engine,
+        residency=args.residency,
+    )
     result = session.execute(args.sql)
     for row in result.table.head(args.limit):
         print(row)
@@ -187,6 +198,10 @@ def _cmd_query(args) -> int:
         print(f"... ({result.table.num_rows} rows total)")
     print()
     print(result.summary())
+    if args.residency:
+        stats = session.placement_stats()
+        if stats is not None:
+            print(f"placement: {stats.summary()}")
     return 0
 
 
@@ -310,7 +325,11 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,7 +9,7 @@
 * :class:`CpuOperatorAtATimeEngine` — MonetDB-like CPU baseline
 """
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from .base import Engine, ExecutionResult
 from .compound import CompoundEngine
 from .cpu_engine import CpuOperatorAtATimeEngine, make_cpu_device
@@ -38,7 +38,9 @@ def make_engine(name: str) -> Engine:
         factory = ENGINE_FACTORIES[name]
     except KeyError:
         known = ", ".join(sorted(ENGINE_FACTORIES))
-        raise ReproError(f"unknown engine {name!r}; known engines: {known}") from None
+        raise ConfigurationError(
+            f"unknown engine {name!r}; known engines: {known}"
+        ) from None
     return factory()
 
 

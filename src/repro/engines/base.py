@@ -40,6 +40,10 @@ class ExecutionResult:
     #: Per-query serving metrics (:class:`repro.serving.ServingStats`);
     #: populated by the serving layer / cached sessions, else ``None``.
     serving: object | None = None
+    #: Per-query residency outcome
+    #: (:class:`repro.placement.QueryPlacement`) when a buffer pool is
+    #: attached to the device, else ``None``.
+    placement: object | None = None
 
     @property
     def kernel_ms(self) -> float:
@@ -131,46 +135,62 @@ class Engine:
         """Run a query and return its result and metrics.
 
         The device profiler is reset at the start, so the returned
-        profile covers exactly this query (no cross-query caching —
-        HorseQC "does not cache data between queries", Section 8.9).
+        profile covers exactly this query.  Without a buffer pool the
+        device is fully reset (no cross-query caching — HorseQC "does
+        not cache data between queries", Section 8.9); with a
+        :class:`~repro.placement.BufferPool` attached, pool-resident
+        base columns survive between queries and repeat loads skip the
+        PCIe charge.  Either way, all transient allocations (hash
+        tables, payloads, scratch) are reclaimed when the query ends,
+        even on error.
         """
         if isinstance(plan, PhysicalQuery):
             query = plan
         else:
             query = extract_pipelines(plan, database)
-        device.reset_all()
-        runtime = QueryRuntime(device, database, seed=seed)
-        outputs: dict[str, np.ndarray] | None = None
-        for pipeline in query.pipelines:
-            produced = self.execute_pipeline(pipeline, runtime)
-            if pipeline.is_final:
-                outputs = produced
-            elif pipeline.output_schema is not None:
-                assert produced is not None
-                runtime.register_virtual(
-                    pipeline.output_name,
-                    _cast_outputs(produced, pipeline.output_schema),
-                    pipeline.output_schema,
-                )
-        assert outputs is not None, "query had no final pipeline"
-        table = runtime.finalize(query, outputs)
-        # Rebind (do not mutate) the convenience attribute: concurrent
-        # executions each install their own complete dict, so a reader
-        # always sees one query's sources, never a mixture.
-        self.kernel_sources = dict(runtime.kernel_sources)
-        return ExecutionResult(
-            table=table,
-            profile=device.log,
-            engine=self.name,
-            device_name=device.profile.name,
-            input_bytes=runtime.input_bytes,
-            output_bytes=runtime.output_bytes,
-            pcie_ms=device.pcie_baseline_ms(runtime.input_bytes, runtime.output_bytes),
-            memory_bound_ms=device.memory_bound_ms(
-                runtime.input_bytes + runtime.output_bytes
-            ),
-            kernel_sources=dict(runtime.kernel_sources),
-        )
+        pool = device.placement_pool
+        if pool is None:
+            device.reset_all()
+        else:
+            device.begin_query()
+        runtime = QueryRuntime(device, database, seed=seed, pool=pool)
+        try:
+            outputs: dict[str, np.ndarray] | None = None
+            for pipeline in query.pipelines:
+                produced = self.execute_pipeline(pipeline, runtime)
+                if pipeline.is_final:
+                    outputs = produced
+                elif pipeline.output_schema is not None:
+                    assert produced is not None
+                    runtime.register_virtual(
+                        pipeline.output_name,
+                        _cast_outputs(produced, pipeline.output_schema),
+                        pipeline.output_schema,
+                    )
+            assert outputs is not None, "query had no final pipeline"
+            table = runtime.finalize(query, outputs)
+            # Rebind (do not mutate) the convenience attribute: concurrent
+            # executions each install their own complete dict, so a reader
+            # always sees one query's sources, never a mixture.
+            self.kernel_sources = dict(runtime.kernel_sources)
+            return ExecutionResult(
+                table=table,
+                profile=device.log,
+                engine=self.name,
+                device_name=device.profile.name,
+                input_bytes=runtime.input_bytes,
+                output_bytes=runtime.output_bytes,
+                pcie_ms=device.pcie_baseline_ms(
+                    runtime.input_bytes, runtime.output_bytes
+                ),
+                memory_bound_ms=device.memory_bound_ms(
+                    runtime.input_bytes + runtime.output_bytes
+                ),
+                kernel_sources=dict(runtime.kernel_sources),
+                placement=runtime.query_placement(),
+            )
+        finally:
+            runtime.close()
 
     # ------------------------------------------------------------------
     def execute_pipeline(

@@ -62,11 +62,24 @@ class AggregationResult:
 
 
 class QueryRuntime:
-    """Mutable state threaded through the pipelines of one query."""
+    """Mutable state threaded through the pipelines of one query.
 
-    def __init__(self, device: VirtualCoprocessor, database: Database, seed: int = 42):
+    When a :class:`~repro.placement.BufferPool` is supplied, base
+    column loads route through it: resident columns skip the PCIe
+    charge (a placement hit, pinned until :meth:`close`), cold columns
+    transfer once and stay resident for later queries.
+    """
+
+    def __init__(
+        self,
+        device: VirtualCoprocessor,
+        database: Database,
+        seed: int = 42,
+        pool=None,
+    ):
         self.device = device
         self.database = database
+        self.pool = pool
         self.rng = np.random.default_rng(seed)
         self.hash_tables: dict[str, HashTableEntry] = {}
         self.virtual_tables: dict[str, VirtualTable] = {}
@@ -75,10 +88,17 @@ class QueryRuntime:
         #: their sources; surfaced as ``ExecutionResult.kernel_sources``).
         self.kernel_sources: dict[str, str] = {}
         self._transferred: set[tuple[str, str]] = set()
+        #: Pool entries pinned by this query (unpinned by :meth:`close`).
+        self._pinned: list = []
         #: Base-column bytes moved host->device (PCIe input volume).
         self.input_bytes = 0
         #: Result bytes moved device->host.
         self.output_bytes = 0
+        #: Base-column loads served from device-resident buffers.
+        self.placement_hits = 0
+        self.placement_misses = 0
+        #: PCIe bytes the placement hits avoided.
+        self.placement_hit_bytes = 0
 
     # ------------------------------------------------------------------
     def load_source(self, pipeline: Pipeline) -> dict[str, np.ndarray]:
@@ -101,12 +121,48 @@ class QueryRuntime:
             key = (pipeline.source, base_name)
             if key not in self._transferred:
                 self._transferred.add(key)
-                self.device.transfer_to_device(
-                    column.values, label=f"{pipeline.source}.{base_name}"
-                )
-                self.input_bytes += column.nbytes
+                if self.pool is not None:
+                    entry, hit = self.pool.acquire(
+                        pipeline.source, base_name, column,
+                        self.database.fingerprint(),
+                    )
+                    self._pinned.append(entry)
+                    if hit:
+                        self.placement_hits += 1
+                        self.placement_hit_bytes += column.nbytes
+                    else:
+                        self.placement_misses += 1
+                        self.input_bytes += column.nbytes
+                else:
+                    self.device.transfer_to_device(
+                        column.values, label=f"{pipeline.source}.{base_name}"
+                    )
+                    self.input_bytes += column.nbytes
             scope[name] = column.values
         return scope
+
+    # ------------------------------------------------------------------
+    def query_placement(self):
+        """This query's residency outcome (None when no pool is set)."""
+        if self.pool is None:
+            return None
+        from ..placement.stats import QueryPlacement
+
+        return QueryPlacement(
+            hits=self.placement_hits,
+            misses=self.placement_misses,
+            hit_bytes=self.placement_hit_bytes,
+            transferred_bytes=self.input_bytes,
+        )
+
+    def close(self) -> None:
+        """End-of-query cleanup: unpin pool entries and reclaim every
+        transient device allocation (hash tables, payload columns,
+        scratch) so only pool-resident buffers stay on the device."""
+        if self.pool is not None and self._pinned:
+            self.pool.release(self._pinned)
+            self._pinned = []
+        self.device.release_transient()
 
     # ------------------------------------------------------------------
     def register_hash_table(self, table_id: str, entry: HashTableEntry) -> None:

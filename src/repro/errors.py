@@ -57,6 +57,24 @@ class WorkloadError(ReproError):
     """Raised by workload generators for invalid parameters."""
 
 
+class PlacementError(ReproError):
+    """Raised by the buffer pool for residency-protocol violations
+    (evicting a pinned buffer, mutating a pinned column, ...)."""
+
+
+class ConfigurationError(ReproError, KeyError):
+    """Raised for unknown engine / device / policy names.
+
+    Every lookup-by-name surface (``make_engine``, ``get_profile``,
+    ``Session``, ``Server``, the CLI) raises this one type with a
+    message listing the valid choices.  Subclasses :class:`KeyError`
+    for backward compatibility with callers catching that.
+    """
+
+    def __str__(self) -> str:  # avoid KeyError's repr-quoting
+        return Exception.__str__(self)
+
+
 class ServingError(ReproError):
     """Raised by the serving runtime (admission, shutdown, misuse)."""
 

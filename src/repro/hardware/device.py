@@ -34,12 +34,20 @@ from .traffic import KernelTrace, Profile, TrafficMeter, TransferRecord
 
 @dataclass
 class DeviceBuffer:
-    """A numpy array accounted as resident in device global memory."""
+    """A numpy array accounted as resident in device global memory.
+
+    ``pooled`` marks buffers owned by a cross-query
+    :class:`~repro.placement.BufferPool`: they survive
+    :meth:`VirtualCoprocessor.begin_query` /
+    :meth:`VirtualCoprocessor.release_transient`, which reclaim all
+    per-query (transient) allocations.
+    """
 
     array: np.ndarray
     device: "VirtualCoprocessor"
     label: str = ""
     freed: bool = field(default=False, compare=False)
+    pooled: bool = field(default=False, compare=False)
 
     @property
     def nbytes(self) -> int:
@@ -70,22 +78,46 @@ class VirtualCoprocessor:
         self.cost_model = KernelCostModel(profile)
         self.allocated_bytes = 0
         self.peak_allocated = 0
+        #: Bytes held by pooled (cross-query resident) buffers.
+        self.pooled_bytes = 0
         self.log = Profile()
-        self._live_buffers: set[int] = set()
+        self._live_buffers: dict[int, DeviceBuffer] = {}
+        #: Buffer pool attached to this device (set by
+        #: :class:`~repro.placement.BufferPool`); engines route base
+        #: column loads through it when present.
+        self.placement_pool = None
+        #: Called with the byte shortfall when an allocation would
+        #: exceed capacity; a buffer pool hooks this to evict resident
+        #: columns before the allocation is retried.
+        self.pressure_callback = None
+        #: Called by :meth:`reset_all` so an attached pool can drop its
+        #: residency bookkeeping along with the device accounting.
+        self.reset_callback = None
 
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
-    def allocate(self, array: np.ndarray, label: str = "") -> DeviceBuffer:
-        """Account ``array`` as a device-resident buffer."""
+    def allocate(self, array: np.ndarray, label: str = "", pooled: bool = False) -> DeviceBuffer:
+        """Account ``array`` as a device-resident buffer.
+
+        When the allocation would exceed capacity and a
+        ``pressure_callback`` is installed, it is given one chance to
+        reclaim memory (evict unpinned pooled buffers) before
+        :class:`~repro.errors.DeviceMemoryError` is raised.
+        """
         nbytes = array.nbytes
         available = self.profile.memory_capacity - self.allocated_bytes
+        if nbytes > available and self.pressure_callback is not None:
+            self.pressure_callback(nbytes - available)
+            available = self.profile.memory_capacity - self.allocated_bytes
         if nbytes > available:
             raise DeviceMemoryError(nbytes, available, self.profile.memory_capacity)
-        buffer = DeviceBuffer(array=array, device=self, label=label)
+        buffer = DeviceBuffer(array=array, device=self, label=label, pooled=pooled)
         self.allocated_bytes += nbytes
+        if pooled:
+            self.pooled_bytes += nbytes
         self.peak_allocated = max(self.peak_allocated, self.allocated_bytes)
-        self._live_buffers.add(id(buffer))
+        self._live_buffers[id(buffer)] = buffer
         return buffer
 
     def allocate_empty(self, shape, dtype, label: str = "") -> DeviceBuffer:
@@ -97,8 +129,25 @@ class VirtualCoprocessor:
         if id(buffer) not in self._live_buffers:
             raise AllocationError("buffer does not belong to this device")
         buffer.freed = True
-        self._live_buffers.discard(id(buffer))
+        del self._live_buffers[id(buffer)]
         self.allocated_bytes -= buffer.nbytes
+        if buffer.pooled:
+            self.pooled_bytes -= buffer.nbytes
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes pinned across queries by an attached buffer pool."""
+        return self.pooled_bytes
+
+    def release_transient(self) -> None:
+        """Free every live buffer that is not pool-owned.
+
+        Engines call this at the end of a query: hash-table slots,
+        payload columns, and any other per-query scratch are reclaimed,
+        while pooled base columns stay resident for the next query.
+        """
+        for buffer in [b for b in self._live_buffers.values() if not b.pooled]:
+            self.free(buffer)
 
     @contextlib.contextmanager
     def scoped(self, *buffers: DeviceBuffer):
@@ -113,9 +162,11 @@ class VirtualCoprocessor:
     # ------------------------------------------------------------------
     # transfers
     # ------------------------------------------------------------------
-    def transfer_to_device(self, array: np.ndarray, label: str = "") -> DeviceBuffer:
+    def transfer_to_device(
+        self, array: np.ndarray, label: str = "", pooled: bool = False
+    ) -> DeviceBuffer:
         """Move a host array onto the device (PCIe h2d, or free on APUs)."""
-        buffer = self.allocate(array, label=label)
+        buffer = self.allocate(array, label=label, pooled=pooled)
         self._record_transfer(array.nbytes, "h2d", label)
         return buffer
 
@@ -194,9 +245,23 @@ class VirtualCoprocessor:
         """Clear the profiler log (allocations are left untouched)."""
         self.log = Profile()
 
+    def begin_query(self) -> None:
+        """Start a fresh query: clear the profiler log and reclaim
+        transient allocations, keeping pooled buffers resident."""
+        self.release_transient()
+        self.log = Profile()
+        self.peak_allocated = self.allocated_bytes
+
     def reset_all(self) -> None:
-        """Clear the profiler log and all allocation accounting."""
+        """Clear the profiler log and ALL allocation accounting —
+        including pool-resident buffers (the attached pool, if any, is
+        notified so its bookkeeping stays consistent)."""
         self.log = Profile()
         self.allocated_bytes = 0
         self.peak_allocated = 0
+        self.pooled_bytes = 0
+        for buffer in self._live_buffers.values():
+            buffer.freed = True
         self._live_buffers.clear()
+        if self.reset_callback is not None:
+            self.reset_callback()

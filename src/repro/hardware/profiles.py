@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..errors import ConfigurationError
+
 GB = 1_000_000_000
 KB = 1024
 
@@ -210,7 +212,9 @@ def get_profile(name: str) -> DeviceProfile:
         return _REGISTRY[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None
+        raise ConfigurationError(
+            f"unknown device {name!r}; known devices: {known}"
+        ) from None
 
 
 def list_profiles() -> list[DeviceProfile]:

@@ -360,11 +360,26 @@ class KernelContext:
             self.meter, self.runtime.device, keys, name=self.sink.table_id
         )
         payload: dict[str, np.ndarray] = {}
-        for name in self.sink.payload:
-            values = np.ascontiguousarray(self.scope[name][selected])
-            self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
-            self.runtime.device.allocate(values, label=f"{self.sink.table_id}.{name}")
-            payload[name] = values
+        payload_buffers = []
+        try:
+            for name in self.sink.payload:
+                values = np.ascontiguousarray(self.scope[name][selected])
+                self.meter.record_write(MemoryLevel.GLOBAL, values.nbytes)
+                payload_buffers.append(
+                    self.runtime.device.allocate(
+                        values, label=f"{self.sink.table_id}.{name}"
+                    )
+                )
+                payload[name] = values
+        except BaseException:
+            # Free the half-built table (slots + any payload columns
+            # already allocated) so a failed build does not leak.
+            for buffer in payload_buffers:
+                if not buffer.freed:
+                    self.runtime.device.free(buffer)
+            if table.slots_buffer is not None and not table.slots_buffer.freed:
+                self.runtime.device.free(table.slots_buffer)
+            raise
         for array, key_values in zip(key_arrays, keys):
             self.meter.record_write(MemoryLevel.GLOBAL, key_values.nbytes)
         self.runtime.register_hash_table(self.sink.table_id, HashTableEntry(table, payload))

@@ -51,6 +51,9 @@ class BatchResult:
     input_bytes: int
     output_bytes: int
     peak_device_bytes: int
+    #: Residency outcome (:class:`repro.placement.QueryPlacement`) when
+    #: a buffer pool was attached to the device, else ``None``.
+    placement: object | None = None
 
     @property
     def stream_ms(self) -> float:
@@ -90,79 +93,88 @@ class BatchExecutor:
                 "table (stream the fact table, keep dimensions resident)"
             )
 
-        device.reset_all()
-        runtime = QueryRuntime(device, database, seed=seed)
+        pool = device.placement_pool
+        if pool is None:
+            device.reset_all()
+        else:
+            device.begin_query()
+        runtime = QueryRuntime(device, database, seed=seed, pool=pool)
+        try:
+            # Phase 1: dimension pipelines, run-to-finish.  With a pool
+            # attached, dimension columns become (and may stay)
+            # device-resident; the streamed fact blocks below never do.
+            for pipeline in query.pipelines[:-1]:
+                produced = self.engine.execute_pipeline(pipeline, runtime)
+                if pipeline.output_schema is not None and produced is not None:
+                    runtime.register_virtual(
+                        pipeline.output_name,
+                        _cast_outputs(produced, pipeline.output_schema),
+                        pipeline.output_schema,
+                    )
+            build_ms = device.log.total_time_ms
+            build_marker_kernels = len(device.log.kernels)
+            build_marker_transfers = len(device.log.transfers)
+            build_input_bytes = runtime.input_bytes
 
-        # Phase 1: dimension pipelines, run-to-finish.
-        for pipeline in query.pipelines[:-1]:
-            produced = self.engine.execute_pipeline(pipeline, runtime)
-            if pipeline.output_schema is not None and produced is not None:
-                runtime.register_virtual(
-                    pipeline.output_name,
-                    _cast_outputs(produced, pipeline.output_schema),
-                    pipeline.output_schema,
+            # Phase 2: stream the fact pipeline in blocks.
+            table = database.table(final.source)
+            rows_per_block = self._rows_per_block(final, table)
+            total_rows = table.num_rows
+            num_blocks = max(1, -(-total_rows // rows_per_block))
+
+            partials: list[dict[str, np.ndarray]] = []
+            stream_input_bytes = 0
+            peak = device.allocated_bytes
+            for index in range(num_blocks):
+                start = index * rows_per_block
+                stop = min(start + rows_per_block, total_rows)
+                scope = {}
+                block_nbytes = 0
+                for name in final.required_columns:
+                    base = final.source_rename.get(name, name)
+                    values = table.column(base).values[start:stop]
+                    scope[name] = values
+                    block_nbytes += values.nbytes
+                device.record_stream_transfer(block_nbytes, "h2d", label=f"block{index}")
+                stream_input_bytes += block_nbytes
+
+                ctx = KernelContext(
+                    runtime,
+                    scope,
+                    final.scope_schema,
+                    mode=self.engine.mode,
+                    sink=final.sink,
+                    output_schema=final.output_schema,
                 )
-        build_ms = device.log.total_time_ms
-        build_marker_kernels = len(device.log.kernels)
-        build_marker_transfers = len(device.log.transfers)
-        build_input_bytes = runtime.input_bytes
+                kernel = generate_compound_kernel(final)
+                kernel(ctx)
+                device.launch(f"{kernel.name}.block{index}", "compound", ctx.n, ctx.meter)
+                partials.append(dict(ctx.outputs))
+                peak = max(peak, device.allocated_bytes + block_nbytes)
 
-        # Phase 2: stream the fact pipeline in blocks.
-        table = database.table(final.source)
-        rows_per_block = self._rows_per_block(final, table)
-        total_rows = table.num_rows
-        num_blocks = max(1, -(-total_rows // rows_per_block))
+            merged = self._merge_partials(final, partials)
+            runtime.input_bytes = build_input_bytes + stream_input_bytes
+            result_table = runtime.finalize(query, merged)
 
-        partials: list[dict[str, np.ndarray]] = []
-        stream_input_bytes = 0
-        peak = device.allocated_bytes
-        for index in range(num_blocks):
-            start = index * rows_per_block
-            stop = min(start + rows_per_block, total_rows)
-            scope = {}
-            block_nbytes = 0
-            for name in final.required_columns:
-                base = final.source_rename.get(name, name)
-                values = table.column(base).values[start:stop]
-                scope[name] = values
-                block_nbytes += values.nbytes
-            device.record_stream_transfer(block_nbytes, "h2d", label=f"block{index}")
-            stream_input_bytes += block_nbytes
-
-            ctx = KernelContext(
-                runtime,
-                scope,
-                final.scope_schema,
-                mode=self.engine.mode,
-                sink=final.sink,
-                output_schema=final.output_schema,
+            stream_kernels = device.log.kernels[build_marker_kernels:]
+            stream_transfers = device.log.transfers[build_marker_transfers:]
+            stream_kernel_ms = sum(trace.time_ms for trace in stream_kernels)
+            stream_transfer_ms = sum(record.time_ms for record in stream_transfers)
+            return BatchResult(
+                table=result_table,
+                block_bytes=self.block_bytes,
+                num_blocks=num_blocks,
+                build_ms=build_ms,
+                stream_transfer_ms=stream_transfer_ms,
+                stream_kernel_ms=stream_kernel_ms,
+                overhead_ms=num_blocks * BLOCK_OVERHEAD * 1e3,
+                input_bytes=runtime.input_bytes,
+                output_bytes=runtime.output_bytes,
+                peak_device_bytes=peak,
+                placement=runtime.query_placement(),
             )
-            kernel = generate_compound_kernel(final)
-            kernel(ctx)
-            device.launch(f"{kernel.name}.block{index}", "compound", ctx.n, ctx.meter)
-            partials.append(dict(ctx.outputs))
-            peak = max(peak, device.allocated_bytes + block_nbytes)
-
-        merged = self._merge_partials(final, partials)
-        runtime.input_bytes = build_input_bytes + stream_input_bytes
-        result_table = runtime.finalize(query, merged)
-
-        stream_kernels = device.log.kernels[build_marker_kernels:]
-        stream_transfers = device.log.transfers[build_marker_transfers:]
-        stream_kernel_ms = sum(trace.time_ms for trace in stream_kernels)
-        stream_transfer_ms = sum(record.time_ms for record in stream_transfers)
-        return BatchResult(
-            table=result_table,
-            block_bytes=self.block_bytes,
-            num_blocks=num_blocks,
-            build_ms=build_ms,
-            stream_transfer_ms=stream_transfer_ms,
-            stream_kernel_ms=stream_kernel_ms,
-            overhead_ms=num_blocks * BLOCK_OVERHEAD * 1e3,
-            input_bytes=runtime.input_bytes,
-            output_bytes=runtime.output_bytes,
-            peak_device_bytes=peak,
-        )
+        finally:
+            runtime.close()
 
     # ------------------------------------------------------------------
     def _rows_per_block(self, pipeline: Pipeline, table) -> int:
@@ -221,3 +233,48 @@ class BatchExecutor:
         for name, dtype in schema.dtypes.items():
             merged[name] = np.asarray(merged[name]).astype(dtype.numpy_dtype)
         return merged
+
+
+def execute_out_of_core(
+    plan: LogicalPlan | PhysicalQuery,
+    database: Database,
+    device: VirtualCoprocessor,
+    seed: int = 42,
+    block_bytes: int = 2 * 1024 * 1024,
+    mode: str = "lrgp_simd",
+):
+    """Run a query whose working set exceeds device memory by streaming,
+    packaged as an ordinary :class:`~repro.engines.base.ExecutionResult`.
+
+    This is the automatic fallback target of
+    :func:`repro.placement.execute_with_placement`: dimension pipelines
+    run run-to-finish (their hash tables resident), the fact pipeline
+    streams through the device in ``block_bytes`` blocks, and the
+    result's ``placement`` records ``out_of_core=True``.
+    """
+    from ..engines.base import ExecutionResult
+    from ..placement.stats import QueryPlacement
+
+    executor = BatchExecutor(block_bytes=block_bytes, mode=mode)
+    batch = executor.execute(plan, database, device, seed=seed)
+    inner = batch.placement
+    placement = QueryPlacement(
+        hits=inner.hits if inner is not None else 0,
+        misses=inner.misses if inner is not None else 0,
+        hit_bytes=inner.hit_bytes if inner is not None else 0,
+        transferred_bytes=batch.input_bytes,
+        out_of_core=True,
+    )
+    return ExecutionResult(
+        table=batch.table,
+        profile=device.log,
+        engine=f"batch[{mode}]",
+        device_name=device.profile.name,
+        input_bytes=batch.input_bytes,
+        output_bytes=batch.output_bytes,
+        pcie_ms=device.pcie_baseline_ms(batch.input_bytes, batch.output_bytes),
+        memory_bound_ms=device.memory_bound_ms(
+            batch.input_bytes + batch.output_bytes
+        ),
+        placement=placement,
+    )

@@ -1,0 +1,95 @@
+"""Placement-aware execution: working-set check + out-of-core fallback.
+
+The run-to-finish engines need every input column (plus hash tables
+and scratch) in device memory at once; historically a working set
+larger than the device raised
+:class:`~repro.errors.DeviceMemoryError` unless the caller hand-picked
+the streaming :class:`~repro.macro.batch.BatchExecutor`.  With a
+:class:`~repro.placement.BufferPool` attached, execution becomes
+transparent:
+
+1. If the plan's base input columns *provably* exceed device capacity
+   (no eviction schedule can help: the columns alone do not fit), the
+   query is routed directly to the streaming batch executor.
+2. Otherwise the normal engine runs; the pool evicts cold resident
+   columns under pressure.  If the device still runs out (hash tables
+   or scratch pushed it over), the query transparently retries on the
+   streaming path.
+
+Either way the caller gets an ordinary
+:class:`~repro.engines.base.ExecutionResult` whose ``placement``
+records whether the out-of-core path ran.
+"""
+
+from __future__ import annotations
+
+from ..engines.base import Engine, ExecutionResult
+from ..engines.compound import CompoundEngine
+from ..errors import DeviceMemoryError, PlanError
+from ..hardware.device import VirtualCoprocessor
+from ..plan.physical import PhysicalQuery
+from ..storage.database import Database
+
+
+def base_column_bytes(query: PhysicalQuery, database: Database) -> int:
+    """Total bytes of the distinct base columns the plan reads — the
+    provable lower bound on the run-to-finish device working set."""
+    seen: set[tuple[str, str]] = set()
+    total = 0
+    for pipeline in query.pipelines:
+        if pipeline.source_is_virtual:
+            continue
+        table = database.table(pipeline.source)
+        for name in pipeline.required_columns:
+            base = pipeline.source_rename.get(name, name)
+            key = (pipeline.source, base)
+            if key not in seen:
+                seen.add(key)
+                total += table.column(base).nbytes
+    return total
+
+
+def execute_with_placement(
+    engine: Engine,
+    query: PhysicalQuery,
+    database: Database,
+    device: VirtualCoprocessor,
+    seed: int = 42,
+) -> ExecutionResult:
+    """Run ``query`` with residency management and automatic fallback.
+
+    Requires a :class:`~repro.placement.BufferPool` attached to
+    ``device`` (``device.placement_pool``).
+    """
+    pool = device.placement_pool
+    if pool is None:
+        return engine.execute(query, database, device, seed=seed)
+    if base_column_bytes(query, database) > device.profile.memory_capacity:
+        return _fallback(engine, query, database, device, seed, original=None)
+    try:
+        return engine.execute(query, database, device, seed=seed)
+    except DeviceMemoryError as error:
+        return _fallback(engine, query, database, device, seed, original=error)
+
+
+def _fallback(
+    engine: Engine,
+    query: PhysicalQuery,
+    database: Database,
+    device: VirtualCoprocessor,
+    seed: int,
+    original: DeviceMemoryError | None,
+) -> ExecutionResult:
+    from ..macro.batch import execute_out_of_core
+
+    device.placement_pool.record_fallback()
+    mode = engine.mode if isinstance(engine, CompoundEngine) else "lrgp_simd"
+    try:
+        return execute_out_of_core(query, database, device, seed=seed, mode=mode)
+    except PlanError:
+        # The plan cannot stream (e.g. the final pipeline reads a
+        # virtual table, or AVG partials cannot merge).  Surface the
+        # capacity problem, not the fallback's limitation.
+        if original is not None:
+            raise original from None
+        raise

@@ -81,6 +81,9 @@ class JoinHashTable:
         self.slots = slots
         self.capacity = capacity
         self.name = name
+        #: Device buffer backing ``slots`` (set by the build paths so
+        #: error handling can free a half-built table).
+        self.slots_buffer = None
 
     # ------------------------------------------------------------------
     @property
@@ -194,7 +197,7 @@ class JoinHashTable:
         device.launch(f"build.{name}", "build", n, meter)
 
         # The slot array stays resident in device global memory.
-        device.allocate(slots, label=f"{name}.slots")
+        table.slots_buffer = device.allocate(slots, label=f"{name}.slots")
         return table
 
     @classmethod
@@ -228,8 +231,9 @@ class JoinHashTable:
             )
         )
         meter.record_instructions(3 * attempts)
-        device.allocate(slots, label=f"{name}.slots")
-        return cls(key_arrays=key_arrays, slots=slots, capacity=capacity, name=name)
+        table = cls(key_arrays=key_arrays, slots=slots, capacity=capacity, name=name)
+        table.slots_buffer = device.allocate(slots, label=f"{name}.slots")
+        return table
 
     # ------------------------------------------------------------------
     def probe(

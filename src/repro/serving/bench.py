@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..analysis import format_table
 from ..kernels.codegen import clear_kernel_cache
+from ..placement.stats import PlacementStats
 from ..storage.database import Database
 from ..workloads import SSB_QUERIES, generate_ssb
 from .plan_cache import PlanCache
@@ -65,6 +66,9 @@ class ServingBenchReport:
     repeats: int
     latency: list[LatencyRow] = field(default_factory=list)
     throughput: list[ThroughputRow] = field(default_factory=list)
+    #: Residency counters of the single-worker latency server
+    #: (``None`` when the benchmark ran with ``residency=False``).
+    placement: PlacementStats | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +126,16 @@ class ServingBenchReport:
                 ),
             )
         )
+        if self.placement is not None:
+            parts.append(
+                "Placement (cross-query column residency, 1-worker server):\n"
+                f"  resident bytes   {self.placement.resident_bytes}\n"
+                f"  hit rate         {self.placement.hit_rate * 100:.0f}% "
+                f"({self.placement.hits}/{self.placement.hits + self.placement.misses})\n"
+                f"  PCIe saved       {self.placement.hit_bytes / 1e6:.2f} MB\n"
+                f"  evictions        {self.placement.evictions}\n"
+                f"  out-of-core      {self.placement.fallbacks}"
+            )
         parts.append(
             f"warm-cache latency speedup: {self.warm_speedup:.2f}x "
             f"(target >= {WARM_SPEEDUP_TARGET:.1f}x)\n"
@@ -147,6 +161,7 @@ def run_serving_benchmark(
     engine: str = "resolution",
     database: Database | None = None,
     seed: int = 7,
+    residency: bool = True,
 ) -> ServingBenchReport:
     """Run both phases; see the module docstring for the metrics."""
     if database is None:
@@ -158,9 +173,10 @@ def run_serving_benchmark(
     # Phase 1: cold vs warm serving latency, single worker. ------------
     clear_kernel_cache()
     with Server(database, device=device, engine=engine, workers=1,
-                queue_size=len(queries) + 1) as server:
+                queue_size=len(queries) + 1, residency=residency) as server:
         cold = server.execute_many(queries)
         warm_passes = [server.execute_many(queries) for _ in range(repeats)]
+        report.placement = server.stats().placement
     for index, name in enumerate(names):
         warm = [_serving_ms(run[index]) for run in warm_passes]
         report.latency.append(
@@ -178,7 +194,7 @@ def run_serving_benchmark(
     for workers in worker_counts:
         with Server(database, device=device, engine=engine, workers=workers,
                     queue_size=len(workload) + 1,
-                    plan_cache=shared_cache) as server:
+                    plan_cache=shared_cache, residency=residency) as server:
             server.execute_many(queries)  # warm this server's devices/caches
             started = time.perf_counter()
             results = server.execute_many(workload)

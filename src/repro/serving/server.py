@@ -37,6 +37,7 @@ from ..hardware.device import VirtualCoprocessor
 from ..hardware.interconnect import PCIE3, Interconnect
 from ..hardware.profiles import GTX970, DeviceProfile, get_profile
 from ..kernels.codegen import begin_thread_compile_stats, thread_compile_stats
+from ..placement import BufferPool, PlacementStats, execute_with_placement
 from ..plan.logical import LogicalPlan
 from ..storage.database import Database
 from .plan_cache import PlanCache
@@ -79,6 +80,13 @@ class Server:
     plan_cache:
         Share a cache between servers by passing one in; by default the
         server creates a private cache of ``plan_cache_capacity``.
+    residency:
+        Default ``True``: each worker's device gets a
+        :class:`~repro.placement.BufferPool`, so repeated queries reuse
+        device-resident base columns (no repeat PCIe charge) and
+        oversized working sets fall back to the streaming out-of-core
+        executor instead of failing.  ``False`` restores the stateless
+        reset-per-query behaviour.
     """
 
     def __init__(
@@ -91,6 +99,7 @@ class Server:
         interconnect: Interconnect = PCIE3,
         plan_cache: PlanCache | None = None,
         plan_cache_capacity: int = 256,
+        residency: bool = True,
     ):
         if workers < 1:
             raise ServingError(f"need at least 1 worker, got {workers}")
@@ -130,6 +139,10 @@ class Server:
             VirtualCoprocessor(self.profile, interconnect=interconnect)
             for _ in range(workers)
         ]
+        self.residency = residency
+        self._pools = (
+            [BufferPool(device) for device in self._devices] if residency else []
+        )
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -241,9 +254,17 @@ class Server:
             plan_ms = (time.perf_counter() - plan_start) * 1e3
             begin_thread_compile_stats()
             execute_start = time.perf_counter()
-            result = chosen.execute(physical, self.database, device, seed=item.seed)
+            if device.placement_pool is not None:
+                result = execute_with_placement(
+                    chosen, physical, self.database, device, seed=item.seed
+                )
+            else:
+                result = chosen.execute(
+                    physical, self.database, device, seed=item.seed
+                )
             execute_ms = (time.perf_counter() - execute_start) * 1e3
             compile_hits, compile_misses, compile_ms = thread_compile_stats()
+            placement = result.placement
             result.serving = ServingStats(
                 plan_cache_hit=hit,
                 compile_hits=compile_hits,
@@ -253,6 +274,10 @@ class Server:
                 compile_ms=compile_ms,
                 execute_ms=execute_ms,
                 worker=index,
+                placement_hits=placement.hits if placement else 0,
+                placement_misses=placement.misses if placement else 0,
+                placement_hit_bytes=placement.hit_bytes if placement else 0,
+                out_of_core=bool(placement and placement.out_of_core),
             )
         except BaseException as error:
             with self._lock:
@@ -293,6 +318,11 @@ class Server:
                 execute_ms_total=self._execute_ms,
                 per_worker=list(self._per_worker),
                 plan_cache=self.plan_cache.stats(),
+                placement=(
+                    PlacementStats.aggregate([pool.stats() for pool in self._pools])
+                    if self._pools
+                    else None
+                ),
             )
 
     def drain(self) -> None:

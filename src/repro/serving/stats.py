@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..placement.stats import PlacementStats
 from .plan_cache import PlanCacheStats
 
 
@@ -33,6 +34,14 @@ class ServingStats:
     execute_ms: float
     #: Index of the worker that executed the query (-1 for sessions).
     worker: int = -1
+    #: Base-column loads served from device-resident buffers (0 when
+    #: residency management is off).
+    placement_hits: int = 0
+    placement_misses: int = 0
+    #: PCIe bytes the placement hits avoided.
+    placement_hit_bytes: int = 0
+    #: True when the query ran on the out-of-core streaming path.
+    out_of_core: bool = False
 
     @property
     def host_overhead_ms(self) -> float:
@@ -75,6 +84,9 @@ class ServerStats:
     #: Snapshot of the shared plan cache (may include other servers'
     #: traffic when the cache is shared).
     plan_cache: PlanCacheStats | None = None
+    #: Aggregate residency counters over the per-worker buffer pools
+    #: (``None`` when the server runs with ``residency=False``).
+    placement: PlacementStats | None = None
 
     @property
     def finished(self) -> int:
@@ -90,10 +102,13 @@ class ServerStats:
         return self.plan_hits / probes if probes else 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"workers {self.workers}  submitted {self.submitted}  "
             f"completed {self.completed}  failed {self.failed}  "
             f"plan cache {self.plan_hits}/{self.plan_hits + self.plan_misses} hits  "
             f"kernel cache {self.compile_hits}/{self.compile_hits + self.compile_misses} hits  "
             f"avg queue wait {self.avg_queue_wait_ms:.3f} ms"
         )
+        if self.placement is not None:
+            text += f"\nplacement: {self.placement.summary()}"
+        return text

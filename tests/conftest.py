@@ -28,6 +28,34 @@ def device() -> VirtualCoprocessor:
     return VirtualCoprocessor(GTX970, interconnect=PCIE3)
 
 
+@pytest.fixture(autouse=True)
+def buffer_leak_guard(monkeypatch):
+    """Assert every engine/batch execution returns the device to its
+    pooled-only baseline: transient allocations (hash-table slots,
+    payload columns, scratch) must all be freed by the end of the
+    query, whether it succeeded or raised.  Pool-resident base columns
+    (``device.pooled_bytes``) are the only allowed survivors."""
+    from repro.engines.base import Engine
+    from repro.macro.batch import BatchExecutor
+
+    def checked(original):
+        def wrapper(self, plan, database, device, seed=42):
+            try:
+                return original(self, plan, database, device, seed=seed)
+            finally:
+                leaked = device.allocated_bytes - device.pooled_bytes
+                assert leaked == 0, (
+                    f"{type(self).__name__} leaked {leaked} transient device "
+                    f"bytes (allocated {device.allocated_bytes}, pooled "
+                    f"{device.pooled_bytes})"
+                )
+
+        return wrapper
+
+    monkeypatch.setattr(Engine, "execute", checked(Engine.execute))
+    monkeypatch.setattr(BatchExecutor, "execute", checked(BatchExecutor.execute))
+
+
 @pytest.fixture(scope="session")
 def tiny_db() -> Database:
     """A tiny hand-written star schema for exact-value tests."""

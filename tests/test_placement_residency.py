@@ -1,0 +1,176 @@
+"""Residency integration tests: warm repeats, fallback, serving stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session, connect
+from repro.engines import make_engine
+from repro.engines.base import Engine
+from repro.errors import DeviceMemoryError
+from repro.hardware import GTX970, PCIE3, VirtualCoprocessor
+from repro.placement import BufferPool, base_column_bytes, execute_with_placement
+from repro.plan.pipelines import extract_pipelines
+from repro.serving import Server
+from repro.workloads import SSB_QUERIES, generate_ssb, ssb_plan
+
+QUERY = "select sum(lo_revenue) as r, d_year from lineorder, date " \
+    "where lo_orderdate = d_datekey group by d_year order by d_year"
+
+
+def _tiny_device(capacity: int) -> VirtualCoprocessor:
+    profile = GTX970.with_overrides(name="tiny", memory_capacity=capacity)
+    return VirtualCoprocessor(profile, interconnect=PCIE3)
+
+
+class TestSessionResidency:
+    def test_warm_repeat_skips_pcie(self, ssb_db):
+        session = connect(ssb_db, residency=True)
+        cold = session.execute(QUERY)
+        warm = session.execute(QUERY)
+
+        assert cold.placement is not None and cold.placement.misses > 0
+        assert warm.placement.hits == cold.placement.misses
+        assert warm.placement.misses == 0
+        assert warm.input_bytes == 0
+        assert cold.input_bytes > 0
+
+    def test_warm_and_cold_agree_on_results_and_global_traffic(self, ssb_db):
+        """The differential guarantee: residency only changes PCIe
+        traffic.  Kernel-level GLOBAL volume and the result rows are
+        identical between a stateless session and a warm one."""
+        stateless = connect(ssb_db, residency=False)
+        resident = connect(ssb_db, residency=True)
+        resident.execute(QUERY)  # warm the pool
+
+        for _ in range(2):
+            cold = stateless.execute(QUERY)
+            warm = resident.execute(QUERY)
+            assert cold.table.sorted_rows() == warm.table.sorted_rows()
+            assert cold.global_memory_bytes == warm.global_memory_bytes
+            assert warm.input_bytes < cold.input_bytes
+
+    def test_session_default_is_stateless(self, ssb_db):
+        session = Session(ssb_db)
+        result = session.execute(QUERY)
+        assert session.pool is None
+        assert result.placement is None
+        assert session.placement_stats() is None
+
+    def test_cross_query_eviction_under_small_capacity(self, ssb_db):
+        """Two queries whose combined columns exceed capacity both run;
+        the pool evicts between them instead of failing."""
+        q1 = ssb_plan("q1.1", ssb_db)
+        q2 = ssb_plan("q2.1", ssb_db)
+        p1 = extract_pipelines(q1, ssb_db)
+        p2 = extract_pipelines(q2, ssb_db)
+        need1 = base_column_bytes(p1, ssb_db)
+        need2 = base_column_bytes(p2, ssb_db)
+        # Fits either query alone (with headroom for hash tables and
+        # scratch) but not both working sets at once.
+        capacity = int(max(need1, need2) * 1.5)
+        assert capacity < need1 + need2
+        device = _tiny_device(capacity)
+        pool = BufferPool(device)
+        engine = make_engine("resolution")
+        r1 = execute_with_placement(engine, p1, ssb_db, device)
+        r2 = execute_with_placement(engine, p2, ssb_db, device)
+        assert r1.table.num_rows >= 0 and r2.table.num_rows >= 0
+        assert pool.stats().evictions > 0
+
+
+class TestOutOfCoreFallback:
+    def test_oversized_working_set_streams_and_matches_cpu(self, ssb_db):
+        plan = extract_pipelines(ssb_plan("q2.1", ssb_db), ssb_db)
+        need = base_column_bytes(plan, ssb_db)
+        # Smaller than the plan's base columns: provably out of core.
+        device = _tiny_device(need // 2)
+        pool = BufferPool(device)
+        engine = make_engine("resolution")
+        result = execute_with_placement(engine, plan, ssb_db, device)
+
+        assert result.placement.out_of_core
+        assert result.engine.startswith("batch[")
+        assert pool.stats().fallbacks == 1
+
+        reference = make_engine("cpu").execute(
+            plan, ssb_db, VirtualCoprocessor(GTX970, interconnect=PCIE3)
+        )
+        assert result.table.sorted_rows() == reference.table.sorted_rows()
+
+    def test_mid_query_memory_error_retries_streaming(self, ssb_db):
+        """An engine that dies with DeviceMemoryError mid-query (hash
+        tables pushed it over) is transparently retried streaming."""
+
+        class ExplodingEngine(Engine):
+            name = "exploding"
+
+            def execute(self, plan, database, device, seed=42):
+                raise DeviceMemoryError(1 << 30, 0, device.profile.memory_capacity)
+
+        plan = extract_pipelines(ssb_plan("q2.1", ssb_db), ssb_db)
+        device = VirtualCoprocessor(GTX970, interconnect=PCIE3)
+        BufferPool(device)
+        result = execute_with_placement(ExplodingEngine(), plan, ssb_db, device)
+        assert result.placement.out_of_core
+
+    def test_without_pool_oversized_plan_still_raises(self, ssb_db):
+        plan = extract_pipelines(ssb_plan("q2.1", ssb_db), ssb_db)
+        need = base_column_bytes(plan, ssb_db)
+        device = _tiny_device(need // 2)  # no pool attached
+        with pytest.raises(DeviceMemoryError):
+            make_engine("resolution").execute(plan, ssb_db, device)
+
+
+class TestServerResidency:
+    def test_server_counts_placement_hits(self, ssb_db):
+        queries = [SSB_QUERIES[name] for name in ("q1.1", "q2.1")]
+        with Server(ssb_db, workers=1, queue_size=16) as server:
+            server.execute_many(queries)
+            warm = server.execute_many(queries)
+            stats = server.stats()
+        assert stats.placement is not None
+        assert stats.placement.hits > 0
+        assert stats.placement.resident_bytes > 0
+        assert stats.placement.hit_rate > 0.0
+        for result in warm:
+            assert result.serving.placement_hits > 0
+            assert result.serving.placement_misses == 0
+            assert not result.serving.out_of_core
+
+    def test_server_warm_hit_rate_exceeds_080(self, ssb_db):
+        queries = [SSB_QUERIES[name] for name in sorted(SSB_QUERIES)]
+        with Server(ssb_db, workers=1, queue_size=32) as server:
+            server.execute_many(queries)  # cold pass
+            hits_before = server.stats().placement.hits
+            for _ in range(3):
+                server.execute_many(queries)
+            stats = server.stats()
+        warm_probes = stats.placement.hits - hits_before
+        assert warm_probes > 0
+        # Warm passes alone are all hits; the blended rate clears 0.8.
+        warm_stats_rate = stats.placement.hit_rate
+        assert warm_stats_rate > 0.8
+
+    def test_residency_off_restores_stateless_serving(self, ssb_db):
+        with Server(ssb_db, workers=1, queue_size=8, residency=False) as server:
+            first = server.execute(QUERY)
+            second = server.execute(QUERY)
+            stats = server.stats()
+        assert stats.placement is None
+        assert first.placement is None
+        assert second.input_bytes == first.input_bytes > 0
+
+    def test_mutation_invalidates_across_queries(self):
+        database = generate_ssb(0.001, seed=3)
+        with Server(database, workers=1, queue_size=8) as server:
+            server.execute(QUERY)
+            warm = server.execute(QUERY)
+            assert warm.placement.hits > 0
+            # Mutate the catalog: resident columns must not be served.
+            database.replace("date", database.table("date"))
+            after = server.execute(QUERY)
+            stats = server.stats()
+        assert after.placement.misses > 0
+        assert stats.placement.invalidations > 0

@@ -23,7 +23,7 @@ or via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
 import sys
 from dataclasses import dataclass, field
 
-from common import BENCH_SF, emit
+from common import BENCH_SF, LatencyRecorder, emit
 
 from repro.api import connect
 from repro.workloads import SSB_QUERIES, generate_ssb
@@ -43,6 +43,9 @@ class PlacementBenchReport:
     results_match: bool = True
     global_traffic_matches: bool = True
     rows: list = field(default_factory=list)
+    #: Host-latency percentile lines (cold vs. warm), from
+    #: :class:`common.LatencyRecorder`.
+    latency_lines: list = field(default_factory=list)
 
     @property
     def pcie_ratio(self) -> float:
@@ -81,6 +84,8 @@ class PlacementBenchReport:
             f"GPU traffic equal:   {self.global_traffic_matches}",
             f"result: {'PASS' if self.passed else 'FAIL'}",
         ]
+        if self.latency_lines:
+            lines += [""] + list(self.latency_lines)
         return "\n".join(lines)
 
 
@@ -97,12 +102,16 @@ def run(tiny: bool = False, passes: int = 2) -> PlacementBenchReport:
     hits_before = warm.placement_stats().hits
     misses_before = warm.placement_stats().misses
 
+    cold_latency = LatencyRecorder("cold host latency (ms)")
+    warm_latency = LatencyRecorder("warm host latency (ms)")
     per_query_cold = {name: 0 for name in names}
     per_query_warm = {name: 0 for name in names}
     for _ in range(passes):
         for name in names:
-            cold_result = cold.execute(SSB_QUERIES[name])
-            warm_result = warm.execute(SSB_QUERIES[name])
+            with cold_latency.measure():
+                cold_result = cold.execute(SSB_QUERIES[name])
+            with warm_latency.measure():
+                warm_result = warm.execute(SSB_QUERIES[name])
             cold_pcie = cold_result.input_bytes + cold_result.output_bytes
             warm_pcie = warm_result.input_bytes + warm_result.output_bytes
             report.cold_pcie_bytes += cold_pcie
@@ -120,6 +129,7 @@ def run(tiny: bool = False, passes: int = 2) -> PlacementBenchReport:
     report.warm_hit_rate = warm_hits / warm_probes if warm_probes else 0.0
     report.resident_bytes = stats.resident_bytes
     report.rows = [(name, per_query_cold[name], per_query_warm[name]) for name in names]
+    report.latency_lines = [cold_latency.summary(), warm_latency.summary()]
     return report
 
 

@@ -18,7 +18,7 @@ via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
 
 import sys
 
-from common import BENCH_SF, emit
+from common import BENCH_SF, LatencyRecorder, emit
 
 from repro.serving.bench import run_serving_benchmark
 
@@ -31,9 +31,18 @@ def run(tiny: bool = False):
     return run_serving_benchmark(scale_factor=min(BENCH_SF, 0.01))
 
 
+def _render(report) -> str:
+    cold = LatencyRecorder("cold serving latency (ms)")
+    warm = LatencyRecorder("warm serving latency (ms)")
+    for row in report.latency:
+        cold.observe_ms(row.cold_ms)
+        warm.observe_ms(row.warm_ms)
+    return f"{report.text()}\n\n{cold.summary()}\n{warm.summary()}"
+
+
 def test_serving_throughput(benchmark):
     report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
-    emit("serving_throughput", report.text())
+    emit("serving_throughput", _render(report))
     assert report.warm_speedup >= 2.0
     assert report.best_scaling >= 1.5
 
@@ -41,5 +50,5 @@ def test_serving_throughput(benchmark):
 if __name__ == "__main__":
     tiny = "--tiny" in sys.argv[1:]
     report = run(tiny=tiny)
-    emit("serving_throughput", report.text())
+    emit("serving_throughput", _render(report))
     sys.exit(0 if report.passed else 1)

@@ -13,8 +13,10 @@ times scale linearly with SF (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import os
+import time
 from pathlib import Path
 
 from repro.engines import (
@@ -24,6 +26,7 @@ from repro.engines import (
     OperatorAtATimeEngine,
 )
 from repro.hardware import PCIE3, VirtualCoprocessor, get_profile
+from repro.telemetry.metrics import Histogram
 from repro.workloads import generate_ssb, generate_tpch
 
 #: Scale factor used by the benchmark harnesses (paper: SF 10).
@@ -68,6 +71,39 @@ def reduction_roster():
 
 def cpu_engine():
     return CpuOperatorAtATimeEngine()
+
+
+class LatencyRecorder:
+    """Per-iteration latency distribution for benchmark reports.
+
+    Observations land in the telemetry log-bucket
+    :class:`~repro.telemetry.Histogram`, so benchmark percentiles are
+    the same bucket-upper-bound p50/p95/p99 the serving runtime
+    exposes over Prometheus — comparable across surfaces.
+    """
+
+    def __init__(self, label: str = "latency"):
+        self.label = label
+        self.histogram = Histogram()
+
+    def observe_ms(self, ms: float) -> None:
+        self.histogram.observe(ms)
+
+    @contextlib.contextmanager
+    def measure(self):
+        """Time a with-block (host wall clock) into the histogram."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram.observe((time.perf_counter() - started) * 1e3)
+
+    def summary(self) -> str:
+        """``label: n=… mean … p50 … p95 … p99 …`` (empty-safe)."""
+        snapshot = self.histogram.snapshot()
+        if not snapshot.count:
+            return f"{self.label}: no observations"
+        return f"{self.label}: {snapshot.summary()}"
 
 
 def emit(name: str, report: str) -> str:

@@ -13,6 +13,7 @@ choice; ``execute`` accepts SQL text or a logical plan.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import TYPE_CHECKING
 
@@ -26,9 +27,11 @@ from .plan.logical import LogicalPlan
 from .plan.pipelines import extract_pipelines
 from .sql.translate import plan_sql
 from .storage.database import Database
+from .telemetry.trace import Tracer, tracing_enabled
 
 if TYPE_CHECKING:  # avoid the api -> serving -> api import cycle
     from .serving.plan_cache import PlanCache
+    from .telemetry.metrics import MetricsRegistry
 
 __all__ = ["ENGINE_FACTORIES", "Session", "connect", "make_engine"]
 
@@ -59,8 +62,14 @@ class Session:
         interconnect: Interconnect = PCIE3,
         plan_cache: "PlanCache | None" = None,
         residency: bool = False,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.database = database
+        #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set,
+        #: every ``execute`` observes the session query-latency
+        #: histogram and bumps ``repro_queries_total`` (the same metric
+        #: names a :class:`~repro.serving.Server` exposes).
+        self.metrics = metrics
         if isinstance(device, str):
             device = get_profile(device)
         if isinstance(device, DeviceProfile):
@@ -91,9 +100,25 @@ class Session:
             return physical
         return extract_pipelines(self.plan(query), self.database)
 
-    def explain(self, query: str | LogicalPlan) -> str:
+    def explain(
+        self,
+        query: str | LogicalPlan,
+        analyze: bool = False,
+        engine: Engine | str | None = None,
+        seed: int = 42,
+    ) -> str:
         """The fusion-operator decomposition of a query (pipelines +
-        host post-processing), one line per pipeline."""
+        host post-processing), one line per pipeline.
+
+        With ``analyze=True`` the query actually *runs* (with span
+        tracing enabled) and the report shows per-pipeline rows in/out,
+        kernels launched, per-level byte volumes, PCIe bytes, simulated
+        vs host milliseconds, and cache/placement outcomes.
+        """
+        if analyze:
+            from .telemetry.explain import explain_analyze
+
+            return explain_analyze(self, query, engine=engine, seed=seed)
         return self.physical(query).describe()
 
     def execute(
@@ -102,17 +127,53 @@ class Session:
         engine: Engine | str | None = None,
         seed: int = 42,
     ) -> ExecutionResult:
-        """Run a query; returns the result table plus all metrics."""
+        """Run a query; returns the result table plus all metrics.
+
+        When tracing is enabled (:func:`repro.telemetry.tracing`) the
+        result carries the full span tree on ``result.trace``,
+        including the front-end ``plan`` span.
+        """
         chosen = self.engine
         if engine is not None:
             chosen = make_engine(engine) if isinstance(engine, str) else engine
+        started = time.perf_counter()
+        tracer = Tracer(api="session") if tracing_enabled() else None
+        activation = tracer.activate() if tracer else contextlib.nullcontext()
+        with activation:
+            result = self._execute_inner(chosen, query, seed, tracer)
+        if tracer is not None:
+            result.trace = tracer.finish()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_query_latency_ms",
+                "End-to-end query latency (host wall clock, ms)",
+            ).observe((time.perf_counter() - started) * 1e3)
+            self.metrics.counter(
+                "repro_queries_total", "Queries executed", status="completed"
+            ).inc()
+        return result
+
+    def _execute_inner(
+        self, chosen: Engine, query, seed: int, tracer: "Tracer | None"
+    ) -> ExecutionResult:
         if self.plan_cache is None:
-            return self._run(chosen, self.plan(query), seed)
+            if tracer is None:
+                plan = self.plan(query)
+            else:
+                with tracer.span("plan", "plan") as span:
+                    plan = self.plan(query)
+                    span.attrs["cache_hit"] = False
+            return self._run(chosen, plan, seed)
 
         from .serving.stats import ServingStats
 
         plan_start = time.perf_counter()
-        physical, hit = self.plan_cache.lookup(query, self.database)
+        if tracer is None:
+            physical, hit = self.plan_cache.lookup(query, self.database)
+        else:
+            with tracer.span("plan", "plan") as span:
+                physical, hit = self.plan_cache.lookup(query, self.database)
+                span.attrs["cache_hit"] = hit
         plan_ms = (time.perf_counter() - plan_start) * 1e3
         begin_thread_compile_stats()
         execute_start = time.perf_counter()
@@ -156,6 +217,7 @@ def connect(
     engine: Engine | str = "resolution",
     plan_cache: "PlanCache | None" = None,
     residency: bool = False,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Session:
     """Create a session (the one-line entry point)."""
     return Session(
@@ -164,4 +226,5 @@ def connect(
         engine=engine,
         plan_cache=plan_cache,
         residency=residency,
+        metrics=metrics,
     )

@@ -20,7 +20,16 @@ Commands
     (``table1``..``table4``, ``fig5``..``fig27``), or ``all``.
 ``serve-bench``
     Run the serving-runtime benchmark: cold vs. warm plan/kernel
-    caches and multi-worker throughput on the mixed SSB workload.
+    caches and multi-worker throughput on the mixed SSB workload;
+    ``--metrics-out`` writes the server's Prometheus exposition.
+``metrics``
+    Run a small SSB workload through a server and print its
+    Prometheus text exposition (latency histograms, cache counters).
+
+``query --trace-out trace.json`` records the execution's span tree as
+Chrome trace-event JSON (open in Perfetto / ``chrome://tracing``);
+``explain --analyze`` runs the query and prints the per-pipeline
+rows/bytes/time table.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -53,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=description)
         cmd.add_argument("sql", help="the SQL text (quote it)")
         _add_common(cmd)
+        if name == "query":
+            cmd.add_argument(
+                "--trace-out", default=None, metavar="PATH",
+                help="write the execution's span tree as Chrome "
+                "trace-event JSON (open in Perfetto)",
+            )
+        else:
+            cmd.add_argument(
+                "--analyze", action="store_true",
+                help="run the query and show per-pipeline rows, bytes, "
+                "and simulated vs host time",
+            )
 
     bench = sub.add_parser(
         "bench", help="run one SSB/TPC-H query under all three micro models"
@@ -120,6 +141,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--tiny", action="store_true",
         help="CI smoke mode: tiny scale factor, fewer workers/passes",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the latency server's Prometheus text exposition",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a small SSB workload through a server and print "
+        "Prometheus metrics",
+    )
+    metrics.add_argument(
+        "--scale-factor", type=float, default=0.001,
+        help="SSB scale factor (default: 0.001)",
+    )
+    metrics.add_argument(
+        "--passes", type=int, default=2,
+        help="passes over the 13 SSB queries (default: 2)",
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=2,
+        help="server worker threads (default: 2)",
+    )
+    metrics.add_argument(
+        "--device", default="gtx970", help="device profile (default: gtx970)",
+    )
+    metrics.add_argument(
+        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
+        help="execution engine (default: resolution)",
+    )
+    metrics.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the exposition to a file",
     )
     return parser
 
@@ -191,7 +245,13 @@ def _cmd_query(args) -> int:
         engine=args.engine,
         residency=args.residency,
     )
-    result = session.execute(args.sql)
+    if args.trace_out:
+        from .telemetry import tracing
+
+        with tracing():
+            result = session.execute(args.sql)
+    else:
+        result = session.execute(args.sql)
     for row in result.table.head(args.limit):
         print(row)
     if result.table.num_rows > args.limit:
@@ -202,12 +262,24 @@ def _cmd_query(args) -> int:
         stats = session.placement_stats()
         if stats is not None:
             print(f"placement: {stats.summary()}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(result.trace.chrome_json())
+        print(
+            f"wrote Chrome trace ({len(result.trace.timeline())} spans) "
+            f"to {args.trace_out}"
+        )
     return 0
 
 
 def _cmd_explain(args) -> int:
-    session = Session(_database(args), device=args.device, engine=args.engine)
-    print(session.explain(args.sql))
+    session = Session(
+        _database(args),
+        device=args.device,
+        engine=args.engine,
+        residency=args.residency,
+    )
+    print(session.explain(args.sql, analyze=args.analyze))
     return 0
 
 
@@ -309,7 +381,36 @@ def _cmd_serve_bench(args) -> int:
         engine=args.engine,
     )
     print(report.text())
+    if args.metrics_out and report.metrics_text is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(report.metrics_text)
+        print(f"\nwrote Prometheus metrics to {args.metrics_out}")
     return 0 if report.passed else 1
+
+
+def _cmd_metrics(args) -> int:
+    from .serving import Server
+
+    database = generate_ssb(args.scale_factor)
+    names = sorted(SSB_QUERIES)
+    workload = [SSB_QUERIES[name] for name in names]
+    with Server(
+        database,
+        device=args.device,
+        engine=args.engine,
+        workers=args.workers,
+        queue_size=len(workload) + 1,
+    ) as server:
+        for _ in range(max(1, args.passes)):
+            server.execute_many(workload)
+        text = server.metrics_text()
+        summary = server.stats().summary()
+    print(text)
+    print(f"# {summary}".replace("\n", "\n# "), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0
 
 
 _COMMANDS = {
@@ -320,6 +421,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,
     "serve-bench": _cmd_serve_bench,
+    "metrics": _cmd_metrics,
 }
 
 

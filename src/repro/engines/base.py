@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -13,6 +14,7 @@ from ..plan.physical import PhysicalQuery, Pipeline
 from ..plan.pipelines import extract_pipelines
 from ..storage.database import Database
 from ..storage.table import Table
+from ..telemetry.trace import Tracer, active_tracer, tracing_enabled
 from .runtime import QueryRuntime
 
 
@@ -44,6 +46,20 @@ class ExecutionResult:
     #: (:class:`repro.placement.QueryPlacement`) when a buffer pool is
     #: attached to the device, else ``None``.
     placement: object | None = None
+    #: Per-query span tree (:class:`repro.telemetry.trace.QueryTrace`)
+    #: when tracing was enabled for this execution, else ``None``.
+    trace: object | None = None
+
+    def timeline(self):
+        """The ordered span list of this execution (depth-first, start
+        time order), or ``[]`` when tracing was off.
+
+        This is the one place benchmarks should read phase timings
+        from, instead of re-deriving them from ``serving``/``profile``
+        by hand; each span carries host wall-clock microseconds plus a
+        ``sim_ms`` attribute for device work.
+        """
+        return self.trace.timeline() if self.trace is not None else []
 
     @property
     def kernel_ms(self) -> float:
@@ -153,44 +169,107 @@ class Engine:
             device.reset_all()
         else:
             device.begin_query()
-        runtime = QueryRuntime(device, database, seed=seed, pool=pool)
-        try:
-            outputs: dict[str, np.ndarray] | None = None
-            for pipeline in query.pipelines:
-                produced = self.execute_pipeline(pipeline, runtime)
-                if pipeline.is_final:
-                    outputs = produced
-                elif pipeline.output_schema is not None:
-                    assert produced is not None
-                    runtime.register_virtual(
-                        pipeline.output_name,
-                        _cast_outputs(produced, pipeline.output_schema),
-                        pipeline.output_schema,
-                    )
-            assert outputs is not None, "query had no final pipeline"
-            table = runtime.finalize(query, outputs)
-            # Rebind (do not mutate) the convenience attribute: concurrent
-            # executions each install their own complete dict, so a reader
-            # always sees one query's sources, never a mixture.
-            self.kernel_sources = dict(runtime.kernel_sources)
-            return ExecutionResult(
-                table=table,
-                profile=device.log,
-                engine=self.name,
-                device_name=device.profile.name,
-                input_bytes=runtime.input_bytes,
-                output_bytes=runtime.output_bytes,
-                pcie_ms=device.pcie_baseline_ms(
-                    runtime.input_bytes, runtime.output_bytes
+        # Tracing: reuse the caller's tracer (Session/Server opened the
+        # root span) or, when tracing is enabled and no tracer is
+        # active, own a fresh one for this execution.
+        tracer = active_tracer()
+        owned = tracer is None and tracing_enabled()
+        if owned:
+            tracer = Tracer(engine=self.name, device=device.profile.name)
+        activation = tracer.activate() if owned else contextlib.nullcontext()
+        with activation:
+            runtime = QueryRuntime(device, database, seed=seed, pool=pool)
+            try:
+                outputs: dict[str, np.ndarray] | None = None
+                for index, pipeline in enumerate(query.pipelines):
+                    if tracer is None:
+                        produced = self.execute_pipeline(pipeline, runtime)
+                    else:
+                        produced = self._execute_pipeline_traced(
+                            index, pipeline, runtime, tracer
+                        )
+                    if pipeline.is_final:
+                        outputs = produced
+                    elif pipeline.output_schema is not None:
+                        assert produced is not None
+                        runtime.register_virtual(
+                            pipeline.output_name,
+                            _cast_outputs(produced, pipeline.output_schema),
+                            pipeline.output_schema,
+                        )
+                assert outputs is not None, "query had no final pipeline"
+                if tracer is None:
+                    table = runtime.finalize(query, outputs)
+                else:
+                    with tracer.span("finalize", "finalize") as span:
+                        table = runtime.finalize(query, outputs)
+                        span.attrs.update(
+                            rows=table.num_rows,
+                            output_bytes=runtime.output_bytes,
+                        )
+                # Rebind (do not mutate) the convenience attribute: concurrent
+                # executions each install their own complete dict, so a reader
+                # always sees one query's sources, never a mixture.
+                self.kernel_sources = dict(runtime.kernel_sources)
+                result = ExecutionResult(
+                    table=table,
+                    profile=device.log,
+                    engine=self.name,
+                    device_name=device.profile.name,
+                    input_bytes=runtime.input_bytes,
+                    output_bytes=runtime.output_bytes,
+                    pcie_ms=device.pcie_baseline_ms(
+                        runtime.input_bytes, runtime.output_bytes
+                    ),
+                    memory_bound_ms=device.memory_bound_ms(
+                        runtime.input_bytes + runtime.output_bytes
+                    ),
+                    kernel_sources=dict(runtime.kernel_sources),
+                    placement=runtime.query_placement(),
+                )
+                if owned:
+                    result.trace = tracer.finish()
+                return result
+            finally:
+                runtime.close()
+
+    def _execute_pipeline_traced(
+        self, index: int, pipeline: Pipeline, runtime: QueryRuntime, tracer: Tracer
+    ) -> dict[str, np.ndarray] | None:
+        """Run one pipeline inside a span carrying the per-pipeline
+        accounting EXPLAIN ANALYZE renders: rows in/out, kernels
+        launched, per-level byte volumes (sliced exactly from the
+        device profile, so pipeline sums always reconcile with
+        ``Profile.bytes_at``), PCIe bytes, and simulated ms."""
+        device = runtime.device
+        kernel_mark = len(device.log.kernels)
+        transfer_mark = len(device.log.transfers)
+        with tracer.span(
+            f"pipeline[{index}]",
+            "pipeline",
+            shape=pipeline.describe(),
+            source=pipeline.source,
+            sink=pipeline.output_name,
+        ) as span:
+            produced = self.execute_pipeline(pipeline, runtime)
+            kernels = device.log.kernels[kernel_mark:]
+            transfers = device.log.transfers[transfer_mark:]
+            span.attrs.update(
+                rows_in=_source_rows(pipeline, runtime),
+                rows_out=_produced_rows(pipeline, produced, runtime),
+                kernels=len(kernels),
+                global_bytes=sum(
+                    trace.meter.bytes_at(MemoryLevel.GLOBAL) for trace in kernels
                 ),
-                memory_bound_ms=device.memory_bound_ms(
-                    runtime.input_bytes + runtime.output_bytes
+                onchip_bytes=sum(
+                    trace.meter.bytes_at(MemoryLevel.ONCHIP) for trace in kernels
                 ),
-                kernel_sources=dict(runtime.kernel_sources),
-                placement=runtime.query_placement(),
+                atomics=sum(trace.meter.atomic_count for trace in kernels),
+                pcie_bytes=sum(record.nbytes for record in transfers),
+                sim_ms=sum(trace.time_ms for trace in kernels)
+                + sum(record.time_ms for record in transfers),
             )
-        finally:
-            runtime.close()
+        return produced
 
     # ------------------------------------------------------------------
     def execute_pipeline(
@@ -199,6 +278,30 @@ class Engine:
         """Run one pipeline; returns output arrays for result/virtual
         sinks, None for hash-table builds."""
         raise NotImplementedError
+
+
+def _source_rows(pipeline: Pipeline, runtime: QueryRuntime) -> int:
+    """Input cardinality of a pipeline (0 when the source is missing —
+    the real error surfaces inside ``execute_pipeline``)."""
+    try:
+        if pipeline.source_is_virtual:
+            return runtime.virtual_tables[pipeline.source].num_rows
+        return runtime.database.table(pipeline.source).num_rows
+    except Exception:
+        return 0
+
+
+def _produced_rows(
+    pipeline: Pipeline, produced: dict[str, np.ndarray] | None, runtime: QueryRuntime
+) -> int:
+    """Output cardinality: materialized/aggregated rows, or the number
+    of build rows for hash-table pipelines."""
+    if produced:
+        return len(next(iter(produced.values())))
+    entry = runtime.hash_tables.get(pipeline.output_name)
+    if entry is not None:
+        return entry.table.num_rows
+    return 0
 
 
 def _cast_outputs(outputs: dict[str, np.ndarray], schema: PlanSchema) -> dict[str, np.ndarray]:

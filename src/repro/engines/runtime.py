@@ -16,6 +16,7 @@ import numpy as np
 from ..errors import PlanError
 from ..expressions.eval import evaluate
 from ..hardware.device import VirtualCoprocessor
+from ..telemetry.trace import active_tracer
 from ..primitives.hashtable import JoinHashTable
 from ..primitives.segmented import factorize, grouped_reduce
 from ..storage.column import Column
@@ -80,6 +81,9 @@ class QueryRuntime:
         self.device = device
         self.database = database
         self.pool = pool
+        #: Span tracer bound to the executing thread (None when tracing
+        #: is disabled) — picked up once so hot loops skip the lookup.
+        self.tracer = active_tracer()
         self.rng = np.random.default_rng(seed)
         self.hash_tables: dict[str, HashTableEntry] = {}
         self.virtual_tables: dict[str, VirtualTable] = {}
@@ -127,6 +131,13 @@ class QueryRuntime:
                         self.database.fingerprint(),
                     )
                     self._pinned.append(entry)
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            f"placement {pipeline.source}.{base_name}",
+                            "placement",
+                            hit=hit,
+                            nbytes=column.nbytes,
+                        )
                     if hit:
                         self.placement_hits += 1
                         self.placement_hit_bytes += column.nbytes
@@ -251,10 +262,18 @@ class QueryRuntime:
         self.output_bytes = table.nbytes
         if self.device.interconnect is not None:
             # One transfer per result column, as CoGaDB does.
+            tracer = active_tracer()
             for name, column in table.columns.items():
-                self.device.log.transfers.append(
-                    _d2h_record(self.device, column.nbytes, f"result.{name}")
-                )
+                record = _d2h_record(self.device, column.nbytes, f"result.{name}")
+                self.device.log.transfers.append(record)
+                if tracer is not None:
+                    tracer.event(
+                        f"transfer result.{name}",
+                        "transfer",
+                        sim_ms=record.time_ms,
+                        nbytes=record.nbytes,
+                        direction="d2h",
+                    )
 
         # Host-side post-processing (original engine, Section 7).
         if query.sort_keys:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import AllocationError, DeviceMemoryError
+from ..telemetry.trace import active_tracer
 from .costmodel import KernelCostModel
 from .interconnect import PCIE3, Interconnect
 from .profiles import DeviceProfile
@@ -185,16 +186,24 @@ class VirtualCoprocessor:
     def _record_transfer(self, nbytes: int, direction: str, label: str) -> None:
         if self.interconnect is None:
             # Zero-copy device: data never crosses a link.
-            self.log.transfers.append(
-                TransferRecord(nbytes=0, direction=direction, time_ms=0.0, label=label)
+            record = TransferRecord(
+                nbytes=0, direction=direction, time_ms=0.0, label=label
             )
-            return
-        seconds = self.interconnect.transfer_time(nbytes, direction)
-        self.log.transfers.append(
-            TransferRecord(
+        else:
+            seconds = self.interconnect.transfer_time(nbytes, direction)
+            record = TransferRecord(
                 nbytes=nbytes, direction=direction, time_ms=seconds * 1e3, label=label
             )
-        )
+        self.log.transfers.append(record)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                f"transfer {label}" if label else "transfer",
+                "transfer",
+                sim_ms=record.time_ms,
+                nbytes=record.nbytes,
+                direction=direction,
+            )
 
     # ------------------------------------------------------------------
     # kernels
@@ -221,6 +230,19 @@ class VirtualCoprocessor:
             bound_by=breakdown.bound_by,
         )
         self.log.kernels.append(trace)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                f"kernel {name}",
+                "kernel",
+                sim_ms=trace.time_ms,
+                kind=kind,
+                elements=elements,
+                global_bytes=trace.global_bytes,
+                onchip_bytes=trace.onchip_bytes,
+                atomics=meter.atomic_count,
+                bound_by=trace.bound_by,
+            )
         return trace
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..errors import CompilationError
 from ..expressions.codegen import to_source
+from ..telemetry.trace import active_tracer
 from ..plan.physical import (
     AggregateSink,
     BuildSink,
@@ -129,11 +130,14 @@ def _record_probe(hit: bool) -> None:
 def _compile(name: str, kind: str, lines: list[str]) -> CompiledKernel:
     global _cache_evictions
     source = "\n".join([f"def {name}(ctx):"] + [f"    {line}" for line in lines]) + "\n"
+    tracer = active_tracer()
     with _cache_lock:
         cached = _kernel_cache.get(source)
         _record_probe(cached is not None)
         if cached is not None:
             _kernel_cache.move_to_end(source)
+            if tracer is not None:
+                tracer.event(f"compile {name}", "compile", cache_hit=True, kind=kind)
             return cached
     started = time.perf_counter()
     namespace: dict = {}
@@ -142,9 +146,14 @@ def _compile(name: str, kind: str, lines: list[str]) -> CompiledKernel:
     except SyntaxError as error:  # pragma: no cover - codegen bug guard
         raise CompilationError(f"generated kernel failed to compile: {error}\n{source}")
     kernel = CompiledKernel(name=name, kind=kind, source=source, entry=namespace[name])
+    compile_ms = (time.perf_counter() - started) * 1e3
+    if tracer is not None:
+        tracer.event(
+            f"compile {name}", "compile",
+            cache_hit=False, kind=kind, compile_ms=compile_ms,
+        )
     _thread_stats.compile_ms = (
-        getattr(_thread_stats, "compile_ms", 0.0)
-        + (time.perf_counter() - started) * 1e3
+        getattr(_thread_stats, "compile_ms", 0.0) + compile_ms
     )
     with _cache_lock:
         _kernel_cache[source] = kernel

@@ -81,4 +81,5 @@ class KernelAtATimeExecutor:
             output_bytes=result.output_bytes,
             pcie_ms=result.pcie_ms,
             memory_bound_ms=result.memory_bound_ms,
+            trace=result.trace,
         )

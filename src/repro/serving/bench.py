@@ -69,6 +69,12 @@ class ServingBenchReport:
     #: Residency counters of the single-worker latency server
     #: (``None`` when the benchmark ran with ``residency=False``).
     placement: PlacementStats | None = None
+    #: ``ServerStats.summary()`` of the single-worker latency server
+    #: (queue depth, cancelled, p50/p95/p99 latency).
+    server_summary: str | None = None
+    #: Prometheus text exposition of the latency server, for
+    #: ``repro serve-bench --metrics-out``.
+    metrics_text: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +142,8 @@ class ServingBenchReport:
                 f"  evictions        {self.placement.evictions}\n"
                 f"  out-of-core      {self.placement.fallbacks}"
             )
+        if self.server_summary is not None:
+            parts.append("Latency server counters:\n" + self.server_summary)
         parts.append(
             f"warm-cache latency speedup: {self.warm_speedup:.2f}x "
             f"(target >= {WARM_SPEEDUP_TARGET:.1f}x)\n"
@@ -176,7 +184,10 @@ def run_serving_benchmark(
                 queue_size=len(queries) + 1, residency=residency) as server:
         cold = server.execute_many(queries)
         warm_passes = [server.execute_many(queries) for _ in range(repeats)]
-        report.placement = server.stats().placement
+        latency_stats = server.stats()
+        report.placement = latency_stats.placement
+        report.server_summary = latency_stats.summary()
+        report.metrics_text = server.metrics_text()
     for index, name in enumerate(names):
         warm = [_serving_ms(run[index]) for run in warm_passes]
         report.latency.append(

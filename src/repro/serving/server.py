@@ -30,16 +30,24 @@ import time
 from dataclasses import dataclass, field
 from concurrent.futures import Future
 
+import contextlib
+
 from ..engines import make_engine
 from ..engines.base import Engine, ExecutionResult
 from ..errors import AdmissionError, ServingError
 from ..hardware.device import VirtualCoprocessor
 from ..hardware.interconnect import PCIE3, Interconnect
 from ..hardware.profiles import GTX970, DeviceProfile, get_profile
-from ..kernels.codegen import begin_thread_compile_stats, thread_compile_stats
+from ..kernels.codegen import (
+    begin_thread_compile_stats,
+    kernel_cache_stats,
+    thread_compile_stats,
+)
 from ..placement import BufferPool, PlacementStats, execute_with_placement
 from ..plan.logical import LogicalPlan
 from ..storage.database import Database
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import Tracer, tracing_enabled
 from .plan_cache import PlanCache
 from .stats import ServerStats, ServingStats
 
@@ -135,6 +143,15 @@ class Server:
         self._queue_wait_ms = 0.0
         self._execute_ms = 0.0
         self._per_worker = [0] * workers
+        #: Prometheus-style instruments; scraped via :meth:`metrics_text`.
+        self.metrics = MetricsRegistry()
+        self._latency_hist = self.metrics.histogram(
+            "repro_query_latency_ms",
+            "End-to-end query latency: queue wait + plan + execute (host ms)",
+        )
+        self._queue_wait_hist = self.metrics.histogram(
+            "repro_queue_wait_ms", "Admission-queue wait (host ms)"
+        )
         self._devices = [
             VirtualCoprocessor(self.profile, interconnect=interconnect)
             for _ in range(workers)
@@ -249,20 +266,36 @@ class Server:
         queue_wait_ms = (time.perf_counter() - item.enqueued_at) * 1e3
         chosen = item.engine if item.engine is not None else engine
         try:
-            plan_start = time.perf_counter()
-            physical, hit = self.plan_cache.lookup(item.query, self.database)
-            plan_ms = (time.perf_counter() - plan_start) * 1e3
-            begin_thread_compile_stats()
-            execute_start = time.perf_counter()
-            if device.placement_pool is not None:
-                result = execute_with_placement(
-                    chosen, physical, self.database, device, seed=item.seed
-                )
-            else:
-                result = chosen.execute(
-                    physical, self.database, device, seed=item.seed
-                )
-            execute_ms = (time.perf_counter() - execute_start) * 1e3
+            tracer = Tracer(worker=index) if tracing_enabled() else None
+            activation = tracer.activate() if tracer else contextlib.nullcontext()
+            with activation:
+                if tracer is not None:
+                    tracer.event("queue_wait", "queue", wait_ms=queue_wait_ms)
+                plan_start = time.perf_counter()
+                if tracer is None:
+                    physical, hit = self.plan_cache.lookup(
+                        item.query, self.database
+                    )
+                else:
+                    with tracer.span("plan", "plan") as span:
+                        physical, hit = self.plan_cache.lookup(
+                            item.query, self.database
+                        )
+                        span.attrs["cache_hit"] = hit
+                plan_ms = (time.perf_counter() - plan_start) * 1e3
+                begin_thread_compile_stats()
+                execute_start = time.perf_counter()
+                if device.placement_pool is not None:
+                    result = execute_with_placement(
+                        chosen, physical, self.database, device, seed=item.seed
+                    )
+                else:
+                    result = chosen.execute(
+                        physical, self.database, device, seed=item.seed
+                    )
+                execute_ms = (time.perf_counter() - execute_start) * 1e3
+            if tracer is not None:
+                result.trace = tracer.finish()
             compile_hits, compile_misses, compile_ms = thread_compile_stats()
             placement = result.placement
             result.serving = ServingStats(
@@ -294,6 +327,8 @@ class Server:
             self._compile_misses += compile_misses
             self._queue_wait_ms += queue_wait_ms
             self._execute_ms += execute_ms
+        self._latency_hist.observe(queue_wait_ms + plan_ms + execute_ms)
+        self._queue_wait_hist.observe(queue_wait_ms)
         item.future.set_result(result)
 
     # ------------------------------------------------------------------
@@ -323,7 +358,86 @@ class Server:
                     if self._pools
                     else None
                 ),
+                latency=self._latency_hist.snapshot(),
+                queue_wait=self._queue_wait_hist.snapshot(),
             )
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the server's metrics.
+
+        Live instruments (the latency histograms, observed per query)
+        render alongside scrape-time exports of the counters the server
+        and its caches/pools already track; the output parses with
+        :func:`repro.telemetry.metrics.parse_prometheus_text`.
+        """
+        stats = self.stats()
+        metrics = self.metrics
+        metrics.gauge("repro_workers", "Worker threads").set(self.workers)
+        metrics.gauge(
+            "repro_queue_depth", "Queries waiting in the admission queue"
+        ).set(stats.queue_depth)
+        metrics.gauge(
+            "repro_queue_capacity", "Admission-queue bound"
+        ).set(stats.queue_capacity)
+        for status, value in (
+            ("completed", stats.completed),
+            ("failed", stats.failed),
+            ("cancelled", stats.cancelled),
+        ):
+            metrics.counter(
+                "repro_queries_total", "Queries by final status", status=status
+            ).set_total(value)
+        metrics.counter(
+            "repro_queries_submitted_total", "Queries admitted"
+        ).set_total(stats.submitted)
+        for outcome, value in (
+            ("hit", stats.plan_hits), ("miss", stats.plan_misses)
+        ):
+            metrics.counter(
+                "repro_plan_cache_lookups_total",
+                "Plan-cache outcomes", outcome=outcome,
+            ).set_total(value)
+        for outcome, value in (
+            ("hit", stats.compile_hits), ("miss", stats.compile_misses)
+        ):
+            metrics.counter(
+                "repro_kernel_cache_lookups_total",
+                "Compiled-kernel cache outcomes (this server's queries)",
+                outcome=outcome,
+            ).set_total(value)
+        if stats.plan_cache is not None:
+            metrics.gauge(
+                "repro_plan_cache_size", "Cached physical plans"
+            ).set(stats.plan_cache.size)
+        kernel_cache = kernel_cache_stats()
+        metrics.gauge(
+            "repro_kernel_cache_size", "Compiled kernels resident (process-wide)"
+        ).set(kernel_cache.size)
+        if stats.placement is not None:
+            placement = stats.placement
+            metrics.gauge(
+                "repro_placement_resident_bytes",
+                "Device-resident base-column bytes (all worker pools)",
+            ).set(placement.resident_bytes)
+            metrics.gauge(
+                "repro_placement_resident_columns", "Device-resident columns"
+            ).set(placement.resident_columns)
+            for outcome, value in (
+                ("hit", placement.hits),
+                ("miss", placement.misses),
+                ("eviction", placement.evictions),
+                ("invalidation", placement.invalidations),
+                ("fallback", placement.fallbacks),
+            ):
+                metrics.counter(
+                    "repro_placement_events_total",
+                    "Buffer-pool events", outcome=outcome,
+                ).set_total(value)
+            metrics.counter(
+                "repro_placement_saved_bytes_total",
+                "PCIe bytes avoided by residency hits",
+            ).set_total(placement.hit_bytes)
+        return metrics.render()
 
     def drain(self) -> None:
         """Block until every admitted query has finished."""

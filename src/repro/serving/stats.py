@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..placement.stats import PlacementStats
+from ..telemetry.metrics import HistogramSnapshot
 from .plan_cache import PlanCacheStats
 
 
@@ -16,6 +17,15 @@ class ServingStats:
     hit); ``execute_ms`` is the wall-clock of the engine run;
     ``queue_wait_ms`` is the time spent in the admission queue (0 for
     direct :class:`~repro.api.Session` executions).
+
+    **Containment:** ``compile_ms ⊂ execute_ms``.  Kernel compilation
+    happens *inside* the engine run, so ``execute_ms`` already includes
+    it; ``compile_ms`` is broken out only so cache warmup is visible.
+    :attr:`total_ms` therefore sums queue wait + plan + execute and
+    deliberately leaves ``compile_ms`` out — adding it would double
+    count.  For the full phase-by-phase story use
+    ``ExecutionResult.timeline()`` (the ordered span list) instead of
+    re-deriving phase timings from these scalars.
     """
 
     #: True when the physical plan came from the plan cache.
@@ -87,6 +97,11 @@ class ServerStats:
     #: Aggregate residency counters over the per-worker buffer pools
     #: (``None`` when the server runs with ``residency=False``).
     placement: PlacementStats | None = None
+    #: End-to-end latency distribution (queue wait + plan + execute)
+    #: over *completed* queries, as a frozen histogram snapshot.
+    latency: HistogramSnapshot | None = None
+    #: Admission-queue wait distribution over completed queries.
+    queue_wait: HistogramSnapshot | None = None
 
     @property
     def finished(self) -> int:
@@ -105,10 +120,18 @@ class ServerStats:
         text = (
             f"workers {self.workers}  submitted {self.submitted}  "
             f"completed {self.completed}  failed {self.failed}  "
+            f"cancelled {self.cancelled}  "
+            f"queue depth {self.queue_depth}/{self.queue_capacity}  "
             f"plan cache {self.plan_hits}/{self.plan_hits + self.plan_misses} hits  "
             f"kernel cache {self.compile_hits}/{self.compile_hits + self.compile_misses} hits  "
             f"avg queue wait {self.avg_queue_wait_ms:.3f} ms"
         )
+        if self.latency is not None and self.latency.count:
+            text += (
+                f"\nlatency ms: p50 {self.latency.p50:.3f}  "
+                f"p95 {self.latency.p95:.3f}  p99 {self.latency.p99:.3f}  "
+                f"(bucket upper bounds over {self.latency.count} completed)"
+            )
         if self.placement is not None:
             text += f"\nplacement: {self.placement.summary()}"
         return text

@@ -1,0 +1,62 @@
+"""End-to-end query telemetry: span tracing, metrics, EXPLAIN ANALYZE.
+
+Three surfaces over one substrate:
+
+* **Tracing** (:mod:`repro.telemetry.trace`) — hierarchical spans
+  (``query → plan → compile → pipeline[i] → kernel/transfer/placement``)
+  carrying host wall-clock and simulated device time plus the
+  byte/atomic counters; per query on ``ExecutionResult.trace``;
+  exportable as Chrome trace-event JSON (Perfetto) or JSONL.
+* **Metrics** (:mod:`repro.telemetry.metrics`) — counters, gauges, and
+  log-bucket latency histograms with a Prometheus text exposition
+  (``Server.metrics_text()``, ``repro metrics``).
+* **EXPLAIN ANALYZE** (:mod:`repro.telemetry.explain`) —
+  ``Session.explain(sql, analyze=True)`` / ``repro explain --analyze``:
+  run the query, render the per-pipeline movement/time table.
+
+Tracing is off by default and near-zero-cost when disabled; see
+``docs/observability.md``.
+"""
+
+from .explain import explain_analyze, render_explain_analyze
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from .trace import (
+    QueryTrace,
+    Span,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "explain_analyze",
+    "parse_prometheus_text",
+    "render_explain_analyze",
+    "render_prometheus",
+    "tracing",
+    "tracing_enabled",
+]

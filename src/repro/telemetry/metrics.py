@@ -1,0 +1,383 @@
+"""Prometheus-style metrics: counters, gauges, log-bucket histograms.
+
+A :class:`MetricsRegistry` holds metric families keyed by name; each
+family holds one instrument per label set.  The registry renders in
+the Prometheus text exposition format (``render_prometheus``), and the
+module ships a deliberately small :func:`parse_prometheus_text` so CI
+and tests can check that what we expose actually parses.
+
+Histograms use **fixed log-2 buckets** (sub-millisecond to tens of
+seconds by default) so percentile queries are O(buckets) and two
+histograms are always mergeable bucket-by-bucket.  ``percentile``
+returns the upper bound of the bucket containing the requested rank —
+the standard Prometheus ``histogram_quantile`` resolution.
+
+All instruments are thread-safe (serving workers record concurrently).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+    "render_prometheus",
+]
+
+#: Default latency buckets in milliseconds: 2^-4 .. 2^15 (0.0625 ms to
+#: ~32.8 s), 20 buckets.  Log-2 spacing keeps relative error bounded at
+#: every magnitude a simulated or host-side query latency can take.
+DEFAULT_LATENCY_BUCKETS_MS = tuple(2.0 ** exp for exp in range(-4, 16))
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Sync to an externally tracked monotonic total (scrape-time
+        export of counters the server already maintains elsewhere)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """An immutable copy of a histogram's state.
+
+    ``counts`` holds per-bucket (non-cumulative) observation counts,
+    with one extra overflow slot for observations above the last bound.
+    """
+
+    buckets: tuple
+    counts: tuple
+    count: int
+    sum: float
+
+    def percentile(self, q: float) -> float:
+        """The upper bucket bound covering quantile ``q`` in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(q * self.count)
+        seen = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            seen += bucket_count
+            if seen >= target:
+                return bound
+        # Overflow bucket: report the largest finite bound.
+        return self.buckets[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self, unit: str = "ms") -> str:
+        return (
+            f"n={self.count}  mean {self.mean:.3f} {unit}  "
+            f"p50 {self.p50:.3g} {unit}  p95 {self.p95:.3g} {unit}  "
+            f"p99 {self.p99:.3g} {unit}"
+        )
+
+
+class Histogram:
+    """A fixed-bucket histogram with percentile accessors."""
+
+    def __init__(self, buckets=None):
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_LATENCY_BUCKETS_MS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow slot
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(
+                buckets=self.buckets,
+                counts=tuple(self._counts),
+                count=self._count,
+                sum=self._sum,
+            )
+
+    def percentile(self, q: float) -> float:
+        return self.snapshot().percentile(q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def merge(self, other: "Histogram | HistogramSnapshot") -> None:
+        """Fold another histogram's observations into this one (the
+        bucket layouts must match)."""
+        snap = other.snapshot() if isinstance(other, Histogram) else other
+        if snap.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        with self._lock:
+            for index, bucket_count in enumerate(snap.counts):
+                self._counts[index] += bucket_count
+            self._count += snap.count
+            self._sum += snap.sum
+
+
+@dataclass
+class _Family:
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    instances: dict  # label tuple -> instrument
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call registers the family (name, help text, type), later calls with
+    the same name and labels return the same instrument.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._instrument("counter", name, help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._instrument("gauge", name, help, labels, Gauge)
+
+    def histogram(
+        self, name: str, help: str = "", buckets=None, **labels
+    ) -> Histogram:
+        return self._instrument(
+            "histogram", name, help, labels, lambda: Histogram(buckets)
+        )
+
+    def _instrument(self, kind, name, help, labels, factory):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind=kind, help=help, instances={})
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            instrument = family.instances.get(key)
+            if instrument is None:
+                instrument = factory()
+                family.instances[key] = instrument
+            return instrument
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Prometheus text exposition of every registered family."""
+        return render_prometheus(self)
+
+    def families(self) -> dict:
+        with self._lock:
+            return dict(self._families)
+
+
+# ----------------------------------------------------------------------
+# text exposition
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    lines: list[str] = []
+    for name, family in sorted(registry.families().items()):
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for key in sorted(family.instances):
+            instrument = family.instances[key]
+            pairs = list(key)
+            if family.kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_format_labels(pairs)} "
+                    f"{_format_value(instrument.value)}"
+                )
+            else:  # histogram
+                snap = instrument.snapshot()
+                cumulative = 0
+                for bound, bucket_count in zip(snap.buckets, snap.counts):
+                    cumulative += bucket_count
+                    bucket_pairs = pairs + [("le", _format_value(bound))]
+                    lines.append(
+                        f"{name}_bucket{_format_labels(bucket_pairs)} {cumulative}"
+                    )
+                bucket_pairs = pairs + [("le", "+Inf")]
+                lines.append(
+                    f"{name}_bucket{_format_labels(bucket_pairs)} {snap.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(pairs)} {_format_value(snap.sum)}"
+                )
+                lines.append(f"{name}_count{_format_labels(pairs)} {snap.count}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# tiny parser (validation for CI and tests)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse Prometheus text exposition into
+    ``{metric_name: [(labels_dict, value), ...]}``.
+
+    Raises :class:`ValueError` on any malformed line — this is the
+    check CI runs against ``Server.metrics_text()`` output.
+    """
+    samples: dict[str, list] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 2)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {number}: malformed comment {raw!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample {raw!r}")
+        labels: dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(body):
+                labels[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+            remainder = body[consumed:].strip().strip(",")
+            if remainder:
+                raise ValueError(f"line {number}: malformed labels {body!r}")
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples

@@ -1,0 +1,251 @@
+"""Telemetry tests: span tracing, Chrome trace export, metrics,
+Prometheus exposition, and EXPLAIN ANALYZE reconciliation."""
+
+import json
+
+import pytest
+
+from repro.api import Session, connect
+from repro.hardware import MemoryLevel
+from repro.serving import Server
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    active_tracer,
+    parse_prometheus_text,
+    render_explain_analyze,
+    tracing,
+    tracing_enabled,
+)
+
+QUERY = (
+    "select sum(lo_revenue) as r from lineorder, date "
+    "where lo_orderdate = d_datekey and d_year = 1993"
+)
+
+
+@pytest.fixture()
+def traced_result(ssb_db):
+    session = connect(ssb_db)
+    with tracing():
+        result = session.execute(QUERY)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Tracer core
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_by_default(self, ssb_db):
+        assert not tracing_enabled()
+        assert active_tracer() is None
+        result = connect(ssb_db).execute(QUERY)
+        assert result.trace is None
+        assert result.timeline() == []
+
+    def test_active_tracer_needs_flag_and_activation(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert active_tracer() is None  # flag off
+        with tracing():
+            assert active_tracer() is None  # not activated
+            with tracer.activate():
+                assert active_tracer() is tracer
+
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", "phase") as outer:
+            with tracer.span("inner", "phase") as inner:
+                tracer.event("tick", "kernel", sim_ms=0.5)
+        trace = tracer.finish()
+        spans = trace.timeline()
+        assert [s.name for s in spans] == ["query", "outer", "inner", "tick"]
+        assert inner in outer.children
+        assert inner.start_us >= outer.start_us
+        assert inner.end_us <= outer.end_us
+        assert trace.spans("kernel")[0].sim_ms == 0.5
+
+    def test_execution_attaches_span_tree(self, traced_result):
+        names = [span.category for span in traced_result.timeline()]
+        assert names[0] == "query"
+        assert "plan" in names
+        assert "pipeline" in names
+        assert "kernel" in names
+        assert "finalize" in names
+        # One pipeline span per executed pipeline, kernels nested inside.
+        pipelines = traced_result.trace.spans("pipeline")
+        assert pipelines
+        assert all(p.find("kernel") or p.attrs["kernels"] == 0 for p in pipelines)
+
+    def test_timeline_is_document_order(self, traced_result):
+        spans = traced_result.timeline()
+        assert spans[0] is traced_result.trace.root
+        assert spans == list(traced_result.trace.root.walk())
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_round_trip_parses_and_nests(self, traced_result):
+        payload = json.loads(traced_result.trace.chrome_json())
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}
+
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) >= len(traced_result.timeline())
+        for event in complete:
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            json.dumps(event["args"])  # attrs must all be JSON-clean
+
+        # Host-track events must nest: every non-root interval lies
+        # inside some enclosing interval (its parent span).
+        host = [e for e in complete if e["tid"] == 1]
+        root = max(host, key=lambda e: e["dur"])
+        for event in host:
+            if event is root:
+                continue
+            enclosing = [
+                e for e in host
+                if e is not event
+                and e["ts"] <= event["ts"]
+                and e["ts"] + e["dur"] >= event["ts"] + event["dur"]
+            ]
+            assert enclosing, f"unparented event {event['name']}"
+
+    def test_device_track_is_serial_sim_time(self, traced_result):
+        events = json.loads(traced_result.trace.chrome_json())["traceEvents"]
+        device = [e for e in events if e.get("tid") == 2 and e["ph"] == "X"]
+        assert device  # kernels + transfers exist for this query
+        cursor = None
+        for event in device:
+            if cursor is not None:
+                assert event["ts"] >= cursor - 1e-6  # laid out serially
+            cursor = event["ts"] + event["dur"]
+        # dur values are rounded to 3 decimals in the export.
+        sim_total_us = sum(e["dur"] for e in device)
+        expected_us = traced_result.total_ms * 1e3
+        assert sim_total_us == pytest.approx(expected_us, abs=1e-3 * len(device))
+
+    def test_jsonl_one_object_per_span(self, traced_result):
+        lines = traced_result.trace.jsonl().strip().splitlines()
+        assert len(lines) == len(traced_result.timeline())
+        first = json.loads(lines[0])
+        assert first["name"] == "query"
+        assert first["depth"] == 0
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+class TestExplainAnalyze:
+    def test_pipeline_bytes_reconcile_exactly(self, traced_result):
+        pipelines = traced_result.trace.spans("pipeline")
+        total = sum(span.attrs["global_bytes"] for span in pipelines)
+        assert total == traced_result.profile.bytes_at(MemoryLevel.GLOBAL)
+
+    def test_render_has_no_reconciliation_warning(self, traced_result):
+        text = render_explain_analyze(traced_result)
+        assert "EXPLAIN ANALYZE" in text
+        assert "WARNING" not in text
+
+    def test_session_explain_analyze(self, ssb_db):
+        text = Session(ssb_db).explain(QUERY, analyze=True)
+        assert "rows out" in text
+        assert "kernel cache" in text
+        assert not tracing_enabled()  # flag restored after the run
+
+    def test_render_requires_trace(self, ssb_db):
+        result = connect(ssb_db).execute(QUERY)
+        with pytest.raises(ValueError):
+            render_explain_analyze(result)
+
+    def test_pipeline_rows_attrs(self, traced_result):
+        pipelines = traced_result.trace.spans("pipeline")
+        # The probe pipeline scans lineorder and aggregates to one group.
+        assert any(span.attrs["rows_in"] > 0 for span in pipelines)
+        assert all(span.attrs["kernels"] >= 1 for span in pipelines)
+
+
+# ----------------------------------------------------------------------
+# Metrics + Prometheus
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_percentiles_are_bucket_bounds(self):
+        hist = Histogram()
+        for ms in (0.3, 0.7, 3.0, 40.0):
+            hist.observe(ms)
+        snap = hist.snapshot()
+        assert snap.count == 4
+        assert snap.sum == pytest.approx(44.0)
+        # Log-2 buckets: upper bounds are powers of two.
+        assert snap.p50 == 1.0
+        assert snap.p99 == 64.0
+        assert "p95" in snap.summary()
+
+    def test_registry_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "A counter", status="ok").inc(3)
+        registry.gauge("repro_test_depth", "A gauge").set(7)
+        registry.histogram("repro_test_ms", "A histogram").observe(2.5)
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["repro_test_total"] == [({"status": "ok"}, 3.0)]
+        assert parsed["repro_test_depth"] == [({}, 7.0)]
+        assert ({}, 1.0) in parsed["repro_test_ms_count"]
+        buckets = dict(
+            (labels["le"], value) for labels, value in parsed["repro_test_ms_bucket"]
+        )
+        assert buckets["+Inf"] == 1.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not prometheus\n")
+
+    def test_session_metrics_histogram_counts_queries(self, ssb_db):
+        registry = MetricsRegistry()
+        session = connect(ssb_db, metrics=registry)
+        for _ in range(3):
+            session.execute(QUERY)
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["repro_query_latency_ms_count"] == [({}, 3.0)]
+        assert ({"status": "completed"}, 3.0) in parsed["repro_queries_total"]
+
+
+class TestServerMetrics:
+    def test_latency_count_matches_completed(self, ssb_db):
+        with Server(ssb_db, workers=2, queue_size=16) as server:
+            server.execute_many([QUERY] * 5)
+            stats = server.stats()
+            text = server.metrics_text()
+        parsed = parse_prometheus_text(text)
+        assert stats.completed == 5
+        assert parsed["repro_query_latency_ms_count"] == [({}, 5.0)]
+        completed = dict(
+            (labels["status"], value)
+            for labels, value in parsed["repro_queries_total"]
+        )
+        assert completed["completed"] == 5.0
+        assert completed["failed"] == 0.0
+
+    def test_summary_shows_percentiles_and_queue(self, ssb_db):
+        with Server(ssb_db, workers=1, queue_size=8) as server:
+            server.execute_many([QUERY] * 3)
+            summary = server.stats().summary()
+        assert "queue depth" in summary
+        assert "cancelled" in summary
+        assert "p50" in summary and "p99" in summary
+
+    def test_traced_server_attaches_trace(self, ssb_db):
+        with Server(ssb_db, workers=1, queue_size=8) as server:
+            with tracing():
+                result = server.execute(QUERY)
+            untraced = server.execute(QUERY)
+        assert result.trace is not None
+        categories = [span.category for span in result.timeline()]
+        assert "queue" in categories
+        assert "pipeline" in categories
+        assert untraced.trace is None

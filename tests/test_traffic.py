@@ -63,6 +63,32 @@ class TestTrafficMeter:
         assert left.instructions == 7
         assert left.table_bytes == 8
 
+    def test_merge_keeps_max_chain_per_atomic_kind(self):
+        # Different dominant kinds on each side: the merge must take the
+        # max per kind, not the max of one side's dominant chain.
+        left = TrafficMeter()
+        left.record_atomics(AtomicBatch(count=20, max_chain=10, kind="rmw"))
+        left.record_atomics(AtomicBatch(count=5, max_chain=2, kind="add"))
+        right = TrafficMeter()
+        right.record_atomics(AtomicBatch(count=9, max_chain=7, kind="add"))
+        right.record_atomics(AtomicBatch(count=4, max_chain=3, kind="rmw"))
+        left.merge(right)
+        assert left.atomic_count == 38
+        assert left.atomic_chains["rmw"] == 10
+        assert left.atomic_chains["add"] == 7
+        assert left.atomic_chains["fetch_add"] == 0
+        assert left.atomic_max_chain == 10
+
+    def test_merge_does_not_sum_chains(self):
+        # Chains bound serialization within one kernel; across kernels
+        # they overlap, so merging takes the max, never the sum.
+        left = TrafficMeter()
+        left.record_atomics(AtomicBatch(count=8, max_chain=8, kind="fetch_add"))
+        right = TrafficMeter()
+        right.record_atomics(AtomicBatch(count=8, max_chain=8, kind="fetch_add"))
+        left.merge(right)
+        assert left.atomic_max_chain == 8
+
     def test_snapshot_is_plain_data(self):
         meter = TrafficMeter()
         meter.record_read(MemoryLevel.GLOBAL, 42)
@@ -118,3 +144,29 @@ class TestProfile:
         profile = Profile(kernels=[_trace("scan", 1), _trace("probe", 2)])
         assert len(profile.kernels_of_kind("scan")) == 1
         assert len(profile.kernels_of_kind("missing")) == 0
+
+    def test_by_kind_accumulates_time(self):
+        profile = Profile(
+            kernels=[_trace("scan", 10, time_ms=1.5), _trace("scan", 20, time_ms=0.5)]
+        )
+        assert profile.by_kind()["scan"]["time_ms"] == 2.0
+
+    def test_merge_extends_kernels_and_transfers(self):
+        left = Profile(
+            kernels=[_trace("scan", 100)],
+            transfers=[TransferRecord(nbytes=10, direction="h2d", time_ms=0.1)],
+        )
+        right = Profile(
+            kernels=[_trace("scan", 50), _trace("probe", 30)],
+            transfers=[TransferRecord(nbytes=5, direction="d2h", time_ms=0.2)],
+        )
+        left.merge(right)
+        assert len(left.kernels) == 3
+        assert left.bytes_at(MemoryLevel.GLOBAL) == 180
+        assert left.by_kind()["scan"]["launches"] == 2
+        assert left.transfer_bytes() == 15
+        assert left.transfer_bytes("d2h") == 5
+        assert left.kernel_time_ms == 3.0
+        # Merge must not alias the other profile's lists.
+        right.kernels.append(_trace("build", 1))
+        assert len(left.kernels) == 3

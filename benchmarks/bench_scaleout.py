@@ -1,0 +1,193 @@
+"""Scale-out strong-scaling benchmark (Figure-21 companion).
+
+Runs four SSB queries single-device, then through the scale-out
+executor at 2 and 4 simulated devices (range partitioning), and
+reports the modeled *makespan* speedup — the parallel completion time
+of the fleet versus the single device's end-to-end time.
+
+Scaling is sub-linear by construction: every device pays the build-
+side broadcast (dimension tables are not partitioned) plus per-morsel
+launch overhead, so the speedup grows with the fact-table share of the
+query — the same fixed-cost argument the paper makes for block size in
+Figure 21.  At SF >= ~0.05 the fact table dominates and 4 devices
+clear the acceptance bar.
+
+Acceptance (checked by the report itself):
+
+* **speedup**: >= 1.5x modeled speedup at 4 devices on every measured
+  query;
+* **PCIe accounting**: per-device PCIe input bytes, minus the modeled
+  broadcast overhead (the duplicated build-side transfers), sum to the
+  single-device input volume within 1% — partitioning moves work, it
+  must not move extra fact bytes.
+
+Run standalone with ``python bench_scaleout.py [--tiny]`` or via
+``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode (one
+query).
+"""
+
+import sys
+from dataclasses import dataclass, field
+
+from common import emit
+
+from repro.api import connect
+from repro.engines import make_engine
+from repro.scaleout import ScaleOutExecutor
+from repro.workloads import generate_ssb, ssb_plan
+
+SPEEDUP_TARGET = 1.5
+ACCOUNTING_TOLERANCE = 0.01
+SCALE_FACTOR = 0.05
+QUERIES = ("q1.1", "q2.1", "q3.2", "q4.1")
+DEVICE_COUNTS = (2, 4)
+
+
+@dataclass
+class QueryScaling:
+    query: str
+    single_ms: float
+    single_input_bytes: int
+    #: devices -> (makespan_ms, accounted_input_bytes)
+    runs: dict = field(default_factory=dict)
+    #: Per-device shares of the widest (4-device) run.
+    shares: list = field(default_factory=list)
+
+    def speedup(self, devices: int) -> float:
+        makespan, _bytes = self.runs[devices]
+        return self.single_ms / makespan if makespan else float("inf")
+
+    def accounting_error(self, devices: int) -> float:
+        """Relative error of (per-device PCIe - broadcast overhead)
+        against the single-device input volume."""
+        _makespan, accounted = self.runs[devices]
+        if self.single_input_bytes == 0:
+            return 0.0
+        return abs(accounted - self.single_input_bytes) / self.single_input_bytes
+
+
+@dataclass
+class ScaleOutBenchReport:
+    scale_factor: float
+    device_counts: tuple
+    rows: list = field(default_factory=list)
+
+    @property
+    def worst_speedup(self) -> float:
+        widest = max(self.device_counts)
+        return min(row.speedup(widest) for row in self.rows)
+
+    @property
+    def worst_accounting_error(self) -> float:
+        widest = max(self.device_counts)
+        return max(row.accounting_error(widest) for row in self.rows)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.worst_speedup >= SPEEDUP_TARGET
+            and self.worst_accounting_error <= ACCOUNTING_TOLERANCE
+        )
+
+    def text(self) -> str:
+        widest = max(self.device_counts)
+        lines = [
+            f"SSB at SF {self.scale_factor}, range partitioning, "
+            f"modeled makespan vs. one device",
+            "",
+            f"{'query':<7s} {'1 dev (ms)':>11s}"
+            + "".join(
+                f" {f'{n} dev (ms)':>11s} {'speedup':>8s}"
+                for n in self.device_counts
+            ),
+        ]
+        for row in self.rows:
+            cells = [f"{row.query:<7s} {row.single_ms:>11.3f}"]
+            for n in self.device_counts:
+                makespan, _bytes = row.runs[n]
+                cells.append(f" {makespan:>11.3f} {row.speedup(n):>7.2f}x")
+            lines.append("".join(cells))
+        lines += ["", f"Per-device PCIe at {widest} devices:"]
+        lines.append(
+            f"{'query':<7s} {'device':>6s} {'morsels':>8s} "
+            f"{'partition KB':>13s} {'broadcast KB':>13s} {'gather KB':>10s} "
+            f"{'busy ms':>8s}"
+        )
+        for row in self.rows:
+            for share in row.shares:
+                lines.append(
+                    f"{row.query:<7s} {share.device:>6d} {share.morsels:>8d} "
+                    f"{share.partition_bytes / 1e3:>13.1f} "
+                    f"{share.broadcast_bytes / 1e3:>13.1f} "
+                    f"{share.gather_bytes / 1e3:>10.1f} "
+                    f"{share.busy_ms:>8.3f}"
+                )
+        lines += [
+            "",
+            "PCIe accounting (sum over devices - broadcast overhead vs. "
+            "single-device input):",
+        ]
+        for row in self.rows:
+            _makespan, accounted = row.runs[widest]
+            lines.append(
+                f"  {row.query:<7s} accounted {accounted / 1e3:>9.1f} KB   "
+                f"single {row.single_input_bytes / 1e3:>9.1f} KB   "
+                f"error {row.accounting_error(widest) * 100:.3f}%"
+            )
+        lines += [
+            "",
+            f"worst speedup at {widest} devices: {self.worst_speedup:.2f}x "
+            f"(target >= {SPEEDUP_TARGET:.1f}x)",
+            f"worst accounting error:     "
+            f"{self.worst_accounting_error * 100:.3f}% "
+            f"(tolerance {ACCOUNTING_TOLERANCE * 100:.0f}%)",
+            f"result: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(tiny: bool = False) -> ScaleOutBenchReport:
+    queries = QUERIES[:1] if tiny else QUERIES
+    database = generate_ssb(SCALE_FACTOR, seed=7)
+    session = connect(database, engine="resolution")
+    report = ScaleOutBenchReport(
+        scale_factor=SCALE_FACTOR, device_counts=DEVICE_COUNTS
+    )
+    widest = max(DEVICE_COUNTS)
+    for name in queries:
+        plan = ssb_plan(name, database)
+        single = session.execute(plan)
+        row = QueryScaling(
+            query=name,
+            single_ms=single.total_ms,
+            single_input_bytes=single.input_bytes,
+        )
+        for devices in DEVICE_COUNTS:
+            executor = ScaleOutExecutor(devices, partitioning="range")
+            result = executor.execute(make_engine("resolution"), plan, database)
+            stats = result.scaleout
+            assert (
+                result.table.sorted_rows() == single.table.sorted_rows()
+            ), f"{name}: scale-out rows differ at {devices} devices"
+            row.runs[devices] = (
+                stats.makespan_ms,
+                stats.input_bytes - stats.broadcast_overhead_bytes,
+            )
+            if devices == widest:
+                row.shares = list(stats.shares)
+        report.rows.append(row)
+    return report
+
+
+def test_scaleout_scaling(benchmark):
+    report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
+    emit("scaleout", report.text())
+    assert report.worst_speedup >= SPEEDUP_TARGET
+    assert report.worst_accounting_error <= ACCOUNTING_TOLERANCE
+
+
+if __name__ == "__main__":
+    tiny = "--tiny" in sys.argv[1:]
+    report = run(tiny=tiny)
+    emit("scaleout", report.text())
+    sys.exit(0 if report.passed else 1)

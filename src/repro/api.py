@@ -52,6 +52,15 @@ class Session:
     out-of-core executor.  Off by default so single-shot measurement
     sessions keep the paper's stateless reset-per-query semantics;
     the serving :class:`~repro.serving.Server` defaults it on.
+
+    ``devices=N`` (N > 1) runs every query through the scale-out
+    executor (:mod:`repro.scaleout`): the fact table is partitioned
+    under ``partitioning`` (``"range"`` or ``"hash"``) across N
+    simulated devices of the session's profile, partials are merged
+    scatter-gather style, and results carry ``result.scaleout``
+    accounting.  With ``residency=True`` each fleet device gets its
+    own buffer pool (``session.pool`` stays ``None`` — the fleet owns
+    residency; :meth:`placement_stats` aggregates across devices).
     """
 
     def __init__(
@@ -63,7 +72,12 @@ class Session:
         plan_cache: "PlanCache | None" = None,
         residency: bool = False,
         metrics: "MetricsRegistry | None" = None,
+        devices: int = 1,
+        partitioning: str = "range",
     ):
+        from .scaleout import validate_devices
+
+        validate_devices(devices)
         self.database = database
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set,
         #: every ``execute`` observes the session query-latency
@@ -78,7 +92,18 @@ class Session:
         self.engine = make_engine(engine) if isinstance(engine, str) else engine
         self.plan_cache = plan_cache
         self.pool = None
-        if residency:
+        self.scaleout = None
+        if devices > 1:
+            from .scaleout import ScaleOutExecutor
+
+            self.scaleout = ScaleOutExecutor(
+                devices,
+                profile=self.device.profile,
+                interconnect=interconnect,
+                partitioning=partitioning,
+                residency=residency,
+            )
+        elif residency:
             if self.device.placement_pool is not None:
                 self.pool = self.device.placement_pool
             else:
@@ -193,6 +218,16 @@ class Session:
         return result
 
     def _run(self, chosen: Engine, plan, seed: int) -> ExecutionResult:
+        if self.scaleout is not None:
+            physical = (
+                plan
+                if not isinstance(plan, LogicalPlan)
+                else extract_pipelines(plan, self.database)
+            )
+            result = self.scaleout.execute(chosen, physical, self.database, seed=seed)
+            if self.metrics is not None:
+                self.scaleout.observe_metrics(self.metrics)
+            return result
         if self.pool is not None:
             from .placement import execute_with_placement
 
@@ -207,7 +242,12 @@ class Session:
         return chosen.execute(plan, self.database, self.device, seed=seed)
 
     def placement_stats(self):
-        """Residency counters (``None`` unless ``residency=True``)."""
+        """Residency counters (``None`` unless ``residency=True``).
+
+        Scale-out sessions aggregate across the fleet's per-device
+        pools."""
+        if self.scaleout is not None:
+            return self.scaleout.placement_stats()
         return self.pool.stats() if self.pool is not None else None
 
 
@@ -218,6 +258,8 @@ def connect(
     plan_cache: "PlanCache | None" = None,
     residency: bool = False,
     metrics: "MetricsRegistry | None" = None,
+    devices: int = 1,
+    partitioning: str = "range",
 ) -> Session:
     """Create a session (the one-line entry point)."""
     return Session(
@@ -227,4 +269,6 @@ def connect(
         plan_cache=plan_cache,
         residency=residency,
         metrics=metrics,
+        devices=devices,
+        partitioning=partitioning,
     )

@@ -139,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine (default: resolution)",
     )
     serve.add_argument(
+        "--devices", type=int, default=1,
+        help="simulated devices per worker; > 1 runs every query "
+        "through the scale-out fleet (default: 1)",
+    )
+    serve.add_argument(
+        "--partitioning", choices=("range", "hash"), default="range",
+        help="fact-table partitioning scheme for --devices > 1 "
+        "(default: range)",
+    )
+    serve.add_argument(
         "--tiny", action="store_true",
         help="CI smoke mode: tiny scale factor, fewer workers/passes",
     )
@@ -207,6 +217,16 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         help="keep base columns device-resident between queries (buffer "
         "pool with cost-aware eviction and out-of-core fallback)",
     )
+    cmd.add_argument(
+        "--devices", type=int, default=1,
+        help="simulated device count; > 1 partitions the fact table "
+        "across a scale-out fleet and merges partials (default: 1)",
+    )
+    cmd.add_argument(
+        "--partitioning", choices=("range", "hash"), default="range",
+        help="fact-table partitioning scheme for --devices > 1 "
+        "(default: range)",
+    )
 
 
 def _database(args):
@@ -244,6 +264,8 @@ def _cmd_query(args) -> int:
         device=args.device,
         engine=args.engine,
         residency=args.residency,
+        devices=args.devices,
+        partitioning=args.partitioning,
     )
     if args.trace_out:
         from .telemetry import tracing
@@ -258,6 +280,8 @@ def _cmd_query(args) -> int:
         print(f"... ({result.table.num_rows} rows total)")
     print()
     print(result.summary())
+    if result.scaleout is not None:
+        print(f"scaleout: {result.scaleout.summary()}")
     if args.residency:
         stats = session.placement_stats()
         if stats is not None:
@@ -278,6 +302,8 @@ def _cmd_explain(args) -> int:
         device=args.device,
         engine=args.engine,
         residency=args.residency,
+        devices=args.devices,
+        partitioning=args.partitioning,
     )
     print(session.explain(args.sql, analyze=args.analyze))
     return 0
@@ -296,7 +322,13 @@ def _cmd_bench(args) -> int:
         ("HorseQC: Multi-pass", MultiPassEngine()),
         ("HorseQC: Fully pipelined", CompoundEngine("lrgp_simd")),
     ):
-        session = Session(database, device=args.device, engine=engine)
+        session = Session(
+            database,
+            device=args.device,
+            engine=engine,
+            devices=args.devices,
+            partitioning=args.partitioning,
+        )
         result = session.execute(plan)
         rows.append(
             [
@@ -379,6 +411,8 @@ def _cmd_serve_bench(args) -> int:
         passes=passes,
         device=args.device,
         engine=args.engine,
+        devices=args.devices,
+        partitioning=args.partitioning,
     )
     print(report.text())
     if args.metrics_out and report.metrics_text is not None:

@@ -49,6 +49,11 @@ class ExecutionResult:
     #: Per-query span tree (:class:`repro.telemetry.trace.QueryTrace`)
     #: when tracing was enabled for this execution, else ``None``.
     trace: object | None = None
+    #: Fleet accounting (:class:`repro.scaleout.ScaleOutStats`) when
+    #: the query ran through the scale-out executor, else ``None``.
+    #: For scale-out results ``total_ms`` is the *serial* sum of all
+    #: device work; ``scaleout.makespan_ms`` is the parallel time.
+    scaleout: object | None = None
 
     def timeline(self):
         """The ordered span list of this execution (depth-first, start

@@ -53,6 +53,7 @@ class CompoundEngine(Engine):
             mode=self.mode,
             sink=pipeline.sink,
             output_schema=pipeline.output_schema,
+            rows=runtime.source_rows(pipeline),
         )
         kernel = generate_compound_kernel(pipeline)
         runtime.kernel_sources[pipeline.name] = kernel.source

@@ -42,7 +42,11 @@ class MultiPassEngine(Engine):
 
         # Phase 1: count kernel.
         count_ctx = KernelContext(
-            runtime, scope, pipeline.scope_schema, mode="multipass"
+            runtime,
+            scope,
+            pipeline.scope_schema,
+            mode="multipass",
+            rows=runtime.source_rows(pipeline),
         )
         count_kernel = generate_count_kernel(pipeline)
         runtime.kernel_sources[f"{pipeline.name}.count"] = count_kernel.source
@@ -63,6 +67,7 @@ class MultiPassEngine(Engine):
             base_count=scan.total,
             sink=pipeline.sink,
             output_schema=pipeline.output_schema,
+            rows=runtime.source_rows(pipeline),
         )
         write_ctx.install_flags(flags)
         write_ctx.set_positions(scan)

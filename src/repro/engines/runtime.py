@@ -105,6 +105,16 @@ class QueryRuntime:
         self.placement_hit_bytes = 0
 
     # ------------------------------------------------------------------
+    def source_rows(self, pipeline: Pipeline) -> int:
+        """Row count of the pipeline's input, independent of how many
+        columns it references (``count(*)`` reads none)."""
+        if pipeline.source_is_virtual:
+            virtual = self.virtual_tables.get(pipeline.source)
+            if virtual is None or not virtual.arrays:
+                return 0
+            return len(next(iter(virtual.arrays.values())))
+        return self.database.table(pipeline.source).num_rows
+
     def load_source(self, pipeline: Pipeline) -> dict[str, np.ndarray]:
         """The pipeline's input scope: base columns (transferred on
         first use) or a virtual table already on the device."""

@@ -21,16 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import PlanError
 from ..kernels.codegen import generate_compound_kernel
 from ..kernels.context import KernelContext
-from ..plan.physical import AggregateSink, BuildSink, MaterializeSink, Pipeline
-from ..primitives.segmented import factorize, grouped_reduce
+from ..plan.physical import BuildSink, Pipeline
+from ..scaleout.merge import merge_partials
 from .base import Engine
 from .compound import CompoundEngine
 from .runtime import QueryRuntime
-
-_MERGE_OPS = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
 
 
 class VectorAtATimeEngine(Engine):
@@ -97,44 +94,11 @@ class VectorAtATimeEngine(Engine):
         partials: list[dict[str, np.ndarray]],
         counts: list[int],
     ) -> dict[str, np.ndarray]:
-        sink = pipeline.sink
-        if isinstance(sink, MaterializeSink):
-            return {
-                name: np.concatenate([partial[name] for partial in partials])
-                if partials
-                else np.zeros(0)
-                for name in sink.outputs
-            }
-        assert isinstance(sink, AggregateSink)
-        for spec in sink.aggregates:
-            if spec.op not in _MERGE_OPS:
-                raise PlanError(
-                    f"aggregate {spec.op!r} cannot be merged across vectors"
-                )
-        key_names = [name for name, _ in sink.group_keys]
-        if not key_names:
-            merged: dict[str, np.ndarray] = {}
-            for spec in sink.aggregates:
-                op = _MERGE_OPS[spec.op]
-                arrays = [partial[spec.name] for partial in partials]
-                if op in ("min", "max"):
-                    # Vectors where no row passed the filter emit the
-                    # empty-selection placeholder 0, which must not
-                    # participate in a min/max merge.
-                    arrays = [array for array, n in zip(arrays, counts) if n]
-                    if not arrays:
-                        merged[spec.name] = np.array([0.0])
-                        continue
-                stacked = np.concatenate(arrays)
-                merged[spec.name] = np.asarray([getattr(np, op)(stacked)])
-            return merged
-        stacked_keys = [
-            np.concatenate([partial[name] for partial in partials]) for name in key_names
-        ]
-        codes, uniques = factorize(stacked_keys)
-        merged = {name: unique for name, unique in zip(key_names, uniques)}
-        groups = len(uniques[0]) if uniques else 0
-        for spec in sink.aggregates:
-            stacked = np.concatenate([partial[spec.name] for partial in partials])
-            merged[spec.name] = grouped_reduce(codes, groups, stacked, _MERGE_OPS[spec.op])
-        return merged
+        """Combine per-vector outputs via the shared partial-merge
+        layer (:mod:`repro.scaleout.merge`).  ``counts`` (qualifying
+        rows per vector, from ``ctx.aggregation``) mask the empty-
+        selection min/max placeholders; no output-schema cast here —
+        the engine's ordinary output handling casts downstream."""
+        return merge_partials(
+            pipeline.sink, None, partials, counts=counts, context="vectors"
+        )

@@ -51,6 +51,11 @@ class KernelContext:
         kernel and compound kernel pass the block size; the write
         kernel of the multi-pass model passes the selected count, since
         only flagged threads re-read inputs.
+    rows:
+        Authoritative source cardinality.  When omitted it is inferred
+        from the scope arrays — wrong for pipelines that reference no
+        columns at all (``select count(*)`` without a predicate), whose
+        scope is empty while the source still has rows.
     """
 
     def __init__(
@@ -62,6 +67,7 @@ class KernelContext:
         base_count: int | None = None,
         sink=None,
         output_schema: PlanSchema | None = None,
+        rows: int | None = None,
     ):
         if mode not in REDUCTION_MODES:
             raise CompilationError(f"unknown reduction mode {mode!r}")
@@ -70,7 +76,13 @@ class KernelContext:
         self.scope = dict(scope)
         self.schema = schema
         self.mode = mode
-        self.n = len(next(iter(scope.values()))) if scope else 0
+        # ``rows`` is the authoritative source cardinality: a pipeline
+        # that references no columns (``count(*)`` with no predicate)
+        # has an empty scope but still iterates every source row.
+        if rows is not None:
+            self.n = rows
+        else:
+            self.n = len(next(iter(scope.values()))) if scope else 0
         self.base_count = self.n if base_count is None else base_count
         self.meter = TrafficMeter()
         self.outputs: dict[str, np.ndarray] = {}

@@ -23,18 +23,15 @@ from ..errors import PlanError
 from ..hardware.device import VirtualCoprocessor
 from ..kernels.codegen import generate_compound_kernel
 from ..kernels.context import KernelContext
-from ..plan.logical import LogicalPlan, PlanSchema
+from ..plan.logical import LogicalPlan
 from ..plan.physical import AggregateSink, MaterializeSink, PhysicalQuery, Pipeline
 from ..plan.pipelines import extract_pipelines
-from ..primitives.segmented import factorize, grouped_reduce
+from ..scaleout.merge import merge_partials
 from ..storage.database import Database
 from ..storage.table import Table
 
 #: Per-block scheduling overhead (async copy enqueue + sync), seconds.
 BLOCK_OVERHEAD = 20e-6
-
-#: Merge functions for combining per-block partial aggregates.
-_MERGE_OPS = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
 
 
 @dataclass
@@ -123,6 +120,7 @@ class BatchExecutor:
             num_blocks = max(1, -(-total_rows // rows_per_block))
 
             partials: list[dict[str, np.ndarray]] = []
+            counts: list[int] = []
             stream_input_bytes = 0
             peak = device.allocated_bytes
             for index in range(num_blocks):
@@ -145,14 +143,18 @@ class BatchExecutor:
                     mode=self.engine.mode,
                     sink=final.sink,
                     output_schema=final.output_schema,
+                    rows=stop - start,
                 )
                 kernel = generate_compound_kernel(final)
                 kernel(ctx)
                 device.launch(f"{kernel.name}.block{index}", "compound", ctx.n, ctx.meter)
                 partials.append(dict(ctx.outputs))
+                counts.append(
+                    ctx.aggregation.inputs if ctx.aggregation is not None else 0
+                )
                 peak = max(peak, device.allocated_bytes + block_nbytes)
 
-            merged = self._merge_partials(final, partials)
+            merged = self._merge_partials(final, partials, counts)
             runtime.input_bytes = build_input_bytes + stream_input_bytes
             result_table = runtime.finalize(query, merged)
 
@@ -189,50 +191,23 @@ class BatchExecutor:
 
     # ------------------------------------------------------------------
     def _merge_partials(
-        self, pipeline: Pipeline, partials: list[dict[str, np.ndarray]]
+        self,
+        pipeline: Pipeline,
+        partials: list[dict[str, np.ndarray]],
+        counts: list[int],
     ) -> dict[str, np.ndarray]:
+        """Combine per-block outputs via the shared partial-merge layer
+        (:mod:`repro.scaleout.merge`), which the scale-out executor
+        uses too; ``counts`` (qualifying rows per block) keep empty
+        blocks' min/max placeholders out of the merge."""
         sink = pipeline.sink
-        if isinstance(sink, MaterializeSink):
-            return {
-                name: np.concatenate([partial[name] for partial in partials])
-                for name in sink.outputs
-            }
+        if not isinstance(sink, (MaterializeSink, AggregateSink)):
+            raise PlanError("batch streaming supports materialize and aggregate sinks")
         if isinstance(sink, AggregateSink):
-            return self._merge_aggregates(sink, pipeline.output_schema, partials)
-        raise PlanError("batch streaming supports materialize and aggregate sinks")
-
-    @staticmethod
-    def _merge_aggregates(
-        sink: AggregateSink, schema: PlanSchema | None, partials: list[dict[str, np.ndarray]]
-    ) -> dict[str, np.ndarray]:
-        assert schema is not None
-        for spec in sink.aggregates:
-            if spec.op not in _MERGE_OPS:
-                raise PlanError(
-                    f"aggregate {spec.op!r} cannot be merged across blocks "
-                    "(use run-to-finish for AVG queries)"
-                )
-        key_names = [name for name, _ in sink.group_keys]
-        if not key_names:
-            merged: dict[str, np.ndarray] = {}
-            for spec in sink.aggregates:
-                stacked = np.concatenate([partial[spec.name] for partial in partials])
-                op = _MERGE_OPS[spec.op]
-                value = getattr(np, op)(stacked) if len(stacked) else 0
-                merged[spec.name] = np.asarray([value])
-            return merged
-        stacked_keys = [
-            np.concatenate([partial[name] for partial in partials]) for name in key_names
-        ]
-        codes, uniques = factorize(stacked_keys)
-        merged = {name: unique for name, unique in zip(key_names, uniques)}
-        groups = len(uniques[0]) if uniques else 0
-        for spec in sink.aggregates:
-            stacked = np.concatenate([partial[spec.name] for partial in partials])
-            merged[spec.name] = grouped_reduce(codes, groups, stacked, _MERGE_OPS[spec.op])
-        for name, dtype in schema.dtypes.items():
-            merged[name] = np.asarray(merged[name]).astype(dtype.numpy_dtype)
-        return merged
+            assert pipeline.output_schema is not None
+        return merge_partials(
+            sink, pipeline.output_schema, partials, counts=counts, context="blocks"
+        )
 
 
 def execute_out_of_core(

@@ -1,0 +1,63 @@
+"""Scale-out execution: partitioned multi-device scatter-gather.
+
+See :mod:`repro.scaleout.executor` for the architecture overview and
+``docs/scaleout.md`` for the user-facing story.
+
+The merge/partition layers are imported eagerly (the engines and the
+out-of-core batch executor depend on :mod:`repro.scaleout.merge`);
+the executor side loads lazily so that ``engines -> scaleout.merge``
+never re-enters ``scaleout -> engines``.
+"""
+
+from __future__ import annotations
+
+from .merge import (
+    MERGE_OPS,
+    PartialScheme,
+    merge_partials,
+    rewrite_for_partials,
+)
+from .partition import (
+    PARTITION_SCHEMES,
+    PartitionPiece,
+    PartitionSet,
+    build_partitions,
+    validate_devices,
+    validate_partitioning,
+)
+from .scheduler import DeviceLoad, assign_pieces, imbalance
+from .stats import DeviceShare, ScaleOutStats
+
+__all__ = [
+    "MERGE_OPS",
+    "PARTITION_SCHEMES",
+    "DeviceFleet",
+    "DeviceLoad",
+    "DeviceShare",
+    "PartialScheme",
+    "PartitionPiece",
+    "PartitionSet",
+    "ScaleOutExecutor",
+    "ScaleOutStats",
+    "assign_pieces",
+    "build_partitions",
+    "imbalance",
+    "merge_partials",
+    "rewrite_for_partials",
+    "validate_devices",
+    "validate_partitioning",
+]
+
+_LAZY = {"ScaleOutExecutor": "executor", "DeviceFleet": "fleet"}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

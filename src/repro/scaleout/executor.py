@@ -1,0 +1,524 @@
+"""The scale-out executor: partitioned multi-device scatter-gather.
+
+One query runs data-parallel over a :class:`~repro.scaleout.fleet.DeviceFleet`:
+
+1. **Partition** — the fact table (the final pipeline's base-table
+   scan) is split into ``devices * morsels_per_device`` pieces (range
+   or hash, see :mod:`repro.scaleout.partition`); the partitioned
+   catalog is cached per parent database so repeat queries reuse it
+   (and per-device buffer pools stay warm).
+2. **Scatter** — pieces are assigned to devices by the deterministic
+   LPT scheduler (:mod:`repro.scaleout.scheduler`).  Each
+   participating device runs, concurrently on its own simulated
+   clock: the dimension pipelines (build sides *broadcast* to every
+   device), then its fact morsels through the rewritten final
+   pipeline (:func:`repro.scaleout.merge.rewrite_for_partials` makes
+   AVG and empty pieces mergeable), gathering each partial d2h.
+3. **Gather/merge** — partials merge in piece order through the shared
+   :func:`repro.scaleout.merge.merge_partials`, then the host applies
+   ORDER BY/LIMIT exactly as single-device ``finalize`` does.
+
+Queries whose final pipeline scans a *virtual* table (e.g. TPC-H Q13's
+outer aggregate over an aggregate) cannot be partitioned this way and
+fall back to whole-query execution on device 0 (counted in
+``ScaleOutStats.fallback``).
+
+The returned :class:`~repro.engines.base.ExecutionResult` aggregates
+the whole fleet: ``profile``/``total_ms`` is the *serial* sum of all
+device work, while ``result.scaleout.makespan_ms`` is the parallel
+completion time (the busiest device) — their ratio is the modeled
+strong-scaling speedup the Fig-21-style benchmark reports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..engines.base import Engine, ExecutionResult, _cast_outputs
+from ..engines.runtime import QueryRuntime, _sort_order
+from ..hardware.interconnect import PCIE3, Interconnect
+from ..hardware.profiles import GTX970, DeviceProfile, get_profile
+from ..hardware.traffic import Profile
+from ..errors import ConfigurationError
+from ..plan.logical import LogicalPlan
+from ..plan.physical import PhysicalQuery, Pipeline
+from ..plan.pipelines import extract_pipelines
+from ..storage.column import Column
+from ..storage.database import Database
+from ..storage.table import Table
+from ..telemetry.trace import Tracer, active_tracer, tracing_enabled
+from .fleet import DeviceFleet
+from .merge import PartialScheme, merge_partials, rewrite_for_partials
+from .partition import (
+    PartitionSet,
+    build_partitions,
+    validate_devices,
+    validate_partitioning,
+)
+from .scheduler import DeviceLoad, assign_pieces
+from .stats import DeviceShare, ScaleOutStats
+
+
+@dataclass
+class _DeviceRun:
+    """What one device's worker brings back to the merge."""
+
+    share: DeviceShare
+    partials: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+    profile: Profile = field(default_factory=Profile)
+    kernel_sources: dict[str, str] = field(default_factory=dict)
+    placement: object | None = None
+    tracer: Tracer | None = None
+
+
+class ScaleOutExecutor:
+    """Data-parallel query execution over N virtual devices.
+
+    Parameters
+    ----------
+    devices:
+        Fleet size (>= 1).  ``1`` degenerates to single-device
+        execution through the same code path (useful as a baseline).
+    profile:
+        Device profile (or name) each fleet member instantiates
+        privately.
+    partitioning:
+        ``"range"`` (default, order-preserving views) or ``"hash"``.
+    morsels_per_device:
+        Over-partitioning factor: the fact table splits into
+        ``devices * morsels_per_device`` pieces so the LPT scheduler
+        can redistribute work around skewed partitions.
+    residency:
+        Attach a per-device :class:`~repro.placement.BufferPool`;
+        broadcast dimension columns and fact pieces stay device-
+        resident across queries.
+    """
+
+    def __init__(
+        self,
+        devices: int,
+        profile: DeviceProfile | str = GTX970,
+        interconnect: Interconnect = PCIE3,
+        partitioning: str = "range",
+        morsels_per_device: int = 2,
+        residency: bool = False,
+    ):
+        self.devices = validate_devices(devices)
+        self.partitioning = validate_partitioning(partitioning)
+        if isinstance(morsels_per_device, bool) or not isinstance(
+            morsels_per_device, int
+        ) or morsels_per_device < 1:
+            raise ConfigurationError(
+                f"morsels_per_device must be an integer >= 1, got "
+                f"{morsels_per_device!r}"
+            )
+        self.morsels_per_device = morsels_per_device
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.fleet = DeviceFleet(
+            self.profile, self.devices, interconnect=interconnect, residency=residency
+        )
+        self._partition_cache: dict[tuple, PartitionSet] = {}
+        self._cache_lock = threading.Lock()
+        #: One query at a time per fleet (device profiler state is
+        #: per-query); the serving layer gives each worker its own
+        #: executor, same as it gives each worker its own device.
+        self._run_lock = threading.Lock()
+        self._totals_lock = threading.Lock()
+        self._queries = 0
+        self._fallbacks = 0
+        self._device_totals = [
+            {"morsels": 0, "busy_ms": 0.0, "pcie_bytes": 0, "queries": 0}
+            for _ in range(self.devices)
+        ]
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        engine: Engine,
+        plan: LogicalPlan | PhysicalQuery,
+        database: Database,
+        seed: int = 42,
+    ) -> ExecutionResult:
+        """Run one query over the fleet and merge the partials."""
+        if isinstance(plan, PhysicalQuery):
+            query = plan
+        else:
+            query = extract_pipelines(plan, database)
+        with self._run_lock:
+            final = query.final_pipeline
+            if final.source_is_virtual:
+                return self._execute_fallback(engine, query, database, seed)
+            return self._execute_partitioned(engine, query, database, seed)
+
+    # ------------------------------------------------------------------
+    def _partitions(self, database: Database, fact_table: str) -> PartitionSet:
+        parts = self.devices * self.morsels_per_device
+        serial = database.fingerprint()[0]  # stable catalog identity
+        key = (serial, fact_table, self.partitioning, parts)
+        with self._cache_lock:
+            cached = self._partition_cache.get(key)
+            if cached is None:
+                cached = build_partitions(
+                    database, fact_table, parts, self.partitioning
+                )
+                self._partition_cache[key] = cached
+            else:
+                cached.refresh(database)
+            return cached
+
+    # ------------------------------------------------------------------
+    def _execute_partitioned(
+        self, engine: Engine, query: PhysicalQuery, database: Database, seed: int
+    ) -> ExecutionResult:
+        final = query.final_pipeline
+        tracer = active_tracer()
+        owned = tracer is None and tracing_enabled()
+        if owned:
+            tracer = Tracer(
+                engine=f"scaleout[{self.devices}x{engine.name}]",
+                device=self.profile.name,
+            )
+        activation = tracer.activate() if owned else contextlib.nullcontext()
+        with activation:
+            if tracer is not None:
+                with tracer.span("partition", "scaleout") as span:
+                    partition_set = self._partitions(database, final.source)
+                    span.attrs.update(
+                        fact=final.source,
+                        scheme=self.partitioning,
+                        parts=partition_set.parts,
+                    )
+            else:
+                partition_set = self._partitions(database, final.source)
+            rewritten, scheme = rewrite_for_partials(final)
+            loads = assign_pieces(
+                [piece.nbytes for piece in partition_set.pieces], self.devices
+            )
+            runs = self._scatter(
+                engine, query, rewritten, partition_set, loads, seed, tracer
+            )
+            merge_start = time.perf_counter()
+            # Merge in global piece order, independent of which device
+            # ran which piece: deterministic results for free.
+            by_piece: dict[int, dict[str, np.ndarray]] = {}
+            for run in runs:
+                by_piece.update(run.partials)
+            ordered = [by_piece[index] for index in sorted(by_piece)]
+            merged = merge_partials(
+                final.sink,
+                final.output_schema,
+                ordered,
+                scheme=scheme,
+                context="partitions",
+            )
+            table = _finalize_host(query, merged)
+            merge_ms = (time.perf_counter() - merge_start) * 1e3
+            if tracer is not None:
+                tracer.event(
+                    "merge", "scaleout", partials=len(ordered), rows=table.num_rows
+                )
+            stats = ScaleOutStats(
+                devices=self.devices,
+                partitions=partition_set.parts,
+                scheme=self.partitioning,
+                fact_table=final.source,
+                shares=[run.share for run in runs],
+                merge_ms=merge_ms,
+            )
+            result = self._package(engine, runs, table, stats)
+            if owned:
+                result.trace = tracer.finish()
+        self._record_totals(stats)
+        return result
+
+    # ------------------------------------------------------------------
+    def _scatter(
+        self,
+        engine: Engine,
+        query: PhysicalQuery,
+        rewritten: Pipeline,
+        partition_set: PartitionSet,
+        loads: list[DeviceLoad],
+        seed: int,
+        tracer: Tracer | None,
+    ) -> list[_DeviceRun]:
+        """Run every device's share concurrently; returns device order."""
+        active = [
+            load
+            for load in loads
+            if any(partition_set.pieces[piece].rows for piece in load.pieces)
+        ]
+        if not active:
+            return []
+        runs: dict[int, _DeviceRun] = {}
+        errors: list[BaseException] = []
+
+        def run_device(load: DeviceLoad) -> None:
+            try:
+                runs[load.device] = self._run_device(
+                    engine, query, rewritten, partition_set, load, seed, tracer
+                )
+            except BaseException as error:  # re-raised on the caller
+                errors.append(error)
+
+        if len(active) == 1:
+            run_device(active[0])
+        else:
+            with ThreadPoolExecutor(
+                max_workers=len(active), thread_name_prefix="repro-scaleout"
+            ) as pool:
+                list(pool.map(run_device, active))
+        if errors:
+            raise errors[0]
+        ordered = [runs[load.device] for load in active]
+        if tracer is not None:
+            for run in ordered:
+                if run.tracer is not None:
+                    tracer.adopt(run.tracer)
+        return ordered
+
+    def _run_device(
+        self,
+        engine: Engine,
+        query: PhysicalQuery,
+        rewritten: Pipeline,
+        partition_set: PartitionSet,
+        load: DeviceLoad,
+        seed: int,
+        parent_tracer: Tracer | None,
+    ) -> _DeviceRun:
+        device = self.fleet.devices[load.device]
+        pool = self.fleet.pools[load.device]
+        self.fleet.begin_query(load.device)
+        child = None
+        if parent_tracer is not None:
+            child = Tracer(
+                f"device[{load.device}]",
+                device_lane=load.device,
+                device=device.profile.name,
+            )
+            child.root.category = "device"
+        activation = child.activate() if child is not None else contextlib.nullcontext()
+        partition_db = partition_set.database
+        assert partition_db is not None
+        with activation:
+            runtime = QueryRuntime(device, partition_db, seed=seed, pool=pool)
+            run = _DeviceRun(share=DeviceShare(device=load.device), tracer=child)
+            try:
+                # Build sides: every dimension pipeline runs on every
+                # participating device (broadcast join).
+                for index, pipeline in enumerate(query.pipelines[:-1]):
+                    if child is None:
+                        produced = engine.execute_pipeline(pipeline, runtime)
+                    else:
+                        produced = engine._execute_pipeline_traced(
+                            index, pipeline, runtime, child
+                        )
+                    if pipeline.output_schema is not None and produced is not None:
+                        runtime.register_virtual(
+                            pipeline.output_name,
+                            _cast_outputs(produced, pipeline.output_schema),
+                            pipeline.output_schema,
+                        )
+                run.share.broadcast_bytes = runtime.input_bytes
+                # Fact morsels, in piece order.
+                for piece_index in load.pieces:
+                    piece = partition_set.pieces[piece_index]
+                    if piece.rows == 0:
+                        continue
+                    morsel = replace(
+                        rewritten,
+                        name=f"{rewritten.name}_p{piece.index}",
+                        source=piece.table_name,
+                    )
+                    if child is None:
+                        produced = engine.execute_pipeline(morsel, runtime)
+                    else:
+                        produced = engine._execute_pipeline_traced(
+                            len(query.pipelines) - 1 + piece.index,
+                            morsel,
+                            runtime,
+                            child,
+                        )
+                    assert produced is not None
+                    gather_bytes = sum(
+                        np.asarray(array).nbytes for array in produced.values()
+                    )
+                    device.record_stream_transfer(
+                        gather_bytes, "d2h", label=f"gather.p{piece.index}"
+                    )
+                    run.partials[piece.index] = produced
+                    run.share.morsels += 1
+                    run.share.rows += piece.rows
+                    run.share.gather_bytes += gather_bytes
+                share = run.share
+                share.input_bytes = runtime.input_bytes
+                share.partition_bytes = runtime.input_bytes - share.broadcast_bytes
+                share.kernel_ms = device.log.kernel_time_ms
+                share.transfer_ms = device.log.transfer_time_ms
+                share.busy_ms = device.log.total_time_ms
+                share.placement_hits = runtime.placement_hits
+                run.profile = device.log
+                run.kernel_sources = dict(runtime.kernel_sources)
+                run.placement = runtime.query_placement()
+                return run
+            finally:
+                runtime.close()
+
+    # ------------------------------------------------------------------
+    def _execute_fallback(
+        self, engine: Engine, query: PhysicalQuery, database: Database, seed: int
+    ) -> ExecutionResult:
+        """Whole-query execution on device 0 (unpartitionable plan)."""
+        device = self.fleet.devices[0]
+        pool = self.fleet.pools[0]
+        if pool is not None:
+            from ..placement import execute_with_placement
+
+            result = execute_with_placement(engine, query, database, device, seed=seed)
+        else:
+            result = engine.execute(query, database, device, seed=seed)
+        share = DeviceShare(
+            device=0,
+            morsels=1,
+            rows=0,
+            input_bytes=result.input_bytes,
+            partition_bytes=result.input_bytes,
+            gather_bytes=result.output_bytes,
+            kernel_ms=result.profile.kernel_time_ms,
+            transfer_ms=result.profile.transfer_time_ms,
+            busy_ms=result.profile.total_time_ms,
+        )
+        stats = ScaleOutStats(
+            devices=self.devices,
+            partitions=1,
+            scheme=self.partitioning,
+            fact_table=None,
+            shares=[share],
+            fallback=True,
+        )
+        result.scaleout = stats
+        result.engine = f"scaleout[{self.devices}x{engine.name}]"
+        self._record_totals(stats)
+        with self._totals_lock:
+            self._fallbacks += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _package(
+        self,
+        engine: Engine,
+        runs: list[_DeviceRun],
+        table: Table,
+        stats: ScaleOutStats,
+    ) -> ExecutionResult:
+        profile = Profile(
+            kernels=[trace for run in runs for trace in run.profile.kernels],
+            transfers=[record for run in runs for record in run.profile.transfers],
+        )
+        kernel_sources: dict[str, str] = {}
+        for run in runs:
+            kernel_sources.update(run.kernel_sources)
+        placement = None
+        placements = [run.placement for run in runs if run.placement is not None]
+        if placements:
+            from ..placement.stats import QueryPlacement
+
+            placement = QueryPlacement(
+                hits=sum(p.hits for p in placements),
+                misses=sum(p.misses for p in placements),
+                hit_bytes=sum(p.hit_bytes for p in placements),
+                transferred_bytes=sum(p.transferred_bytes for p in placements),
+            )
+        input_bytes = sum(run.share.input_bytes for run in runs)
+        output_bytes = table.nbytes
+        baseline_device = self.fleet.devices[0]
+        return ExecutionResult(
+            table=table,
+            profile=profile,
+            engine=f"scaleout[{self.devices}x{engine.name}]",
+            device_name=f"{self.profile.name} x{self.devices}",
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            pcie_ms=baseline_device.pcie_baseline_ms(input_bytes, output_bytes),
+            memory_bound_ms=baseline_device.memory_bound_ms(
+                input_bytes + output_bytes
+            ),
+            kernel_sources=kernel_sources,
+            placement=placement,
+            scaleout=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_totals(self, stats: ScaleOutStats) -> None:
+        with self._totals_lock:
+            self._queries += 1
+            for share in stats.shares:
+                totals = self._device_totals[share.device]
+                totals["queries"] += 1
+                totals["morsels"] += share.morsels
+                totals["busy_ms"] += share.busy_ms
+                totals["pcie_bytes"] += share.pcie_bytes
+
+    def placement_stats(self):
+        """Aggregated fleet residency counters (None without it)."""
+        return self.fleet.placement_stats()
+
+    def observe_metrics(self, metrics, **labels) -> None:
+        """Export cumulative per-device gauges/counters into a
+        :class:`~repro.telemetry.metrics.MetricsRegistry` (the serving
+        layer calls this from ``Server.metrics_text``)."""
+        with self._totals_lock:
+            totals = [dict(entry) for entry in self._device_totals]
+            queries, fallbacks = self._queries, self._fallbacks
+        metrics.gauge(
+            "repro_scaleout_devices", "Fleet size of the scale-out executor",
+            **labels,
+        ).set(self.devices)
+        metrics.counter(
+            "repro_scaleout_queries_total", "Queries executed by the fleet",
+            **labels,
+        ).set_total(queries)
+        metrics.counter(
+            "repro_scaleout_fallbacks_total",
+            "Queries that ran unpartitioned on one device", **labels,
+        ).set_total(fallbacks)
+        for index, entry in enumerate(totals):
+            device_labels = dict(labels, device=str(index))
+            metrics.counter(
+                "repro_scaleout_device_morsels_total",
+                "Fact morsels executed per device", **device_labels,
+            ).set_total(entry["morsels"])
+            metrics.counter(
+                "repro_scaleout_device_busy_ms_total",
+                "Simulated busy milliseconds per device", **device_labels,
+            ).set_total(entry["busy_ms"])
+            metrics.counter(
+                "repro_scaleout_device_pcie_bytes_total",
+                "PCIe bytes (h2d + d2h) per device", **device_labels,
+            ).set_total(entry["pcie_bytes"])
+
+
+def _finalize_host(query: PhysicalQuery, merged: dict[str, np.ndarray]) -> Table:
+    """Host-side result assembly: the scale-out twin of
+    ``QueryRuntime.finalize`` — the d2h cost was already charged per
+    gathered partial, so only the cast/sort/limit remain."""
+    schema = query.output_schema
+    assert schema is not None
+    columns: dict[str, Column] = {}
+    for name in query.output_columns:
+        dtype = schema.dtypes[name]
+        values = np.asarray(merged[name]).astype(dtype.numpy_dtype)
+        columns[name] = Column(dtype, values, schema.dictionaries.get(name))
+    table = Table(columns)
+    if query.sort_keys:
+        table = table.take(_sort_order(table, query.sort_keys))
+    if query.limit is not None:
+        table = table.slice(0, query.limit)
+    return table

@@ -1,0 +1,60 @@
+"""A fleet of virtual devices for data-parallel execution.
+
+Each fleet member is a fully independent :class:`VirtualCoprocessor`
+with its **own** :class:`~repro.hardware.profiles.DeviceProfile` copy,
+its own simulated clock (the device profile log), and — when residency
+is enabled — its own :class:`~repro.placement.BufferPool`, mirroring
+how the serving layer gives every worker a private device (profiler
+state is per-query and must not be shared across concurrent work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.interconnect import PCIE3, Interconnect
+from ..hardware.profiles import DeviceProfile
+from ..placement import BufferPool
+from ..placement.stats import PlacementStats
+
+
+class DeviceFleet:
+    """N private virtual devices (and optional per-device pools)."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        count: int,
+        interconnect: Interconnect = PCIE3,
+        residency: bool = False,
+    ):
+        if count < 1:
+            raise ValueError("fleet needs at least one device")
+        self.profile = profile
+        self.devices = [
+            VirtualCoprocessor(replace(profile), interconnect=interconnect)
+            for _ in range(count)
+        ]
+        self.pools: list[BufferPool | None] = [
+            BufferPool(device) if residency else None for device in self.devices
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def begin_query(self, device_index: int) -> None:
+        """Start a fresh query on one device: keep pool-resident
+        buffers when residency is on, full reset otherwise."""
+        device = self.devices[device_index]
+        if self.pools[device_index] is not None:
+            device.begin_query()
+        else:
+            device.reset_all()
+
+    def placement_stats(self) -> PlacementStats | None:
+        """Aggregated residency counters (None without residency)."""
+        snapshots = [pool.stats() for pool in self.pools if pool is not None]
+        if not snapshots:
+            return None
+        return PlacementStats.aggregate(snapshots)

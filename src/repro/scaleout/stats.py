@@ -1,0 +1,109 @@
+"""Scale-out execution statistics (import-free, dataclasses only)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeviceShare:
+    """One device's share of a scale-out execution."""
+
+    device: int
+    #: Fact morsels this device executed.
+    morsels: int = 0
+    #: Fact rows this device scanned.
+    rows: int = 0
+    #: Total PCIe h2d bytes this device paid.
+    input_bytes: int = 0
+    #: h2d bytes of the broadcast build sides (dimension pipelines),
+    #: duplicated on every participating device.
+    broadcast_bytes: int = 0
+    #: h2d bytes of this device's fact partitions (disjoint across
+    #: devices; sums to the single-device fact volume).
+    partition_bytes: int = 0
+    #: d2h bytes of the partial results gathered back to the host.
+    gather_bytes: int = 0
+    kernel_ms: float = 0.0
+    transfer_ms: float = 0.0
+    #: Simulated busy time (kernels + transfers) on this device.
+    busy_ms: float = 0.0
+    #: Buffer-pool hits (0 without residency).
+    placement_hits: int = 0
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Total bytes over this device's link (h2d + d2h)."""
+        return self.input_bytes + self.gather_bytes
+
+
+@dataclass
+class ScaleOutStats:
+    """Fleet-level accounting, attached as ``ExecutionResult.scaleout``."""
+
+    devices: int
+    partitions: int
+    scheme: str
+    fact_table: str | None
+    shares: list[DeviceShare] = field(default_factory=list)
+    #: Host-side scatter-gather merge time (wall clock).
+    merge_ms: float = 0.0
+    #: True when the query could not be partitioned (virtual-table
+    #: final pipeline) and ran whole on one device instead.
+    fallback: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan_ms(self) -> float:
+        """Parallel completion time: the busiest device's clock."""
+        return max((share.busy_ms for share in self.shares), default=0.0)
+
+    @property
+    def serial_ms(self) -> float:
+        """Total device work (what one device would have to do)."""
+        return sum(share.busy_ms for share in self.shares)
+
+    @property
+    def imbalance(self) -> float:
+        """makespan / mean busy over participating devices (1.0 = even)."""
+        active = [share.busy_ms for share in self.shares if share.busy_ms > 0]
+        if not active:
+            return 1.0
+        return max(active) / (sum(active) / len(active))
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(share.input_bytes for share in self.shares)
+
+    @property
+    def partition_bytes(self) -> int:
+        return sum(share.partition_bytes for share in self.shares)
+
+    @property
+    def broadcast_bytes(self) -> int:
+        return sum(share.broadcast_bytes for share in self.shares)
+
+    @property
+    def gather_bytes(self) -> int:
+        return sum(share.gather_bytes for share in self.shares)
+
+    @property
+    def broadcast_overhead_bytes(self) -> int:
+        """Extra h2d bytes paid for duplicating the build sides beyond
+        the one copy a single device would transfer."""
+        per_device = [share.broadcast_bytes for share in self.shares if share.morsels]
+        if not per_device:
+            return 0
+        return sum(per_device) - max(per_device)
+
+    def summary(self) -> str:
+        mode = "fallback (unpartitionable final pipeline)" if self.fallback else (
+            f"{self.partitions} {self.scheme} partitions of {self.fact_table}"
+        )
+        return (
+            f"{self.devices} devices, {mode}; "
+            f"makespan {self.makespan_ms:.3f} ms "
+            f"(serial {self.serial_ms:.3f} ms, imbalance {self.imbalance:.2f}), "
+            f"broadcast overhead {self.broadcast_overhead_bytes / 1e6:.2f} MB, "
+            f"gather {self.gather_bytes / 1e3:.1f} KB"
+        )

@@ -95,6 +95,13 @@ class Server:
         oversized working sets fall back to the streaming out-of-core
         executor instead of failing.  ``False`` restores the stateless
         reset-per-query behaviour.
+    devices:
+        ``devices=N`` (N > 1) gives each worker a private scale-out
+        fleet of N simulated devices (:mod:`repro.scaleout`): queries
+        partition the fact table under ``partitioning`` and merge
+        partials scatter-gather style; results carry
+        ``result.scaleout``.  With residency on, the fleets' per-device
+        pools replace the per-worker pools in :meth:`stats`.
     """
 
     def __init__(
@@ -108,7 +115,12 @@ class Server:
         plan_cache: PlanCache | None = None,
         plan_cache_capacity: int = 256,
         residency: bool = True,
+        devices: int = 1,
+        partitioning: str = "range",
     ):
+        from ..scaleout import validate_devices
+
+        validate_devices(devices)
         if workers < 1:
             raise ServingError(f"need at least 1 worker, got {workers}")
         if queue_size < 1:
@@ -157,9 +169,33 @@ class Server:
             for _ in range(workers)
         ]
         self.residency = residency
-        self._pools = (
-            [BufferPool(device) for device in self._devices] if residency else []
-        )
+        self.devices = devices
+        self._executors: list = []
+        if devices > 1:
+            from ..scaleout import ScaleOutExecutor
+
+            self._executors = [
+                ScaleOutExecutor(
+                    devices,
+                    profile=self.profile,
+                    interconnect=interconnect,
+                    partitioning=partitioning,
+                    residency=residency,
+                )
+                for _ in range(workers)
+            ]
+            # Residency lives in the fleets, not the (unused) per-worker
+            # devices; expose the fleet pools so ``stats`` aggregates them.
+            self._pools = [
+                pool
+                for executor in self._executors
+                for pool in executor.fleet.pools
+                if pool is not None
+            ]
+        else:
+            self._pools = (
+                [BufferPool(device) for device in self._devices] if residency else []
+            )
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -285,7 +321,11 @@ class Server:
                 plan_ms = (time.perf_counter() - plan_start) * 1e3
                 begin_thread_compile_stats()
                 execute_start = time.perf_counter()
-                if device.placement_pool is not None:
+                if self._executors:
+                    result = self._executors[index].execute(
+                        chosen, physical, self.database, seed=item.seed
+                    )
+                elif device.placement_pool is not None:
                     result = execute_with_placement(
                         chosen, physical, self.database, device, seed=item.seed
                     )
@@ -437,6 +477,8 @@ class Server:
                 "repro_placement_saved_bytes_total",
                 "PCIe bytes avoided by residency hits",
             ).set_total(placement.hit_bytes)
+        for index, executor in enumerate(self._executors):
+            executor.observe_metrics(metrics, worker=str(index))
         return metrics.render()
 
     def drain(self) -> None:

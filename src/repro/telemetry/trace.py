@@ -209,6 +209,26 @@ class Tracer:
         finally:
             _local.tracer = previous
 
+    def adopt(self, child: "Tracer") -> Span:
+        """Graft another tracer's span tree under the current span.
+
+        The scale-out executor gives every device thread its own child
+        tracer (thread-locals cannot be shared), then adopts the per-
+        device trees into the query tracer once the scatter phase
+        joins.  Child timestamps are rebased from the child's epoch to
+        this tracer's epoch so the grafted spans sit at their true
+        wall-clock position; the child root is closed if still open.
+        """
+        offset_us = (child._epoch - self._epoch) * 1e6
+        if child.root.end_us is None:
+            child.root.end_us = child._now_us()
+        for span in child.root.walk():
+            span.start_us += offset_us
+            if span.end_us is not None:
+                span.end_us += offset_us
+        self._stack[-1].children.append(child.root)
+        return child.root
+
     def finish(self) -> "QueryTrace":
         """Close the root span and package the finished trace."""
         if not self._finished:
@@ -239,18 +259,57 @@ class QueryTrace:
     def chrome_trace(self) -> dict:
         """The trace as a Chrome trace-event object (Perfetto-loadable).
 
-        Two tracks are emitted: ``host`` carries the span tree on host
-        wall-clock time (complete ``"X"`` events, nesting by interval
-        containment), and ``device (simulated)`` lays the kernel and
-        transfer events out serially on the simulated device clock so
-        the paper's modeled timeline is visible next to the host one.
+        Two tracks are emitted per lane: ``host`` carries the span tree
+        on host wall-clock time (complete ``"X"`` events, nesting by
+        interval containment), and ``device (simulated)`` lays the
+        kernel and transfer events out serially on the simulated device
+        clock so the paper's modeled timeline is visible next to the
+        host one.
+
+        Scale-out traces carry a ``device_lane`` attribute on each
+        per-device subtree (set by the executor's child tracers); such
+        subtrees render on their own host + simulated track pair so the
+        fleet's concurrency is visible.  Single-device traces have no
+        ``device_lane`` anywhere and keep the original two tracks.
         """
         events: list[dict] = [
             _meta("process_name", {"name": "repro"}),
             _meta("thread_name", {"name": "host"}, tid=_HOST_TID),
             _meta("thread_name", {"name": "device (simulated)"}, tid=_DEVICE_TID),
         ]
-        for span in self.root.walk():
+        named_lanes: set[int] = set()
+
+        def lane_tids(lane: int | None) -> tuple[int, int]:
+            """(host tid, simulated tid) for a device lane."""
+            if lane is None:
+                return _HOST_TID, _DEVICE_TID
+            if lane not in named_lanes:
+                named_lanes.add(lane)
+                host_tid, sim_tid = _LANE_BASE + 2 * lane, _LANE_BASE + 2 * lane + 1
+                events.append(
+                    _meta("thread_name", {"name": f"device[{lane}] host"}, tid=host_tid)
+                )
+                events.append(
+                    _meta(
+                        "thread_name",
+                        {"name": f"device[{lane}] (simulated)"},
+                        tid=sim_tid,
+                    )
+                )
+            return _LANE_BASE + 2 * lane, _LANE_BASE + 2 * lane + 1
+
+        # (span, lane) in document order; lanes inherit down the tree.
+        placed: list[tuple[Span, int | None]] = []
+
+        def place(span: Span, lane: int | None) -> None:
+            lane = span.attrs.get("device_lane", lane)
+            placed.append((span, lane))
+            for child in span.children:
+                place(child, lane)
+
+        place(self.root, None)
+        for span, lane in placed:
+            host_tid, _ = lane_tids(lane)
             events.append(
                 {
                     "name": span.name,
@@ -259,28 +318,34 @@ class QueryTrace:
                     "ts": round(span.start_us, 3),
                     "dur": round(span.duration_us, 3),
                     "pid": _PID,
-                    "tid": _HOST_TID,
+                    "tid": host_tid,
                     "args": {k: _jsonable(v) for k, v in span.attrs.items()},
                 }
             )
-        cursor = self.root.start_us
-        for span in self.root.walk():
+        # Each lane's simulated clock starts where its subtree starts
+        # (device clocks run concurrently); the default lane starts at
+        # the query root.
+        cursors: dict[int | None, float] = {None: self.root.start_us}
+        for span, lane in placed:
             if span.category not in ("kernel", "transfer"):
                 continue
+            if lane not in cursors:
+                cursors[lane] = span.start_us
+            _, sim_tid = lane_tids(lane)
             dur_us = span.sim_ms * 1e3
             events.append(
                 {
                     "name": span.name,
                     "cat": f"sim_{span.category}",
                     "ph": "X",
-                    "ts": round(cursor, 3),
+                    "ts": round(cursors[lane], 3),
                     "dur": round(dur_us, 3),
                     "pid": _PID,
-                    "tid": _DEVICE_TID,
+                    "tid": sim_tid,
                     "args": {k: _jsonable(v) for k, v in span.attrs.items()},
                 }
             )
-            cursor += dur_us
+            cursors[lane] += dur_us
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def chrome_json(self, indent: int | None = None) -> str:
@@ -301,6 +366,9 @@ class QueryTrace:
 _PID = 1
 _HOST_TID = 1
 _DEVICE_TID = 2
+#: Scale-out device lanes get tid pairs (host, simulated) starting here
+#: so they sort below the default host/device tracks.
+_LANE_BASE = 10
 
 
 def _meta(name: str, args: dict, tid: int | None = None) -> dict:

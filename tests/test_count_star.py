@@ -1,0 +1,76 @@
+"""``count(*)`` with no predicate references zero columns, so the
+pipeline's scope is empty — the compiled engines must still size the
+kernel grid by the *source* cardinality, not the (empty) scope.
+
+Regression tests for the bug where every compiled engine (multi-pass
+and all compound variants) returned 0 for an unfiltered ``count(*)``
+while the interpreted engines returned the row count.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.hardware.device import VirtualCoprocessor
+from repro.hardware.profiles import GTX970
+from repro.macro.batch import BatchExecutor
+from repro.sql import parse_query
+from repro.sql.translate import translate
+from repro.storage.database import Database
+from repro.storage.table import Column, Table
+
+ENGINES = (
+    "operator-at-a-time",
+    "multipass",
+    "pipelined",
+    "resolution",
+    "resolution-we",
+    "cpu",
+)
+
+
+@pytest.fixture(scope="module")
+def ssb_db():
+    return repro.generate_ssb(0.002)
+
+
+class TestCountStar:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unfiltered_count_star(self, ssb_db, engine):
+        session = repro.connect(ssb_db)
+        result = session.execute(
+            "select count(*) as n from lineorder", engine=engine
+        )
+        assert result.table.to_rows() == [(ssb_db.table("lineorder").num_rows,)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_filtered_count_star_unchanged(self, ssb_db, engine):
+        session = repro.connect(ssb_db)
+        result = session.execute(
+            "select count(*) as n from lineorder where lo_discount between 1 and 3",
+            engine=engine,
+        )
+        reference = ssb_db.table("lineorder").column("lo_discount").values
+        expected = int(np.count_nonzero((reference >= 1) & (reference <= 3)))
+        assert result.table.to_rows() == [(expected,)]
+
+    def test_count_star_out_of_core(self, ssb_db):
+        plan = translate(parse_query("select count(*) as n from lineorder"), ssb_db)
+        executor = BatchExecutor(block_bytes=16 * 1024)
+        result = executor.execute(plan, ssb_db, VirtualCoprocessor(GTX970))
+        assert result.table.to_rows() == [(ssb_db.table("lineorder").num_rows,)]
+
+    def test_count_star_scaleout_tracks_catalog_mutation(self):
+        db = Database(
+            {"t": Table({"k": Column.int64(np.arange(50, dtype=np.int64))})}
+        )
+        session = repro.connect(db, devices=3)
+        assert session.execute("select count(*) as n from t").table.to_rows() == [
+            (50,)
+        ]
+        db.replace(
+            "t", Table({"k": Column.int64(np.arange(80, dtype=np.int64))})
+        )
+        assert session.execute("select count(*) as n from t").table.to_rows() == [
+            (80,)
+        ]

@@ -1,0 +1,204 @@
+"""The shared partial-merge layer (:mod:`repro.scaleout.merge`).
+
+Regression focus: a zero-row partition must not poison any aggregate.
+Engines emit a ``[0.0]`` placeholder for an empty selection, so a
+count-unaware merge would fold a phantom 0 into MIN/MAX (and a phantom
+row into AVG).  The merge layer masks empty partials via qualifying-row
+counts — either passed directly (block/vector streaming) or carried as
+a hidden ``count(*)`` column (scale-out partitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import connect
+from repro.errors import PlanError
+from repro.plan.logical import AggSpec
+from repro.plan.physical import AggregateSink, MaterializeSink
+from repro.plan.pipelines import extract_pipelines
+from repro.scaleout.merge import (
+    PARTIAL_ROWS,
+    PartialScheme,
+    merge_partials,
+    rewrite_for_partials,
+)
+from repro.sql.translate import plan_sql
+from repro.storage import Column, Database, Table
+from repro.storage.dtypes import DType
+from repro.expressions.expr import col
+
+
+def _sink(op: str, expr=col("v")) -> AggregateSink:
+    if op == "count":
+        expr = None
+    return AggregateSink(group_keys=[], aggregates=[AggSpec(op, expr, "out")])
+
+
+def _partial(value: float) -> dict[str, np.ndarray]:
+    return {"out": np.array([value])}
+
+
+# ----------------------------------------------------------------------
+# unit-level: empty partials in the ungrouped merge
+# ----------------------------------------------------------------------
+class TestEmptyPartialMasking:
+    """One live partial plus one empty-placeholder partial per op."""
+
+    def test_count_ignores_placeholder(self):
+        merged = merge_partials(
+            _sink("count"), None, [_partial(7), _partial(0)], counts=[7, 0]
+        )
+        assert merged["out"][0] == 7
+
+    def test_sum_ignores_placeholder(self):
+        merged = merge_partials(
+            _sink("sum"), None, [_partial(42.0), _partial(0.0)], counts=[3, 0]
+        )
+        assert merged["out"][0] == 42.0
+
+    def test_min_not_poisoned_by_empty_partition(self):
+        # The regression: min(5, placeholder 0) must be 5, not 0.
+        merged = merge_partials(
+            _sink("min"), None, [_partial(5.0), _partial(0.0)], counts=[3, 0]
+        )
+        assert merged["out"][0] == 5.0
+
+    def test_max_not_poisoned_by_negative_data(self):
+        merged = merge_partials(
+            _sink("max"), None, [_partial(-2.0), _partial(0.0)], counts=[3, 0]
+        )
+        assert merged["out"][0] == -2.0
+
+    def test_all_empty_collapses_to_zero(self):
+        merged = merge_partials(
+            _sink("min"), None, [_partial(0.0), _partial(0.0)], counts=[0, 0]
+        )
+        assert merged["out"][0] == 0.0
+
+    def test_avg_merges_via_scheme_totals(self):
+        scheme = PartialScheme(
+            rows_name=PARTIAL_ROWS,
+            avg_parts={"out": ("__partial_sum__out", "__partial_count__out")},
+        )
+        partials = [
+            {
+                "__partial_sum__out": np.array([10.0]),
+                "__partial_count__out": np.array([4]),
+                PARTIAL_ROWS: np.array([4]),
+            },
+            {
+                "__partial_sum__out": np.array([0.0]),
+                "__partial_count__out": np.array([0]),
+                PARTIAL_ROWS: np.array([0]),
+            },
+        ]
+        merged = merge_partials(_sink("avg"), None, partials, scheme=scheme)
+        assert merged["out"][0] == pytest.approx(2.5)
+
+    def test_avg_without_scheme_raises_per_context(self):
+        for context in ("blocks", "vectors"):
+            with pytest.raises(PlanError, match="merged"):
+                merge_partials(
+                    _sink("avg"),
+                    None,
+                    [_partial(1.0)],
+                    counts=[1],
+                    context=context,
+                )
+
+    def test_materialize_concatenates(self):
+        sink = MaterializeSink(outputs=["v"])
+        merged = merge_partials(
+            sink,
+            None,
+            [{"v": np.array([1, 2])}, {"v": np.array([], dtype=np.int64)},
+             {"v": np.array([3])}],
+        )
+        assert merged["v"].tolist() == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# rewrite_for_partials
+# ----------------------------------------------------------------------
+class TestRewriteForPartials:
+    def _final_pipeline(self, sql: str, database):
+        query = extract_pipelines(plan_sql(sql, database), database)
+        return query.final_pipeline
+
+    def test_avg_decomposes_into_sum_and_count(self, ssb_db):
+        pipeline = self._final_pipeline(
+            "select avg(lo_quantity) as a from lineorder", ssb_db
+        )
+        rewritten, scheme = rewrite_for_partials(pipeline)
+        names = [spec.name for spec in rewritten.sink.aggregates]
+        assert "__partial_sum__a" in names and "__partial_count__a" in names
+        assert scheme.avg_parts["a"] == (
+            "__partial_sum__a",
+            "__partial_count__a",
+        )
+        assert rewritten.output_schema.dtypes["__partial_count__a"] == DType.INT64
+
+    def test_ungrouped_sink_gains_rows_counter(self, ssb_db):
+        pipeline = self._final_pipeline(
+            "select min(lo_revenue) as m from lineorder", ssb_db
+        )
+        rewritten, scheme = rewrite_for_partials(pipeline)
+        assert scheme.rows_name == PARTIAL_ROWS
+        assert PARTIAL_ROWS in [s.name for s in rewritten.sink.aggregates]
+        # Hidden columns never leak into the original pipeline.
+        assert PARTIAL_ROWS not in [s.name for s in pipeline.sink.aggregates]
+
+    def test_materialize_passes_through(self, ssb_db):
+        pipeline = self._final_pipeline(
+            "select lo_revenue from lineorder where lo_discount >= 9", ssb_db
+        )
+        rewritten, scheme = rewrite_for_partials(pipeline)
+        assert rewritten is pipeline
+        assert scheme.hidden_names == frozenset()
+
+
+# ----------------------------------------------------------------------
+# end-to-end: a partition with zero qualifying rows
+# ----------------------------------------------------------------------
+class TestEmptyPartitionEndToEnd:
+    """Range partitioning over a sorted key makes the upper partitions
+    produce zero qualifying rows; every aggregate must still match the
+    single-device answer."""
+
+    @pytest.fixture(scope="class")
+    def skewed_db(self) -> Database:
+        keys = np.arange(100, dtype=np.int64)
+        values = (np.arange(100, dtype=np.int64) % 13) + 5
+        return Database(
+            {
+                "t": Table(
+                    {"k": Column.int64(keys), "v": Column.int64(values)}
+                )
+            }
+        )
+
+    @pytest.mark.parametrize(
+        "agg",
+        ["count(*)", "sum(v)", "avg(v)", "min(v)", "max(v)"],
+        ids=["count", "sum", "avg", "min", "max"],
+    )
+    def test_aggregate_matches_single_device(self, skewed_db, agg):
+        sql = f"select {agg} as out from t where k < 25"
+        expected = connect(skewed_db).execute(sql).table.to_rows()
+        for devices in (2, 4):
+            got = (
+                connect(skewed_db, devices=devices)
+                .execute(sql)
+                .table.to_rows()
+            )
+            assert got == pytest.approx(expected), (agg, devices)
+
+    def test_grouped_aggregate_matches_single_device(self, skewed_db):
+        sql = "select v, min(k) as m from t where k < 25 group by v"
+        expected = connect(skewed_db).execute(sql).table.sorted_rows()
+        got = (
+            connect(skewed_db, devices=4).execute(sql).table.sorted_rows()
+        )
+        assert got == expected

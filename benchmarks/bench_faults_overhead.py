@@ -1,0 +1,132 @@
+"""Fault-injection overhead benchmark: armed-but-idle must be free.
+
+Fault tolerance is always on in the scale-out executor (failure
+classification, per-attempt transient snapshots, wave bookkeeping);
+what an *armed* fault plan adds on top is the injector hooks on every
+build/morsel and a CRC-32 checksum over every gathered partial.  This
+benchmark measures that increment: the same SSB queries through the
+same 3-device fleet, once with no fault plan and once with an **empty**
+plan armed (hooks fire, nothing matches, checksums verify clean), and
+reports the host wall-clock overhead.
+
+Acceptance: armed-but-idle overhead **< 2%** (best-of-N rounds, the
+configurations interleaved so clock drift hits both equally).  The
+modeled device timeline is asserted *identical* — injection that fires
+nothing must not charge simulated time — and so are the result rows.
+
+Run standalone with ``python bench_faults_overhead.py [--tiny]`` or
+via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
+"""
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from common import emit
+
+from repro.engines import make_engine
+from repro.faults import FaultPlan
+from repro.scaleout import ScaleOutExecutor
+from repro.workloads import generate_ssb, ssb_plan
+
+OVERHEAD_TOLERANCE = 0.02
+SCALE_FACTOR = 0.02
+QUERIES = ("q1.1", "q2.1", "q3.2", "q4.1")
+DEVICES = 3
+ROUNDS = 5
+
+
+@dataclass
+class OverheadReport:
+    queries: tuple
+    rounds: int
+    reps: int
+    #: config name -> best-of-rounds wall seconds
+    best: dict = field(default_factory=dict)
+    #: config name -> per-round wall seconds
+    samples: dict = field(default_factory=dict)
+    makespans_match: bool = True
+
+    @property
+    def overhead(self) -> float:
+        return self.best["armed-idle"] / self.best["disabled"] - 1.0
+
+    @property
+    def passed(self) -> bool:
+        return self.overhead < OVERHEAD_TOLERANCE and self.makespans_match
+
+    def text(self) -> str:
+        lines = [
+            f"SSB at SF {SCALE_FACTOR}, {DEVICES} devices, "
+            f"{len(self.queries)} queries x {self.reps} reps x "
+            f"{self.rounds} rounds (best-of-rounds, configs interleaved)",
+            "",
+            f"{'config':<12s} {'best (ms)':>10s}  per-round (ms)",
+        ]
+        for config, best in self.best.items():
+            rounds = " ".join(f"{s * 1e3:8.1f}" for s in self.samples[config])
+            lines.append(f"{config:<12s} {best * 1e3:>10.1f}  {rounds}")
+        lines += [
+            "",
+            f"modeled device timelines identical: "
+            f"{'yes' if self.makespans_match else 'NO'}",
+            f"armed-but-idle overhead: {self.overhead * 100:+.2f}% "
+            f"(tolerance < {OVERHEAD_TOLERANCE * 100:.0f}%)",
+            f"result: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(tiny: bool = False) -> OverheadReport:
+    queries = QUERIES[:1] if tiny else QUERIES
+    rounds = 3 if tiny else ROUNDS
+    # Keep the timed region well above timer noise even in tiny mode.
+    reps = 10 if tiny else 1
+    database = generate_ssb(SCALE_FACTOR, seed=7)
+    plans = [ssb_plan(name, database) for name in queries]
+    engine = make_engine("resolution")
+    executors = {
+        "disabled": ScaleOutExecutor(DEVICES),
+        "armed-idle": ScaleOutExecutor(DEVICES, fault_plan=FaultPlan()),
+    }
+    report = OverheadReport(queries=queries, rounds=rounds, reps=reps)
+    makespans: dict = {}
+    for config, executor in executors.items():
+        # Warm partition caches and kernel compilation out of the
+        # timed region, and capture the modeled timeline.
+        totals = []
+        for plan in plans:
+            result = executor.execute(engine, plan, database)
+            totals.append(result.scaleout.makespan_ms)
+            if config == "armed-idle":
+                recovery = result.scaleout.recovery
+                assert recovery is not None and not recovery.faulted
+        makespans[config] = totals
+        report.samples[config] = []
+    assert makespans["disabled"] == makespans["armed-idle"], (
+        "an empty fault plan must not change the modeled timeline"
+    )
+    report.makespans_match = makespans["disabled"] == makespans["armed-idle"]
+    for _round in range(rounds):
+        for config, executor in executors.items():
+            started = time.perf_counter()
+            for _rep in range(reps):
+                for plan in plans:
+                    executor.execute(engine, plan, database)
+            report.samples[config].append(time.perf_counter() - started)
+    for config in executors:
+        report.best[config] = min(report.samples[config])
+    return report
+
+
+def test_faults_overhead(benchmark):
+    report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
+    emit("faults_overhead", report.text())
+    assert report.makespans_match
+    assert report.overhead < OVERHEAD_TOLERANCE
+
+
+if __name__ == "__main__":
+    report = run(tiny="--tiny" in sys.argv[1:])
+    emit("faults_overhead", report.text())
+    sys.exit(0 if report.passed else 1)

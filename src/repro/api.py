@@ -61,6 +61,14 @@ class Session:
     accounting.  With ``residency=True`` each fleet device gets its
     own buffer pool (``session.pool`` stays ``None`` — the fleet owns
     residency; :meth:`placement_stats` aggregates across devices).
+
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`, a plan dict, or
+    a path to a plan JSON file) arms deterministic fault injection on
+    the scale-out executor; ``retry_policy`` tunes the per-morsel
+    retry/backoff/timeout behaviour (see ``docs/fault-tolerance.md``).
+    Arming a fault plan routes queries through the scale-out executor
+    even at ``devices=1`` so the recovery ladder — including the host
+    out-of-core fallback — stays reachable.
     """
 
     def __init__(
@@ -74,10 +82,13 @@ class Session:
         metrics: "MetricsRegistry | None" = None,
         devices: int = 1,
         partitioning: str = "range",
+        fault_plan=None,
+        retry_policy=None,
     ):
         from .scaleout import validate_devices
 
         validate_devices(devices)
+        fault_plan = _coerce_fault_plan(fault_plan)
         self.database = database
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set,
         #: every ``execute`` observes the session query-latency
@@ -93,7 +104,7 @@ class Session:
         self.plan_cache = plan_cache
         self.pool = None
         self.scaleout = None
-        if devices > 1:
+        if devices > 1 or fault_plan is not None:
             from .scaleout import ScaleOutExecutor
 
             self.scaleout = ScaleOutExecutor(
@@ -102,6 +113,8 @@ class Session:
                 interconnect=interconnect,
                 partitioning=partitioning,
                 residency=residency,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
             )
         elif residency:
             if self.device.placement_pool is not None:
@@ -251,6 +264,27 @@ class Session:
         return self.pool.stats() if self.pool is not None else None
 
 
+def _coerce_fault_plan(fault_plan):
+    """Accept a :class:`~repro.faults.FaultPlan`, a plan ``dict``, or a
+    path to a plan JSON file (how the CLI passes ``--fault-plan``)."""
+    if fault_plan is None:
+        return None
+    from .faults import FaultPlan
+
+    if isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    if isinstance(fault_plan, dict):
+        return FaultPlan.from_dict(fault_plan)
+    if isinstance(fault_plan, str):
+        return FaultPlan.load(fault_plan)
+    from .errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"fault_plan must be a FaultPlan, a plan dict, or a JSON path, "
+        f"got {fault_plan!r}"
+    )
+
+
 def connect(
     database: Database,
     device: VirtualCoprocessor | DeviceProfile | str = GTX970,
@@ -260,6 +294,8 @@ def connect(
     metrics: "MetricsRegistry | None" = None,
     devices: int = 1,
     partitioning: str = "range",
+    fault_plan=None,
+    retry_policy=None,
 ) -> Session:
     """Create a session (the one-line entry point)."""
     return Session(
@@ -271,4 +307,6 @@ def connect(
         metrics=metrics,
         devices=devices,
         partitioning=partitioning,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )

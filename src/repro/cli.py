@@ -148,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fact-table partitioning scheme for --devices > 1 "
         "(default: range)",
     )
+    _add_fault_options(serve)
     serve.add_argument(
         "--tiny", action="store_true",
         help="CI smoke mode: tiny scale factor, fewer workers/passes",
@@ -227,6 +228,52 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         help="fact-table partitioning scheme for --devices > 1 "
         "(default: range)",
     )
+    _add_fault_options(cmd)
+
+
+def _add_fault_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="arm a deterministic fault-injection plan (JSON, see "
+        "docs/fault-tolerance.md); queries route through the "
+        "scale-out executor's recovery path",
+    )
+    cmd.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="same-device retries per morsel before redistribution "
+        "(default: 2)",
+    )
+    cmd.add_argument(
+        "--backoff-ms", type=float, default=None, metavar="MS",
+        help="base of the capped exponential retry backoff "
+        "(default: 1.0)",
+    )
+    cmd.add_argument(
+        "--morsel-timeout-ms", type=float, default=None, metavar="MS",
+        help="treat a morsel stalled past this simulated delay as "
+        "failed (default: no timeout)",
+    )
+
+
+def _fault_kwargs(args) -> dict:
+    """Build the Session/benchmark fault keywords from CLI flags
+    (:class:`~repro.faults.RetryPolicy` validates the knobs and raises
+    :class:`~repro.errors.ConfigurationError` on bad values)."""
+    kwargs: dict = {"fault_plan": args.fault_plan, "retry_policy": None}
+    overrides = {
+        key: value
+        for key, value in (
+            ("max_retries", args.max_retries),
+            ("backoff_base_ms", args.backoff_ms),
+            ("morsel_timeout_ms", args.morsel_timeout_ms),
+        )
+        if value is not None
+    }
+    if overrides:
+        from .faults import RetryPolicy
+
+        kwargs["retry_policy"] = RetryPolicy(**overrides)
+    return kwargs
 
 
 def _database(args):
@@ -266,6 +313,7 @@ def _cmd_query(args) -> int:
         residency=args.residency,
         devices=args.devices,
         partitioning=args.partitioning,
+        **_fault_kwargs(args),
     )
     if args.trace_out:
         from .telemetry import tracing
@@ -282,6 +330,9 @@ def _cmd_query(args) -> int:
     print(result.summary())
     if result.scaleout is not None:
         print(f"scaleout: {result.scaleout.summary()}")
+        recovery = result.scaleout.recovery
+        if recovery is not None and recovery.faulted:
+            print(f"recovery: {recovery.summary()}")
     if args.residency:
         stats = session.placement_stats()
         if stats is not None:
@@ -304,6 +355,7 @@ def _cmd_explain(args) -> int:
         residency=args.residency,
         devices=args.devices,
         partitioning=args.partitioning,
+        **_fault_kwargs(args),
     )
     print(session.explain(args.sql, analyze=args.analyze))
     return 0
@@ -328,6 +380,7 @@ def _cmd_bench(args) -> int:
             engine=engine,
             devices=args.devices,
             partitioning=args.partitioning,
+            **_fault_kwargs(args),
         )
         result = session.execute(plan)
         rows.append(
@@ -413,6 +466,7 @@ def _cmd_serve_bench(args) -> int:
         engine=args.engine,
         devices=args.devices,
         partitioning=args.partitioning,
+        **_fault_kwargs(args),
     )
     print(report.text())
     if args.metrics_out and report.metrics_text is not None:

@@ -33,6 +33,91 @@ class AllocationError(ReproError):
     """Raised on invalid buffer lifecycle operations (double free, etc.)."""
 
 
+class FaultError(ReproError):
+    """Base class for *recoverable* device faults.
+
+    Raised either by the fault-injection layer (:mod:`repro.faults`) or
+    by a device that was marked lost mid-query.  The scale-out executor
+    classifies these (together with :class:`DeviceMemoryError`) as
+    recoverable: the failing morsel is retried with backoff and, if the
+    device cannot complete it, re-scheduled onto surviving devices.
+    """
+
+
+class DeviceLostError(FaultError):
+    """Raised when a device drops out mid-query (injected or real).
+
+    Once a :class:`~repro.hardware.device.VirtualCoprocessor` is marked
+    lost, every allocation, transfer, and kernel launch on it raises
+    this error; cleanup paths (``free``/``release_transient``) keep
+    working so failure paths can still reclaim transient buffers.
+    """
+
+    def __init__(self, device: str, detail: str = ""):
+        self.device = device
+        message = f"device {device} was lost"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class TransferCorruptionError(FaultError):
+    """Raised when a gathered partial fails its checksum verification.
+
+    The corrupted partial is discarded and the morsel re-executed; the
+    checksum is computed before the (simulated) d2h transfer and
+    re-verified after it, so flipped bits on the wire are detected
+    deterministically.
+    """
+
+    def __init__(self, device: int, morsel: int, expected: int, got: int):
+        self.device = device
+        self.morsel = morsel
+        self.expected = expected
+        self.got = got
+        super().__init__(
+            f"gather of morsel {morsel} from device {device} failed checksum "
+            f"verification (expected {expected:#010x}, got {got:#010x})"
+        )
+
+
+class MorselTimeoutError(FaultError):
+    """Raised when a morsel's (simulated) execution exceeds the
+    configured per-morsel timeout — a straggler promoted to a failure
+    so the scheduler can re-run the morsel elsewhere."""
+
+    def __init__(self, device: int, morsel: int, delay_ms: float, timeout_ms: float):
+        self.device = device
+        self.morsel = morsel
+        self.delay_ms = delay_ms
+        self.timeout_ms = timeout_ms
+        super().__init__(
+            f"morsel {morsel} on device {device} exceeded the "
+            f"{timeout_ms:g} ms morsel timeout (stalled {delay_ms:g} ms)"
+        )
+
+
+class MorselExhaustedError(ReproError):
+    """Raised when one morsel failed on every surviving device.
+
+    This is a *fatal* recovery outcome, not a recoverable fault: retries
+    and redistribution were both exhausted, so the query cannot produce
+    a complete result.  The message names the morsel so a failing chaos
+    run can be replayed.
+    """
+
+    def __init__(self, morsel: int, fact_table: str | None, devices: list[int]):
+        self.morsel = morsel
+        self.fact_table = fact_table
+        self.devices = list(devices)
+        table = f" of {fact_table!r}" if fact_table else ""
+        super().__init__(
+            f"morsel {morsel}{table} failed on every surviving device "
+            f"({', '.join(str(d) for d in self.devices) or 'none'}); "
+            "retries exhausted"
+        )
+
+
 class SchemaError(ReproError):
     """Raised when column names or types are inconsistent with a schema."""
 

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and recovery for scale-out execution.
+
+The layer has three parts, one module each:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`, the
+  seedable, JSON-serializable fault schedule (device loss, OOM,
+  transfer corruption, stragglers) keyed by device/morsel/op;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the per-query
+  armed state the scale-out executor consults at its injection points,
+  plus the gather :func:`partial_checksum`;
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` (capped
+  exponential backoff, morsel timeout) and :class:`RecoveryStats`
+  (the per-query accounting surfaced as ``ScaleOutStats.recovery`` and
+  the ``repro_faults_*`` Prometheus counters).
+
+See ``docs/fault-tolerance.md`` for the fault model and the recovery
+ladder (retry -> redistribute -> degrade -> host fallback), and
+``tests/test_faults_differential.py`` for the chaos harness asserting
+that any schedule leaving one live device changes nothing in the
+result.
+"""
+
+from __future__ import annotations
+
+from .injector import FaultInjector, FiredFault, partial_checksum
+from .plan import FAULT_KINDS, FAULT_OPS, FaultPlan, FaultSpec
+from .recovery import RecoveryStats, RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_OPS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+    "RecoveryStats",
+    "RetryPolicy",
+    "partial_checksum",
+]

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import AllocationError, DeviceMemoryError
+from ..errors import AllocationError, DeviceLostError, DeviceMemoryError
 from ..telemetry.trace import active_tracer
 from .costmodel import KernelCostModel
 from .interconnect import PCIE3, Interconnect
@@ -77,6 +77,12 @@ class VirtualCoprocessor:
         self.profile = profile
         self.interconnect = None if profile.zero_copy else interconnect
         self.cost_model = KernelCostModel(profile)
+        #: False once the device has dropped out (injected fault or real
+        #: failure): allocations, transfers, and launches raise
+        #: :class:`~repro.errors.DeviceLostError`; the cleanup paths
+        #: (``free``/``release_transient``) keep working so failure
+        #: handling can reclaim transient buffers.
+        self.alive = True
         self.allocated_bytes = 0
         self.peak_allocated = 0
         #: Bytes held by pooled (cross-query resident) buffers.
@@ -106,6 +112,7 @@ class VirtualCoprocessor:
         reclaim memory (evict unpinned pooled buffers) before
         :class:`~repro.errors.DeviceMemoryError` is raised.
         """
+        self._check_alive()
         nbytes = array.nbytes
         available = self.profile.memory_capacity - self.allocated_bytes
         if nbytes > available and self.pressure_callback is not None:
@@ -140,15 +147,27 @@ class VirtualCoprocessor:
         """Bytes pinned across queries by an attached buffer pool."""
         return self.pooled_bytes
 
-    def release_transient(self) -> None:
+    def release_transient(self, keep: frozenset | None = None) -> None:
         """Free every live buffer that is not pool-owned.
 
         Engines call this at the end of a query: hash-table slots,
         payload columns, and any other per-query scratch are reclaimed,
         while pooled base columns stay resident for the next query.
+
+        ``keep`` (a :meth:`transient_snapshot`) limits the sweep to
+        buffers allocated *after* the snapshot — the failure-path
+        cleanup of one morsel attempt, which must not reclaim the
+        build-side hash tables earlier pipelines left on the device.
         """
         for buffer in [b for b in self._live_buffers.values() if not b.pooled]:
+            if keep is not None and id(buffer) in keep:
+                continue
             self.free(buffer)
+
+    def transient_snapshot(self) -> frozenset:
+        """An opaque snapshot of the currently live buffers, for
+        scoped failure cleanup via ``release_transient(keep=...)``."""
+        return frozenset(self._live_buffers)
 
     @contextlib.contextmanager
     def scoped(self, *buffers: DeviceBuffer):
@@ -184,6 +203,7 @@ class VirtualCoprocessor:
         self._record_transfer(nbytes, direction, label)
 
     def _record_transfer(self, nbytes: int, direction: str, label: str) -> None:
+        self._check_alive()
         if self.interconnect is None:
             # Zero-copy device: data never crosses a link.
             record = TransferRecord(
@@ -220,6 +240,7 @@ class VirtualCoprocessor:
         occupancy: float = 1.0,
     ) -> KernelTrace:
         """Record one kernel launch and assign its simulated time."""
+        self._check_alive()
         breakdown = self.cost_model.breakdown(meter, kind, occupancy=occupancy)
         trace = KernelTrace(
             name=name,
@@ -244,6 +265,38 @@ class VirtualCoprocessor:
                 bound_by=trace.bound_by,
             )
         return trace
+
+    # ------------------------------------------------------------------
+    # liveness (fault injection / recovery)
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise DeviceLostError(self.profile.name)
+
+    def mark_lost(self, detail: str = "") -> None:
+        """Drop the device out of service: every subsequent allocation,
+        transfer, or launch raises :class:`~repro.errors.DeviceLostError`
+        until :meth:`revive` (a new query on a recovered fleet)."""
+        self.alive = False
+
+    def revive(self) -> None:
+        """Return a lost device to service (fleet recovery between
+        queries); allocation accounting is left untouched."""
+        self.alive = True
+
+    def stall(self, delay_ms: float, label: str = "stall") -> None:
+        """Charge an artificial delay to this device's simulated clock
+        (a zero-byte log entry: stragglers slow the device down without
+        moving data).  Used by the fault-injection layer."""
+        self._check_alive()
+        if delay_ms < 0:
+            raise ValueError(f"stall delay must be >= 0, got {delay_ms}")
+        self.log.transfers.append(
+            TransferRecord(nbytes=0, direction="stall", time_ms=delay_ms, label=label)
+        )
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(f"stall {label}", "fault", sim_ms=delay_ms)
 
     # ------------------------------------------------------------------
     # baselines & bookkeeping

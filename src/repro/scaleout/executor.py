@@ -23,6 +23,24 @@ outer aggregate over an aggregate) cannot be partitioned this way and
 fall back to whole-query execution on device 0 (counted in
 ``ScaleOutStats.fallback``).
 
+**Fault tolerance** (see ``docs/fault-tolerance.md``): the scatter
+phase runs in *waves*.  Each wave, every participating device runs its
+share; a morsel that fails with a *recoverable* error (an injected
+fault from an armed :class:`~repro.faults.FaultPlan`, a genuine
+:class:`~repro.errors.DeviceMemoryError`, a morsel timeout) is retried
+on the same device with capped exponential backoff, then — retries
+exhausted or device lost — re-scheduled in the next wave onto
+surviving devices that have not failed it, via the same LPT scheduler.
+A morsel that fails on *every* surviving device raises
+:class:`~repro.errors.MorselExhaustedError`; losing every device
+degrades to a whole-query host fallback through the out-of-core
+:class:`~repro.macro.batch.BatchExecutor`.  Everything else
+(``KeyboardInterrupt`` included) is fatal and re-raised with its
+original traceback.  Because partials are merged in global piece order
+and each piece's partial does not depend on which device computed it,
+any fault schedule that leaves at least one live device yields results
+byte-identical to the fault-free run.
+
 The returned :class:`~repro.engines.base.ExecutionResult` aggregates
 the whole fleet: ``profile``/``total_ms`` is the *serial* sum of all
 device work, while ``result.scaleout.makespan_ms`` is the parallel
@@ -42,10 +60,22 @@ import numpy as np
 
 from ..engines.base import Engine, ExecutionResult, _cast_outputs
 from ..engines.runtime import QueryRuntime, _sort_order
+from ..faults.injector import FaultInjector, partial_checksum
+from ..faults.plan import FaultPlan
+from ..faults.recovery import RecoveryStats, RetryPolicy
 from ..hardware.interconnect import PCIE3, Interconnect
 from ..hardware.profiles import GTX970, DeviceProfile, get_profile
 from ..hardware.traffic import Profile
-from ..errors import ConfigurationError
+from ..errors import (
+    ConfigurationError,
+    DeviceLostError,
+    DeviceMemoryError,
+    FaultError,
+    MorselExhaustedError,
+    MorselTimeoutError,
+    PlanError,
+    TransferCorruptionError,
+)
 from ..plan.logical import LogicalPlan
 from ..plan.physical import PhysicalQuery, Pipeline
 from ..plan.pipelines import extract_pipelines
@@ -65,9 +95,15 @@ from .scheduler import DeviceLoad, assign_pieces
 from .stats import DeviceShare, ScaleOutStats
 
 
+#: Errors the recovery machinery absorbs (retry / redistribute).
+#: Everything else — ``KeyboardInterrupt``, ``SystemExit``, planner or
+#: kernel bugs — is fatal and propagates with its original traceback.
+_RECOVERABLE = (FaultError, DeviceMemoryError)
+
+
 @dataclass
 class _DeviceRun:
-    """What one device's worker brings back to the merge."""
+    """What one device's worker brings back to the merge (one wave)."""
 
     share: DeviceShare
     partials: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
@@ -75,6 +111,29 @@ class _DeviceRun:
     kernel_sources: dict[str, str] = field(default_factory=dict)
     placement: object | None = None
     tracer: Tracer | None = None
+    #: Pieces this device gave up on this wave -> failure kind.
+    failed: dict[int, str] = field(default_factory=dict)
+    #: Failed pieces whose failing attempts involved an *injected*
+    #: firing (finite budget -> the scheduler may grant a fresh round).
+    fault_fired: set = field(default_factory=set)
+    #: Device died during this wave (its unfinished pieces are failed).
+    lost: bool = False
+    retries: int = 0
+    backoff_ms: float = 0.0
+    timeouts: int = 0
+
+
+def _fault_kind(error: BaseException, device) -> str:
+    """Failure-kind label used for ``RecoveryStats`` and tracing."""
+    if isinstance(error, DeviceLostError) or not device.alive:
+        return "device-loss"
+    if isinstance(error, MorselTimeoutError):
+        return "timeout"
+    if isinstance(error, TransferCorruptionError):
+        return "corruption"
+    if isinstance(error, DeviceMemoryError):
+        return "oom"
+    return "fault"
 
 
 class ScaleOutExecutor:
@@ -98,6 +157,13 @@ class ScaleOutExecutor:
         Attach a per-device :class:`~repro.placement.BufferPool`;
         broadcast dimension columns and fact pieces stay device-
         resident across queries.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed on every query
+        (a fresh deterministic :class:`~repro.faults.FaultInjector` per
+        query, so repeat queries replay the same schedule).
+    retry_policy:
+        :class:`~repro.faults.RetryPolicy` governing per-morsel retries,
+        backoff and the morsel timeout (default ``RetryPolicy()``).
     """
 
     def __init__(
@@ -108,6 +174,8 @@ class ScaleOutExecutor:
         partitioning: str = "range",
         morsels_per_device: int = 2,
         residency: bool = False,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.devices = validate_devices(devices)
         self.partitioning = validate_partitioning(partitioning)
@@ -119,6 +187,16 @@ class ScaleOutExecutor:
                 f"{morsels_per_device!r}"
             )
         self.morsels_per_device = morsels_per_device
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan or None, got {fault_plan!r}"
+            )
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ConfigurationError(
+                f"retry_policy must be a RetryPolicy or None, got {retry_policy!r}"
+            )
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.fleet = DeviceFleet(
             self.profile, self.devices, interconnect=interconnect, residency=residency
@@ -136,6 +214,17 @@ class ScaleOutExecutor:
             {"morsels": 0, "busy_ms": 0.0, "pcie_bytes": 0, "queries": 0}
             for _ in range(self.devices)
         ]
+        self._fault_totals = {
+            "injected": {},  # kind -> fired count
+            "retries": 0,
+            "backoff_ms": 0.0,
+            "redistributed": 0,
+            "timeouts": 0,
+            "lost_devices": 0,
+            "host_fallbacks": 0,
+            "faulted_queries": 0,
+        }
+        self._last_live = self.devices
 
     # ------------------------------------------------------------------
     def execute(
@@ -197,18 +286,44 @@ class ScaleOutExecutor:
             else:
                 partition_set = self._partitions(database, final.source)
             rewritten, scheme = rewrite_for_partials(final)
+            # Injected device losses last for the query that suffered
+            # them; every query starts with the full fleet in service.
+            self.fleet.revive_all()
+            injector = (
+                FaultInjector(self.fault_plan, self.retry_policy)
+                if self.fault_plan is not None
+                else None
+            )
+            recovery = RecoveryStats()
             loads = assign_pieces(
                 [piece.nbytes for piece in partition_set.pieces], self.devices
             )
-            runs = self._scatter(
-                engine, query, rewritten, partition_set, loads, seed, tracer
+            runs, by_piece, unfinished = self._scatter(
+                engine,
+                query,
+                rewritten,
+                partition_set,
+                loads,
+                seed,
+                tracer,
+                injector,
+                recovery,
             )
+            if injector is not None:
+                recovery.injected = injector.counts()
+            if unfinished:
+                # Every device lost: degrade to the host fallback.
+                result = self._host_fallback(
+                    engine, query, database, seed, partition_set, runs,
+                    recovery, tracer,
+                )
+                if owned:
+                    result.trace = tracer.finish()
+                self._record_totals(result.scaleout)
+                return result
             merge_start = time.perf_counter()
             # Merge in global piece order, independent of which device
             # ran which piece: deterministic results for free.
-            by_piece: dict[int, dict[str, np.ndarray]] = {}
-            for run in runs:
-                by_piece.update(run.partials)
             ordered = [by_piece[index] for index in sorted(by_piece)]
             merged = merge_partials(
                 final.sink,
@@ -228,8 +343,9 @@ class ScaleOutExecutor:
                 partitions=partition_set.parts,
                 scheme=self.partitioning,
                 fact_table=final.source,
-                shares=[run.share for run in runs],
+                shares=_combined_shares(runs),
                 merge_ms=merge_ms,
+                recovery=recovery,
             )
             result = self._package(engine, runs, table, stats)
             if owned:
@@ -247,41 +363,140 @@ class ScaleOutExecutor:
         loads: list[DeviceLoad],
         seed: int,
         tracer: Tracer | None,
-    ) -> list[_DeviceRun]:
-        """Run every device's share concurrently; returns device order."""
-        active = [
+        injector: FaultInjector | None,
+        recovery: RecoveryStats,
+    ) -> tuple[list[_DeviceRun], dict[int, dict[str, np.ndarray]], list[int]]:
+        """Wave-based scatter with recovery.
+
+        Returns ``(runs, partials by piece, unfinished pieces)``; the
+        unfinished list is non-empty only when every device was lost
+        (the caller degrades to the host fallback).  Raises
+        :class:`MorselExhaustedError` when a piece has failed on every
+        surviving device, and re-raises fatal errors unchanged.
+        """
+        pieces = partition_set.pieces
+        runs: list[_DeviceRun] = []
+        by_piece: dict[int, dict[str, np.ndarray]] = {}
+        failed_on: dict[int, set[int]] = {}
+        #: Pieces whose failures involved injected firings since their
+        #: last grace round (see the eligibility loop below).
+        fault_seen: set[int] = set()
+        alive = list(range(self.devices))
+        abort = threading.Event()
+        wave_loads = [
             load
             for load in loads
-            if any(partition_set.pieces[piece].rows for piece in load.pieces)
+            if any(pieces[piece].rows for piece in load.pieces)
         ]
-        if not active:
-            return []
-        runs: dict[int, _DeviceRun] = {}
-        errors: list[BaseException] = []
+        wave = 0
+        while wave_loads:
+            wave += 1
+            recovery.waves = wave
+            wave_runs: dict[int, _DeviceRun] = {}
+            fatal: list[BaseException] = []
 
-        def run_device(load: DeviceLoad) -> None:
-            try:
-                runs[load.device] = self._run_device(
-                    engine, query, rewritten, partition_set, load, seed, tracer
-                )
-            except BaseException as error:  # re-raised on the caller
-                errors.append(error)
+            def run_device(load: DeviceLoad) -> None:
+                try:
+                    wave_runs[load.device] = self._run_device(
+                        engine, query, rewritten, partition_set, load, seed,
+                        tracer, injector, abort,
+                    )
+                except BaseException as error:  # fatal: re-raised below
+                    abort.set()
+                    fatal.append(error)
 
-        if len(active) == 1:
-            run_device(active[0])
-        else:
-            with ThreadPoolExecutor(
-                max_workers=len(active), thread_name_prefix="repro-scaleout"
-            ) as pool:
-                list(pool.map(run_device, active))
-        if errors:
-            raise errors[0]
-        ordered = [runs[load.device] for load in active]
-        if tracer is not None:
+            if len(wave_loads) == 1:
+                run_device(wave_loads[0])
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=len(wave_loads), thread_name_prefix="repro-scaleout"
+                ) as pool:
+                    list(pool.map(run_device, wave_loads))
+            ordered = [
+                wave_runs[load.device]
+                for load in wave_loads
+                if load.device in wave_runs
+            ]
             for run in ordered:
-                if run.tracer is not None:
+                runs.append(run)
+                by_piece.update(run.partials)
+                recovery.retries += run.retries
+                recovery.backoff_ms += run.backoff_ms
+                recovery.timeouts += run.timeouts
+                for piece_index in run.failed:
+                    failed_on.setdefault(piece_index, set()).add(run.share.device)
+                fault_seen |= run.fault_fired
+                if tracer is not None and run.tracer is not None:
                     tracer.adopt(run.tracer)
-        return ordered
+            if fatal:
+                # KeyboardInterrupt/SystemExit win over concurrent
+                # failures; original exception objects keep tracebacks.
+                for error in fatal:
+                    if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                        raise error
+                raise fatal[0]
+            for run in ordered:
+                if run.lost and run.share.device in alive:
+                    alive.remove(run.share.device)
+                    recovery.degraded_devices.append(run.share.device)
+                    if tracer is not None:
+                        tracer.event(
+                            f"device {run.share.device} lost", "fault", wave=wave
+                        )
+            recovery.degraded_devices.sort()
+            pending = sorted(
+                piece_index
+                for piece_index in failed_on
+                if piece_index not in by_piece
+            )
+            if not pending:
+                return runs, by_piece, []
+            if not alive:
+                return runs, by_piece, pending
+            eligible: list[list[int]] = []
+            for piece_index in pending:
+                candidates = [
+                    device for device in alive
+                    if device not in failed_on[piece_index]
+                ]
+                if not candidates:
+                    # Every survivor has failed this piece.  If any of
+                    # those failures came from an *injected* firing, the
+                    # fault budget is finite — clear the blacklist and
+                    # grant a fresh round (this terminates: a new grace
+                    # round needs a new firing, and firings are bounded
+                    # by the plan's total budget).  Purely genuine
+                    # failures exhaust instead.
+                    if piece_index in fault_seen:
+                        fault_seen.discard(piece_index)
+                        failed_on[piece_index] = set()
+                        candidates = list(alive)
+                    else:
+                        raise MorselExhaustedError(
+                            piece_index, partition_set.fact_table, alive
+                        )
+                eligible.append(candidates)
+            local = assign_pieces(
+                [pieces[piece_index].nbytes for piece_index in pending],
+                self.devices,
+                eligible=eligible,
+            )
+            wave_loads = [
+                DeviceLoad(
+                    device=load.device,
+                    pieces=sorted(pending[index] for index in load.pieces),
+                    estimated_bytes=load.estimated_bytes,
+                )
+                for load in local
+                if load.pieces
+            ]
+            recovery.redistributed_morsels += len(pending)
+            if tracer is not None:
+                tracer.event(
+                    "redistribute", "fault",
+                    wave=wave, morsels=len(pending), survivors=len(alive),
+                )
+        return runs, by_piece, []
 
     def _run_device(
         self,
@@ -292,6 +507,8 @@ class ScaleOutExecutor:
         load: DeviceLoad,
         seed: int,
         parent_tracer: Tracer | None,
+        injector: FaultInjector | None,
+        abort: threading.Event,
     ) -> _DeviceRun:
         device = self.fleet.devices[load.device]
         pool = self.fleet.pools[load.device]
@@ -311,52 +528,61 @@ class ScaleOutExecutor:
             runtime = QueryRuntime(device, partition_db, seed=seed, pool=pool)
             run = _DeviceRun(share=DeviceShare(device=load.device), tracer=child)
             try:
-                # Build sides: every dimension pipeline runs on every
-                # participating device (broadcast join).
-                for index, pipeline in enumerate(query.pipelines[:-1]):
-                    if child is None:
-                        produced = engine.execute_pipeline(pipeline, runtime)
-                    else:
-                        produced = engine._execute_pipeline_traced(
-                            index, pipeline, runtime, child
-                        )
-                    if pipeline.output_schema is not None and produced is not None:
-                        runtime.register_virtual(
-                            pipeline.output_name,
-                            _cast_outputs(produced, pipeline.output_schema),
-                            pipeline.output_schema,
-                        )
-                run.share.broadcast_bytes = runtime.input_bytes
+                try:
+                    fired_mark = injector.fired_count() if injector else 0
+                    if injector is not None:
+                        injector.on_build(load.device, device)
+                    # Build sides: every dimension pipeline runs on
+                    # every participating device (broadcast join).
+                    for index, pipeline in enumerate(query.pipelines[:-1]):
+                        if child is None:
+                            produced = engine.execute_pipeline(pipeline, runtime)
+                        else:
+                            produced = engine._execute_pipeline_traced(
+                                index, pipeline, runtime, child
+                            )
+                        if pipeline.output_schema is not None and produced is not None:
+                            runtime.register_virtual(
+                                pipeline.output_name,
+                                _cast_outputs(produced, pipeline.output_schema),
+                                pipeline.output_schema,
+                            )
+                    run.share.broadcast_bytes = runtime.input_bytes
+                except _RECOVERABLE as error:
+                    # A build failure fails every piece of this share:
+                    # without the build sides no morsel can run here.
+                    run.share.broadcast_bytes = runtime.input_bytes
+                    run.lost = not device.alive
+                    kind = _fault_kind(error, device)
+                    if isinstance(error, MorselTimeoutError):
+                        run.timeouts += 1
+                    injected = injector is not None and injector.fired_matching(
+                        fired_mark, load.device
+                    )
+                    for piece_index in load.pieces:
+                        if partition_set.pieces[piece_index].rows:
+                            run.failed[piece_index] = kind
+                            if injected:
+                                run.fault_fired.add(piece_index)
+                    return run
                 # Fact morsels, in piece order.
-                for piece_index in load.pieces:
+                for position, piece_index in enumerate(load.pieces):
+                    if abort.is_set():
+                        break
                     piece = partition_set.pieces[piece_index]
                     if piece.rows == 0:
                         continue
-                    morsel = replace(
-                        rewritten,
-                        name=f"{rewritten.name}_p{piece.index}",
-                        source=piece.table_name,
+                    self._execute_morsel(
+                        engine, query, rewritten, piece, runtime, device, run,
+                        injector, child,
                     )
-                    if child is None:
-                        produced = engine.execute_pipeline(morsel, runtime)
-                    else:
-                        produced = engine._execute_pipeline_traced(
-                            len(query.pipelines) - 1 + piece.index,
-                            morsel,
-                            runtime,
-                            child,
-                        )
-                    assert produced is not None
-                    gather_bytes = sum(
-                        np.asarray(array).nbytes for array in produced.values()
-                    )
-                    device.record_stream_transfer(
-                        gather_bytes, "d2h", label=f"gather.p{piece.index}"
-                    )
-                    run.partials[piece.index] = produced
-                    run.share.morsels += 1
-                    run.share.rows += piece.rows
-                    run.share.gather_bytes += gather_bytes
+                    if run.lost:
+                        for later in load.pieces[position + 1:]:
+                            if partition_set.pieces[later].rows:
+                                run.failed[later] = "device-loss"
+                        break
+                return run
+            finally:
                 share = run.share
                 share.input_bytes = runtime.input_bytes
                 share.partition_bytes = runtime.input_bytes - share.broadcast_bytes
@@ -367,9 +593,100 @@ class ScaleOutExecutor:
                 run.profile = device.log
                 run.kernel_sources = dict(runtime.kernel_sources)
                 run.placement = runtime.query_placement()
-                return run
-            finally:
                 runtime.close()
+
+    def _execute_morsel(
+        self,
+        engine: Engine,
+        query: PhysicalQuery,
+        rewritten: Pipeline,
+        piece,
+        runtime: QueryRuntime,
+        device,
+        run: _DeviceRun,
+        injector: FaultInjector | None,
+        child: Tracer | None,
+    ) -> bool:
+        """One fact morsel with per-attempt cleanup and capped-backoff
+        retries; returns True when the partial was gathered.  On defeat
+        the piece lands in ``run.failed`` (and ``run.lost`` is set when
+        the device died) for the next wave to redistribute."""
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            snapshot = device.transient_snapshot()
+            fired_mark = injector.fired_count() if injector else 0
+            try:
+                if injector is not None:
+                    injector.before_morsel(run.share.device, piece.index, device)
+                morsel = replace(
+                    rewritten,
+                    name=f"{rewritten.name}_p{piece.index}",
+                    source=piece.table_name,
+                )
+                if child is None:
+                    produced = engine.execute_pipeline(morsel, runtime)
+                else:
+                    produced = engine._execute_pipeline_traced(
+                        len(query.pipelines) - 1 + piece.index,
+                        morsel,
+                        runtime,
+                        child,
+                    )
+                assert produced is not None
+                if not device.alive:
+                    raise DeviceLostError(device.profile.name, "lost mid-morsel")
+                if injector is not None:
+                    # Checksum-verified gather: a corrupted transfer is
+                    # detected against the pre-delivery checksum and
+                    # recomputed on retry.
+                    reference = partial_checksum(produced)
+                    produced = injector.deliver(
+                        run.share.device, piece.index, produced
+                    )
+                    delivered = partial_checksum(produced)
+                    if delivered != reference:
+                        raise TransferCorruptionError(
+                            run.share.device, piece.index, reference, delivered
+                        )
+            except _RECOVERABLE as error:
+                # Free attempt-scoped buffers, keep the build sides.
+                device.release_transient(keep=snapshot)
+                kind = _fault_kind(error, device)
+                if isinstance(error, MorselTimeoutError):
+                    run.timeouts += 1
+                if injector is not None and injector.fired_matching(
+                    fired_mark, run.share.device, piece.index
+                ):
+                    run.fault_fired.add(piece.index)
+                if not device.alive:
+                    run.lost = True
+                    run.failed[piece.index] = kind
+                    return False
+                if attempt < policy.max_attempts:
+                    run.retries += 1
+                    backoff = policy.backoff_ms(attempt)
+                    run.backoff_ms += backoff
+                    if child is not None:
+                        child.event(
+                            f"retry p{piece.index}", "fault",
+                            attempt=attempt, backoff_ms=backoff, kind=kind,
+                        )
+                    continue
+                run.failed[piece.index] = kind
+                return False
+            gather_bytes = sum(
+                np.asarray(array).nbytes for array in produced.values()
+            )
+            device.record_stream_transfer(
+                gather_bytes, "d2h", label=f"gather.p{piece.index}"
+            )
+            run.partials[piece.index] = produced
+            run.share.morsels += 1
+            run.share.rows += piece.rows
+            run.share.gather_bytes += gather_bytes
+            return True
 
     # ------------------------------------------------------------------
     def _execute_fallback(
@@ -408,6 +725,50 @@ class ScaleOutExecutor:
         self._record_totals(stats)
         with self._totals_lock:
             self._fallbacks += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _host_fallback(
+        self,
+        engine: Engine,
+        query: PhysicalQuery,
+        database: Database,
+        seed: int,
+        partition_set: PartitionSet,
+        runs: list[_DeviceRun],
+        recovery: RecoveryStats,
+        tracer: Tracer | None,
+    ) -> ExecutionResult:
+        """Last rung of the degradation ladder: every fleet device is
+        lost, so the whole query re-runs against the *parent* database
+        on the reserve host device, streaming out-of-core (run-to-finish
+        when the plan cannot stream)."""
+        recovery.host_fallback = True
+        if tracer is not None:
+            tracer.event(
+                "host fallback", "fault", devices_lost=len(recovery.degraded_devices)
+            )
+        from ..engines.compound import CompoundEngine
+        from ..macro.batch import execute_out_of_core
+
+        device = self.fleet.host_device()
+        device.reset_all()
+        mode = engine.mode if isinstance(engine, CompoundEngine) else "lrgp_simd"
+        try:
+            result = execute_out_of_core(query, database, device, seed=seed, mode=mode)
+        except PlanError:
+            device.reset_all()
+            result = engine.execute(query, database, device, seed=seed)
+        stats = ScaleOutStats(
+            devices=self.devices,
+            partitions=partition_set.parts,
+            scheme=self.partitioning,
+            fact_table=partition_set.fact_table,
+            shares=_combined_shares(runs),
+            recovery=recovery,
+        )
+        result.scaleout = stats
+        result.engine = f"scaleout[{self.devices}x{engine.name}]"
         return result
 
     # ------------------------------------------------------------------
@@ -465,6 +826,23 @@ class ScaleOutExecutor:
                 totals["morsels"] += share.morsels
                 totals["busy_ms"] += share.busy_ms
                 totals["pcie_bytes"] += share.pcie_bytes
+            recovery = stats.recovery
+            if recovery is not None:
+                faults = self._fault_totals
+                for kind, count in recovery.injected.items():
+                    faults["injected"][kind] = (
+                        faults["injected"].get(kind, 0) + count
+                    )
+                faults["retries"] += recovery.retries
+                faults["backoff_ms"] += recovery.backoff_ms
+                faults["redistributed"] += recovery.redistributed_morsels
+                faults["timeouts"] += recovery.timeouts
+                faults["lost_devices"] += len(recovery.degraded_devices)
+                faults["host_fallbacks"] += int(recovery.host_fallback)
+                faults["faulted_queries"] += int(recovery.faulted)
+                self._last_live = self.devices - len(recovery.degraded_devices)
+            else:
+                self._last_live = self.devices
 
     def placement_stats(self):
         """Aggregated fleet residency counters (None without it)."""
@@ -477,6 +855,11 @@ class ScaleOutExecutor:
         with self._totals_lock:
             totals = [dict(entry) for entry in self._device_totals]
             queries, fallbacks = self._queries, self._fallbacks
+            faults = {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self._fault_totals.items()
+            }
+            last_live = self._last_live
         metrics.gauge(
             "repro_scaleout_devices", "Fleet size of the scale-out executor",
             **labels,
@@ -503,6 +886,66 @@ class ScaleOutExecutor:
                 "repro_scaleout_device_pcie_bytes_total",
                 "PCIe bytes (h2d + d2h) per device", **device_labels,
             ).set_total(entry["pcie_bytes"])
+        metrics.gauge(
+            "repro_faults_live_devices",
+            "Devices in service after the most recent query", **labels,
+        ).set(last_live)
+        for kind, count in sorted(faults["injected"].items()):
+            metrics.counter(
+                "repro_faults_injected_total",
+                "Injected faults fired, by kind", kind=kind, **labels,
+            ).set_total(count)
+        metrics.counter(
+            "repro_faults_retries_total",
+            "Same-device morsel retries", **labels,
+        ).set_total(faults["retries"])
+        metrics.counter(
+            "repro_faults_backoff_ms_total",
+            "Simulated retry backoff milliseconds", **labels,
+        ).set_total(faults["backoff_ms"])
+        metrics.counter(
+            "repro_faults_redistributed_morsels_total",
+            "Morsels re-scheduled onto surviving devices", **labels,
+        ).set_total(faults["redistributed"])
+        metrics.counter(
+            "repro_faults_timeouts_total",
+            "Morsel attempts abandoned past the morsel timeout", **labels,
+        ).set_total(faults["timeouts"])
+        metrics.counter(
+            "repro_faults_lost_devices_total",
+            "Device losses suffered across all queries", **labels,
+        ).set_total(faults["lost_devices"])
+        metrics.counter(
+            "repro_faults_host_fallbacks_total",
+            "Queries degraded to the host out-of-core fallback", **labels,
+        ).set_total(faults["host_fallbacks"])
+        metrics.counter(
+            "repro_faults_queries_total",
+            "Queries that saw any fault or recovery action", **labels,
+        ).set_total(faults["faulted_queries"])
+
+
+def _combined_shares(runs: list[_DeviceRun]) -> list[DeviceShare]:
+    """Sum each device's per-wave shares into one ``DeviceShare`` (a
+    device that ran two recovery waves did all of that work)."""
+    by_device: dict[int, DeviceShare] = {}
+    for run in runs:
+        share = run.share
+        merged = by_device.get(share.device)
+        if merged is None:
+            by_device[share.device] = replace(share)
+            continue
+        merged.morsels += share.morsels
+        merged.rows += share.rows
+        merged.input_bytes += share.input_bytes
+        merged.broadcast_bytes += share.broadcast_bytes
+        merged.partition_bytes += share.partition_bytes
+        merged.gather_bytes += share.gather_bytes
+        merged.kernel_ms += share.kernel_ms
+        merged.transfer_ms += share.transfer_ms
+        merged.busy_ms += share.busy_ms
+        merged.placement_hits += share.placement_hits
+    return [by_device[device] for device in sorted(by_device)]
 
 
 def _finalize_host(query: PhysicalQuery, merged: dict[str, np.ndarray]) -> Table:

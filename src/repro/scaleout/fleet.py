@@ -39,9 +39,37 @@ class DeviceFleet:
         self.pools: list[BufferPool | None] = [
             BufferPool(device) if residency else None for device in self.devices
         ]
+        self._interconnect = interconnect
+        #: Reserve device for the host out-of-core fallback (created on
+        #: first use): when every fleet member is lost mid-query, the
+        #: whole query re-runs through the streaming
+        #: :class:`~repro.macro.batch.BatchExecutor` on this device,
+        #: modeling the host-managed degradation path.
+        self._host_device: VirtualCoprocessor | None = None
 
     def __len__(self) -> int:
         return len(self.devices)
+
+    @property
+    def live_devices(self) -> list[int]:
+        """Indices of the devices currently in service."""
+        return [index for index, device in enumerate(self.devices) if device.alive]
+
+    def revive_all(self) -> None:
+        """Return every lost device to service (start-of-query recovery:
+        an injected loss lasts for the query that suffered it)."""
+        for device in self.devices:
+            if not device.alive:
+                device.revive()
+
+    def host_device(self) -> VirtualCoprocessor:
+        """The lazily created host-fallback device (no buffer pool:
+        the fallback streams out-of-core and keeps nothing resident)."""
+        if self._host_device is None:
+            self._host_device = VirtualCoprocessor(
+                replace(self.profile), interconnect=self._interconnect
+            )
+        return self._host_device
 
     def begin_query(self, device_index: int) -> None:
         """Start a fresh query on one device: keep pool-resident

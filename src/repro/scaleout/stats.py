@@ -1,8 +1,15 @@
-"""Scale-out execution statistics (import-free, dataclasses only)."""
+"""Scale-out execution statistics (dataclasses only).
+
+``ScaleOutStats.recovery`` embeds the per-query
+:class:`~repro.faults.recovery.RecoveryStats` (itself import-light) so
+every result of the recovering executor carries its fault accounting.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..faults.recovery import RecoveryStats
 
 
 @dataclass
@@ -51,6 +58,10 @@ class ScaleOutStats:
     #: True when the query could not be partitioned (virtual-table
     #: final pipeline) and ran whole on one device instead.
     fallback: bool = False
+    #: Per-query fault/recovery accounting (``None`` on the
+    #: unpartitioned fallback path, which bypasses the morsel recovery
+    #: machinery).
+    recovery: RecoveryStats | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -100,10 +111,13 @@ class ScaleOutStats:
         mode = "fallback (unpartitionable final pipeline)" if self.fallback else (
             f"{self.partitions} {self.scheme} partitions of {self.fact_table}"
         )
-        return (
+        text = (
             f"{self.devices} devices, {mode}; "
             f"makespan {self.makespan_ms:.3f} ms "
             f"(serial {self.serial_ms:.3f} ms, imbalance {self.imbalance:.2f}), "
             f"broadcast overhead {self.broadcast_overhead_bytes / 1e6:.2f} MB, "
             f"gather {self.gather_bytes / 1e3:.1f} KB"
         )
+        if self.recovery is not None and self.recovery.faulted:
+            text += f"; recovery: {self.recovery.summary()}"
+        return text

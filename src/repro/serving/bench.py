@@ -178,11 +178,15 @@ def run_serving_benchmark(
     residency: bool = True,
     devices: int = 1,
     partitioning: str = "range",
+    fault_plan=None,
+    retry_policy=None,
 ) -> ServingBenchReport:
     """Run both phases; see the module docstring for the metrics.
 
     ``devices=N`` gives every server a per-worker scale-out fleet
-    (:mod:`repro.scaleout`); latencies then use the fleet makespan."""
+    (:mod:`repro.scaleout`); latencies then use the fleet makespan.
+    ``fault_plan``/``retry_policy`` arm deterministic fault injection
+    on every worker's fleet (see ``docs/fault-tolerance.md``)."""
     if database is None:
         database = generate_ssb(scale_factor, seed=seed)
     names = sorted(SSB_QUERIES)
@@ -193,7 +197,8 @@ def run_serving_benchmark(
     clear_kernel_cache()
     with Server(database, device=device, engine=engine, workers=1,
                 queue_size=len(queries) + 1, residency=residency,
-                devices=devices, partitioning=partitioning) as server:
+                devices=devices, partitioning=partitioning,
+                fault_plan=fault_plan, retry_policy=retry_policy) as server:
         cold = server.execute_many(queries)
         warm_passes = [server.execute_many(queries) for _ in range(repeats)]
         latency_stats = server.stats()
@@ -218,7 +223,8 @@ def run_serving_benchmark(
         with Server(database, device=device, engine=engine, workers=workers,
                     queue_size=len(workload) + 1,
                     plan_cache=shared_cache, residency=residency,
-                    devices=devices, partitioning=partitioning) as server:
+                    devices=devices, partitioning=partitioning,
+                    fault_plan=fault_plan, retry_policy=retry_policy) as server:
             server.execute_many(queries)  # warm this server's devices/caches
             started = time.perf_counter()
             results = server.execute_many(workload)

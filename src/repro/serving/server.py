@@ -102,6 +102,15 @@ class Server:
         partials scatter-gather style; results carry
         ``result.scaleout``.  With residency on, the fleets' per-device
         pools replace the per-worker pools in :meth:`stats`.
+    fault_plan / retry_policy:
+        Per-worker fault policy: every worker's fleet arms the same
+        deterministic :class:`~repro.faults.FaultPlan` (accepted as a
+        plan object, dict, or JSON path) and shares the
+        :class:`~repro.faults.RetryPolicy`.  Arming a plan creates the
+        scale-out executors even at ``devices=1``;
+        :meth:`metrics_text` then exposes the per-worker
+        ``repro_faults_*`` counters and the
+        ``repro_faults_live_devices`` health gauge.
     """
 
     def __init__(
@@ -117,10 +126,14 @@ class Server:
         residency: bool = True,
         devices: int = 1,
         partitioning: str = "range",
+        fault_plan=None,
+        retry_policy=None,
     ):
+        from ..api import _coerce_fault_plan
         from ..scaleout import validate_devices
 
         validate_devices(devices)
+        fault_plan = _coerce_fault_plan(fault_plan)
         if workers < 1:
             raise ServingError(f"need at least 1 worker, got {workers}")
         if queue_size < 1:
@@ -171,7 +184,7 @@ class Server:
         self.residency = residency
         self.devices = devices
         self._executors: list = []
-        if devices > 1:
+        if devices > 1 or fault_plan is not None:
             from ..scaleout import ScaleOutExecutor
 
             self._executors = [
@@ -181,6 +194,8 @@ class Server:
                     interconnect=interconnect,
                     partitioning=partitioning,
                     residency=residency,
+                    fault_plan=fault_plan,
+                    retry_policy=retry_policy,
                 )
                 for _ in range(workers)
             ]

@@ -55,6 +55,31 @@ def buffer_leak_guard(monkeypatch):
     monkeypatch.setattr(Engine, "execute", checked(Engine.execute))
     monkeypatch.setattr(BatchExecutor, "execute", checked(BatchExecutor.execute))
 
+    from repro.scaleout.executor import ScaleOutExecutor
+
+    def checked_scaleout(original):
+        def wrapper(self, engine, plan, database, seed=42):
+            try:
+                return original(self, engine, plan, database, seed=seed)
+            finally:
+                fleet_devices = list(self.fleet.devices)
+                if self.fleet._host_device is not None:
+                    fleet_devices.append(self.fleet._host_device)
+                for member in fleet_devices:
+                    leaked = member.allocated_bytes - member.pooled_bytes
+                    assert leaked == 0, (
+                        f"scale-out left {leaked} transient bytes on "
+                        f"{member.profile.name} (alive={member.alive}; "
+                        f"allocated {member.allocated_bytes}, pooled "
+                        f"{member.pooled_bytes})"
+                    )
+
+        return wrapper
+
+    monkeypatch.setattr(
+        ScaleOutExecutor, "execute", checked_scaleout(ScaleOutExecutor.execute)
+    )
+
 
 @pytest.fixture(scope="session")
 def tiny_db() -> Database:

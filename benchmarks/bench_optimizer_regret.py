@@ -1,0 +1,202 @@
+"""Optimizer regret benchmark: adaptive strategy choice vs. oracle.
+
+Runs a mixed workload — the paper's micro-benchmarks (Figures 16/26:
+selectivity sweep, single-tuple aggregation, group-count sweep, the
+SSB Q3.1 star join) plus all 13 SSB queries — three ways:
+
+* **oracle** — brute force: every pinned micro engine, single device,
+  run-to-finish; the per-query minimum simulated latency;
+* **pinned** — each single engine applied to the *whole* workload
+  (what a user who guesses one configuration gets);
+* **auto** — one shared :class:`~repro.optimizer.AutoExecutor`
+  (``engine="auto"``): advise, execute, calibrate, repeat.
+
+Acceptance (checked by the report itself):
+
+* geomean regret (auto / per-query oracle, simulated ms) <= 1.10 —
+  the advisor lands within 10% of brute force;
+* the worst pinned engine costs >= 1.5x geomean more than auto —
+  adapting beats committing to the wrong single configuration;
+* after >= 50 decisions the calibrator's median predicted-vs-observed
+  PCIe byte error is < 5%.
+
+Run standalone with ``python bench_optimizer_regret.py [--tiny]`` or
+via ``pytest --benchmark-only``.  ``--tiny`` is the CI smoke mode.
+"""
+
+import math
+import sys
+from dataclasses import dataclass, field
+
+from common import BENCH_SF, emit, ssb_database
+
+from repro.engines import make_engine
+from repro.hardware import GTX970, PCIE3, VirtualCoprocessor
+from repro.optimizer import AutoExecutor
+from repro.plan.pipelines import extract_pipelines
+from repro.sql.translate import plan_sql
+from repro.workloads import SSB_QUERIES, microbench
+
+GEOMEAN_REGRET_TARGET = 1.10
+WORST_PINNED_RATIO_TARGET = 1.5
+BYTE_ERROR_TARGET = 0.05
+MIN_CALIBRATION_QUERIES = 50
+
+PINNED_ENGINES = ["operator-at-a-time", "multipass", "pipelined", "resolution"]
+
+
+def workload(database):
+    """(name, PhysicalQuery) pairs covering the paper's crossovers."""
+    plans = []
+    for x in (0, 5, 10, 15, 20, 25):
+        plans.append((f"proj x={x}", microbench.projection_query(x)))
+        plans.append((f"agg x={x}", microbench.aggregation_query(x)))
+    for groups in (1, 8, 64, 1024, 16384, 100000):
+        plans.append((f"gb G={groups}", microbench.group_by_query(groups)))
+    plans.append(("star join", microbench.star_join_query()))
+    plans.append(("star agg", microbench.star_join_aggregate_query()))
+    for name, sql in sorted(SSB_QUERIES.items()):
+        plans.append((name, plan_sql(sql, database)))
+    return [
+        (name, extract_pipelines(plan, database)) for name, plan in plans
+    ]
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class RegretReport:
+    scale_factor: float
+    queries: int = 0
+    decisions: int = 0
+    fallbacks: int = 0
+    geomean_regret: float = 0.0
+    worst_pinned_ratio: float = 0.0
+    worst_pinned_engine: str = ""
+    median_byte_error: float = 1.0
+    median_time_error: float = 1.0
+    rows: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.geomean_regret <= GEOMEAN_REGRET_TARGET
+            and self.worst_pinned_ratio >= WORST_PINNED_RATIO_TARGET
+            and (
+                self.decisions < MIN_CALIBRATION_QUERIES
+                or self.median_byte_error < BYTE_ERROR_TARGET
+            )
+        )
+
+    def text(self) -> str:
+        lines = [
+            f"scale factor {self.scale_factor}  "
+            f"({self.queries} queries x 2 passes, "
+            f"{self.decisions} decisions, {self.fallbacks} OOM fallbacks)",
+            "",
+            f"{'query':<14} {'oracle':<18} {'auto choice':<34} "
+            f"{'oracle ms':>9} {'auto ms':>9} {'warm ms':>9} {'regret':>7}",
+        ]
+        for (name, oracle_engine, choice, oracle_ms, auto_ms, warm_ms,
+             regret) in self.rows:
+            lines.append(
+                f"{name:<14} {oracle_engine:<18} {choice:<34} "
+                f"{oracle_ms:>9.4f} {auto_ms:>9.4f} {warm_ms:>9.4f} "
+                f"{regret:>7.2f}"
+            )
+        lines += [
+            "",
+            f"geomean regret vs per-query oracle: "
+            f"{self.geomean_regret:.3f}  (target <= {GEOMEAN_REGRET_TARGET})",
+            f"worst pinned engine ({self.worst_pinned_engine}) costs "
+            f"{self.worst_pinned_ratio:.2f}x geomean more than auto  "
+            f"(target >= {WORST_PINNED_RATIO_TARGET}x)",
+            f"median byte error after {self.decisions} decisions: "
+            f"{self.median_byte_error:.2%}  (target < {BYTE_ERROR_TARGET:.0%}"
+            f" once >= {MIN_CALIBRATION_QUERIES} decisions)",
+            f"median time error: {self.median_time_error:.2%}",
+            "",
+            "PASS" if self.passed else "FAIL",
+        ]
+        return "\n".join(lines)
+
+
+def run(tiny: bool = False) -> RegretReport:
+    scale_factor = 0.002 if tiny else BENCH_SF
+    database = ssb_database(scale_factor)
+    queries = workload(database)
+    report = RegretReport(scale_factor=scale_factor, queries=len(queries))
+
+    # Brute-force oracle + whole-workload pinned policies.
+    oracle_ms = {}
+    oracle_engine = {}
+    pinned_ms = {name: [] for name in PINNED_ENGINES}
+    for name, query in queries:
+        for engine_name in PINNED_ENGINES:
+            device = VirtualCoprocessor(GTX970, interconnect=PCIE3)
+            result = make_engine(engine_name).execute(
+                query, database, device, seed=42
+            )
+            pinned_ms[engine_name].append(result.total_ms)
+            if name not in oracle_ms or result.total_ms < oracle_ms[name]:
+                oracle_ms[name] = result.total_ms
+                oracle_engine[name] = engine_name
+
+    # Adaptive: two passes through one executor (>= 50 decisions; the
+    # second pass runs calibrated and pool-warm).  Regret uses the
+    # *first* pass, before residency tilts the comparison.
+    auto = AutoExecutor(GTX970, PCIE3)
+    auto_ms = {}
+    warm_ms = {}
+    choices = {}
+    for sweep in range(2):
+        for name, query in queries:
+            result = auto.execute(query, database, seed=42)
+            if sweep == 0:
+                auto_ms[name] = result.total_ms
+                choices[name] = result.optimizer.chosen.describe()
+            else:
+                warm_ms[name] = result.total_ms
+
+    regrets = []
+    for name, _query in queries:
+        regret = auto_ms[name] / oracle_ms[name]
+        regrets.append(regret)
+        report.rows.append((
+            name, oracle_engine[name], choices[name],
+            oracle_ms[name], auto_ms[name], warm_ms[name], regret,
+        ))
+    report.geomean_regret = geomean(regrets)
+    worst = {
+        engine_name: geomean(
+            [p / a for p, a in zip(times, (auto_ms[n] for n, _ in queries))]
+        )
+        for engine_name, times in pinned_ms.items()
+    }
+    report.worst_pinned_engine = max(worst, key=worst.get)
+    report.worst_pinned_ratio = worst[report.worst_pinned_engine]
+    report.decisions = auto.decisions
+    report.fallbacks = auto.fallbacks
+    byte_error = auto.calibrator.median_byte_error()
+    time_error = auto.calibrator.median_time_error()
+    report.median_byte_error = 1.0 if byte_error is None else byte_error
+    report.median_time_error = 1.0 if time_error is None else time_error
+    return report
+
+
+def test_optimizer_regret(benchmark):
+    report = benchmark.pedantic(lambda: run(tiny=True), rounds=1, iterations=1)
+    emit("optimizer_regret", report.text())
+    assert report.geomean_regret <= GEOMEAN_REGRET_TARGET
+    assert report.worst_pinned_ratio >= WORST_PINNED_RATIO_TARGET
+    if report.decisions >= MIN_CALIBRATION_QUERIES:
+        assert report.median_byte_error < BYTE_ERROR_TARGET
+
+
+if __name__ == "__main__":
+    tiny = "--tiny" in sys.argv[1:]
+    report = run(tiny=tiny)
+    emit("optimizer_regret", report.text())
+    sys.exit(0 if report.passed else 1)

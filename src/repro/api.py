@@ -69,6 +69,17 @@ class Session:
     Arming a fault plan routes queries through the scale-out executor
     even at ``devices=1`` so the recovery ladder — including the host
     out-of-core fallback — stays reachable.
+
+    ``engine="auto"`` and/or ``devices="auto"`` hand the corresponding
+    decision to the adaptive cost-based optimizer
+    (:mod:`repro.optimizer`, see ``docs/optimizer.md``): each query is
+    planned over the strategy lattice (micro engine x run-to-finish
+    vs. out-of-core x device count x placement) and executed on the
+    cheapest feasible candidate; ``result.optimizer`` carries the full
+    :class:`~repro.optimizer.OptimizerDecision`.  Dimensions you pin
+    stay pinned — ``engine="auto", devices=2`` fixes the fleet size
+    but lets the advisor pick the rest.  ``residency=True`` pins
+    placement to ``pooled``.  Fault plans require pinned devices.
     """
 
     def __init__(
@@ -80,15 +91,31 @@ class Session:
         plan_cache: "PlanCache | None" = None,
         residency: bool = False,
         metrics: "MetricsRegistry | None" = None,
-        devices: int = 1,
+        devices: int | str = 1,
         partitioning: str = "range",
         fault_plan=None,
         retry_policy=None,
     ):
         from .scaleout import validate_devices
 
-        validate_devices(devices)
+        auto_engine = isinstance(engine, str) and engine == "auto"
+        auto_devices = isinstance(devices, str)
+        if auto_devices and devices != "auto":
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"devices must be an integer >= 1 or 'auto', got {devices!r}"
+            )
+        if not auto_devices:
+            validate_devices(devices)
         fault_plan = _coerce_fault_plan(fault_plan)
+        if (auto_engine or auto_devices) and fault_plan is not None:
+            from .errors import ConfigurationError
+
+            raise ConfigurationError(
+                "fault injection needs a pinned configuration; use an "
+                "explicit engine and devices=N instead of 'auto'"
+            )
         self.database = database
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set,
         #: every ``execute`` observes the session query-latency
@@ -100,6 +127,34 @@ class Session:
         if isinstance(device, DeviceProfile):
             device = VirtualCoprocessor(device, interconnect=interconnect)
         self.device = device
+        self.devices = devices
+        self.partitioning = partitioning
+        self.auto = None
+        self.engine = None
+        if auto_engine or auto_devices:
+            from .errors import ConfigurationError
+            from .optimizer import AutoExecutor
+
+            if not auto_engine and not isinstance(engine, str):
+                raise ConfigurationError(
+                    "devices='auto' needs an engine alias (or 'auto'), "
+                    "not an Engine instance; known engines: "
+                    + ", ".join(sorted(ENGINE_FACTORIES))
+                )
+            if not auto_engine:
+                make_engine(engine)  # validate the alias early
+            self.auto = AutoExecutor(
+                self.device.profile,
+                interconnect=interconnect,
+                engine=None if auto_engine else engine,
+                devices=None if auto_devices else devices,
+                partitioning=partitioning,
+                placement="pooled" if residency else None,
+            )
+            self.plan_cache = plan_cache
+            self.pool = None
+            self.scaleout = None
+            return
         self.engine = make_engine(engine) if isinstance(engine, str) else engine
         self.plan_cache = plan_cache
         self.pool = None
@@ -134,9 +189,30 @@ class Session:
     def physical(self, query: str | LogicalPlan):
         """The extracted pipelines, via the plan cache when one is set."""
         if self.plan_cache is not None:
-            physical, _hit = self.plan_cache.lookup(query, self.database)
+            physical, _hit = self.plan_cache.lookup(
+                query, self.database, self._strategy_token(self.engine)
+            )
             return physical
         return extract_pipelines(self.plan(query), self.database)
+
+    def _strategy_token(self, chosen: "Engine | None") -> tuple | None:
+        """Hashable execution-strategy identity for plan-cache keying.
+
+        Pinned configurations all share ``None``: the physical plan is
+        engine-independent, so a plan compiled for one pinned engine is
+        reusable by every other.  Auto sessions get a distinct token so
+        their entries (which carry a recorded optimizer strategy) never
+        collide with pinned ones or with differently-pinned auto
+        lattices."""
+        if chosen is None and self.auto is not None:
+            return (
+                "auto",
+                self.auto.pinned_engine,
+                self.auto.pinned_devices,
+                self.auto.partitioning,
+                self.auto.pinned_placement,
+            )
+        return None
 
     def explain(
         self,
@@ -152,12 +228,21 @@ class Session:
         tracing enabled) and the report shows per-pipeline rows in/out,
         kernels launched, per-level byte volumes, PCIe bytes, simulated
         vs host milliseconds, and cache/placement outcomes.
+
+        On an ``engine="auto"`` session both variants additionally
+        render the optimizer's decision: the ranked candidate lattice
+        with predicted time/bytes per strategy (and, with ``analyze``,
+        the observed time and prediction error).
         """
         if analyze:
             from .telemetry.explain import explain_analyze
 
             return explain_analyze(self, query, engine=engine, seed=seed)
-        return self.physical(query).describe()
+        description = self.physical(query).describe()
+        if self.auto is not None and engine is None:
+            decision = self.auto.advise(self.physical(query), self.database)
+            return f"{description}\n\noptimizer:\n{decision.render()}"
+        return description
 
     def execute(
         self,
@@ -173,7 +258,10 @@ class Session:
         """
         chosen = self.engine
         if engine is not None:
-            chosen = make_engine(engine) if isinstance(engine, str) else engine
+            if isinstance(engine, str) and engine == "auto":
+                chosen = None  # route through the adaptive optimizer
+            else:
+                chosen = make_engine(engine) if isinstance(engine, str) else engine
         started = time.perf_counter()
         tracer = Tracer(api="session") if tracing_enabled() else None
         activation = tracer.activate() if tracer else contextlib.nullcontext()
@@ -192,7 +280,7 @@ class Session:
         return result
 
     def _execute_inner(
-        self, chosen: Engine, query, seed: int, tracer: "Tracer | None"
+        self, chosen: "Engine | None", query, seed: int, tracer: "Tracer | None"
     ) -> ExecutionResult:
         if self.plan_cache is None:
             if tracer is None:
@@ -205,12 +293,15 @@ class Session:
 
         from .serving.stats import ServingStats
 
+        token = self._strategy_token(chosen)
         plan_start = time.perf_counter()
         if tracer is None:
-            physical, hit = self.plan_cache.lookup(query, self.database)
+            physical, hit = self.plan_cache.lookup(query, self.database, token)
         else:
             with tracer.span("plan", "plan") as span:
-                physical, hit = self.plan_cache.lookup(query, self.database)
+                physical, hit = self.plan_cache.lookup(
+                    query, self.database, token
+                )
                 span.attrs["cache_hit"] = hit
         plan_ms = (time.perf_counter() - plan_start) * 1e3
         begin_thread_compile_stats()
@@ -228,9 +319,37 @@ class Session:
             execute_ms=execute_ms,
             worker=-1,
         )
+        if isinstance(query, str) and result.optimizer is not None:
+            self.plan_cache.record_strategy(
+                query, self.database, token, result.optimizer.chosen
+            )
         return result
 
-    def _run(self, chosen: Engine, plan, seed: int) -> ExecutionResult:
+    def _auto_executor(self):
+        """The session's adaptive executor, created on demand for
+        per-query ``engine="auto"`` overrides on pinned sessions."""
+        if self.auto is None:
+            from .optimizer import AutoExecutor
+
+            self.auto = AutoExecutor(
+                self.device.profile,
+                interconnect=self.device.interconnect,
+                partitioning=self.partitioning,
+            )
+        return self.auto
+
+    def _run(self, chosen: "Engine | None", plan, seed: int) -> ExecutionResult:
+        if chosen is None:
+            auto = self._auto_executor()
+            physical = (
+                plan
+                if not isinstance(plan, LogicalPlan)
+                else extract_pipelines(plan, self.database)
+            )
+            result = auto.execute(physical, self.database, seed=seed)
+            if self.metrics is not None:
+                auto.observe_metrics(self.metrics)
+            return result
         if self.scaleout is not None:
             physical = (
                 plan
@@ -258,10 +377,18 @@ class Session:
         """Residency counters (``None`` unless ``residency=True``).
 
         Scale-out sessions aggregate across the fleet's per-device
-        pools."""
+        pools; auto sessions report the adaptive executor's pool."""
+        if self.auto is not None:
+            return self.auto.placement_stats()
         if self.scaleout is not None:
             return self.scaleout.placement_stats()
         return self.pool.stats() if self.pool is not None else None
+
+    def optimizer_decision(self, query: str | LogicalPlan):
+        """Advise (without executing) on an auto session: the ranked
+        strategy breakdown the optimizer would use for ``query``."""
+        auto = self._auto_executor()
+        return auto.advise(self.physical(query), self.database)
 
 
 def _coerce_fault_plan(fault_plan):
@@ -292,12 +419,15 @@ def connect(
     plan_cache: "PlanCache | None" = None,
     residency: bool = False,
     metrics: "MetricsRegistry | None" = None,
-    devices: int = 1,
+    devices: int | str = 1,
     partitioning: str = "range",
     fault_plan=None,
     retry_policy=None,
 ) -> Session:
-    """Create a session (the one-line entry point)."""
+    """Create a session (the one-line entry point).
+
+    ``engine="auto"`` / ``devices="auto"`` enable the adaptive
+    cost-based optimizer (see :class:`Session`)."""
     return Session(
         database,
         device=device,

@@ -46,6 +46,23 @@ from .storage import load_database, save_database
 from .workloads import SSB_QUERIES, TPCH_PLANS, generate_ssb, generate_tpch, ssb_plan, tpch_plan
 
 
+def _engine_choices() -> list:
+    """Engine aliases plus the adaptive optimizer's ``auto``."""
+    return sorted(ENGINE_FACTORIES) + ["auto"]
+
+
+def _devices_arg(value: str):
+    """``--devices`` accepts an integer or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 1 or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -135,13 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--device", default="gtx970", help="device profile (default: gtx970)",
     )
     serve.add_argument(
-        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
-        help="execution engine (default: resolution)",
+        "--engine", default="resolution", choices=_engine_choices(),
+        help="execution engine; 'auto' enables the adaptive "
+        "cost-based optimizer (default: resolution)",
     )
     serve.add_argument(
-        "--devices", type=int, default=1,
+        "--devices", type=_devices_arg, default=1,
         help="simulated devices per worker; > 1 runs every query "
-        "through the scale-out fleet (default: 1)",
+        "through the scale-out fleet; 'auto' lets the optimizer "
+        "pick per query (default: 1)",
     )
     serve.add_argument(
         "--partitioning", choices=("range", "hash"), default="range",
@@ -179,8 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--device", default="gtx970", help="device profile (default: gtx970)",
     )
     metrics.add_argument(
-        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
-        help="execution engine (default: resolution)",
+        "--engine", default="resolution", choices=_engine_choices(),
+        help="execution engine; 'auto' enables the adaptive "
+        "cost-based optimizer (default: resolution)",
     )
     metrics.add_argument(
         "--out", default=None, metavar="PATH",
@@ -203,8 +223,9 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         help="device profile name (default: gtx970)",
     )
     cmd.add_argument(
-        "--engine", default="resolution", choices=sorted(ENGINE_FACTORIES),
-        help="execution engine (default: resolution)",
+        "--engine", default="resolution", choices=_engine_choices(),
+        help="execution engine; 'auto' enables the adaptive "
+        "cost-based optimizer (default: resolution)",
     )
     cmd.add_argument(
         "--limit", type=int, default=20, help="max rows to print (default: 20)"
@@ -219,9 +240,10 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         "pool with cost-aware eviction and out-of-core fallback)",
     )
     cmd.add_argument(
-        "--devices", type=int, default=1,
+        "--devices", type=_devices_arg, default=1,
         help="simulated device count; > 1 partitions the fact table "
-        "across a scale-out fleet and merges partials (default: 1)",
+        "across a scale-out fleet and merges partials; 'auto' lets "
+        "the optimizer pick per query (default: 1)",
     )
     cmd.add_argument(
         "--partitioning", choices=("range", "hash"), default="range",
@@ -328,6 +350,13 @@ def _cmd_query(args) -> int:
         print(f"... ({result.table.num_rows} rows total)")
     print()
     print(result.summary())
+    if result.optimizer is not None:
+        decision = result.optimizer
+        print(
+            f"optimizer: {decision.describe()}  "
+            f"(predicted {decision.predicted_ms:.3f} ms, "
+            f"observed {decision.observed_ms:.3f} ms)"
+        )
     if result.scaleout is not None:
         print(f"scaleout: {result.scaleout.summary()}")
         recovery = result.scaleout.recovery

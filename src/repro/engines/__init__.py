@@ -39,7 +39,9 @@ def make_engine(name: str) -> Engine:
     except KeyError:
         known = ", ".join(sorted(ENGINE_FACTORIES))
         raise ConfigurationError(
-            f"unknown engine {name!r}; known engines: {known}"
+            f"unknown engine {name!r}; known engines: {known} "
+            "('auto' is accepted by Session/Server/CLI for the "
+            "adaptive optimizer)"
         ) from None
     return factory()
 

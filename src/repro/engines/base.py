@@ -54,6 +54,10 @@ class ExecutionResult:
     #: For scale-out results ``total_ms`` is the *serial* sum of all
     #: device work; ``scaleout.makespan_ms`` is the parallel time.
     scaleout: object | None = None
+    #: Strategy decision (:class:`repro.optimizer.OptimizerDecision`)
+    #: when the adaptive optimizer picked the execution strategy
+    #: (``engine="auto"`` / ``devices="auto"``), else ``None``.
+    optimizer: object | None = None
 
     def timeline(self):
         """The ordered span list of this execution (depth-first, start

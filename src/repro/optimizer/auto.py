@@ -1,0 +1,353 @@
+"""The ``engine="auto"`` execution driver.
+
+:class:`AutoExecutor` owns everything a self-tuning session needs: the
+statistics catalog, the advisor, the calibrator, a pooled device (with
+a :class:`~repro.placement.BufferPool` attached), a pool-less transient
+device, and lazily-built scale-out executors per device count.  For
+each compiled query it
+
+1. asks the :class:`~repro.optimizer.advisor.Advisor` for the cheapest
+   feasible :class:`~repro.optimizer.cost.StrategyChoice` (discounting
+   the h2d charge for columns already pool-resident),
+2. dispatches to the matching execution path — the same code paths a
+   pinned session would use (``Engine.execute``,
+   :func:`~repro.placement.execute_with_placement`,
+   :func:`~repro.macro.batch.execute_out_of_core`, or
+   :class:`~repro.scaleout.ScaleOutExecutor`) so results are
+   byte-identical to pinned runs by construction,
+3. feeds the observed time and exact PCIe bytes back into the
+   :class:`~repro.optimizer.calibrate.Calibrator`, and attaches the
+   full :class:`~repro.optimizer.advisor.OptimizerDecision` to
+   ``result.optimizer``.
+
+A safety net guarantees the advisor can never strand a query on an
+infeasible pick: any run-to-finish execution that still raises
+:class:`~repro.errors.DeviceMemoryError` (the estimate was wrong) is
+retried on the streaming out-of-core path, and the miss is recorded so
+calibration learns from it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..engines import make_engine
+from ..engines.base import Engine, ExecutionResult
+from ..errors import ConfigurationError, DeviceMemoryError
+from ..hardware.device import VirtualCoprocessor
+from ..hardware.interconnect import PCIE3, Interconnect
+from ..hardware.profiles import DeviceProfile
+from ..plan.physical import PhysicalQuery
+from ..storage.database import Database
+from .advisor import Advisor, OptimizerDecision
+from .calibrate import Calibrator
+from .cost import StrategyChoice, streamable_mode
+from .stats import StatisticsCatalog
+
+#: Sentinel accepted by ``Session(engine=...)`` / ``devices=...``.
+AUTO = "auto"
+
+
+class AutoExecutor:
+    """Adaptive executor behind ``engine="auto"`` / ``devices="auto"``.
+
+    ``engine``/``devices``/``placement``/``macro`` pin individual
+    lattice dimensions (``None`` leaves them to the advisor); e.g.
+    ``engine="auto", devices=2`` fixes the fleet size but lets the
+    advisor pick micro model, macro model, and placement.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        interconnect: Interconnect = PCIE3,
+        max_devices: int = 4,
+        engine: str | None = None,
+        devices: int | None = None,
+        partitioning: str = "range",
+        placement: str | None = None,
+        macro: str | None = None,
+        statistics: StatisticsCatalog | None = None,
+        calibrator: Calibrator | None = None,
+    ):
+        self.profile = profile
+        self.interconnect = interconnect
+        self.statistics = statistics if statistics is not None else StatisticsCatalog()
+        self.calibrator = calibrator if calibrator is not None else Calibrator()
+        self.advisor = Advisor(
+            profile,
+            interconnect,
+            statistics=self.statistics,
+            calibrator=self.calibrator,
+            max_devices=max_devices,
+        )
+        self.pinned_engine = engine
+        self.pinned_devices = devices
+        self.pinned_placement = placement
+        self.pinned_macro = macro
+        self.partitioning = partitioning
+        self._lock = threading.Lock()
+        self._engines: dict[str, Engine] = {}
+        self._scaleout: dict[int, object] = {}
+        self._pooled_device: VirtualCoprocessor | None = None
+        self._transient_device: VirtualCoprocessor | None = None
+        self.decisions = 0
+        self.fallbacks = 0
+        self._last_decision: OptimizerDecision | None = None
+
+    # ------------------------------------------------------------------
+    # lazily-built execution resources
+    # ------------------------------------------------------------------
+    def _engine(self, name: str) -> Engine:
+        with self._lock:
+            engine = self._engines.get(name)
+            if engine is None:
+                engine = make_engine(name)
+                self._engines[name] = engine
+            return engine
+
+    def pooled_device(self) -> VirtualCoprocessor:
+        with self._lock:
+            if self._pooled_device is None:
+                from ..placement import BufferPool
+
+                device = VirtualCoprocessor(
+                    self.profile, interconnect=self.interconnect
+                )
+                BufferPool(device)
+                self._pooled_device = device
+            return self._pooled_device
+
+    def transient_device(self) -> VirtualCoprocessor:
+        with self._lock:
+            if self._transient_device is None:
+                self._transient_device = VirtualCoprocessor(
+                    self.profile, interconnect=self.interconnect
+                )
+            return self._transient_device
+
+    def _scaleout_executor(self, devices: int):
+        with self._lock:
+            executor = self._scaleout.get(devices)
+            if executor is None:
+                from ..scaleout import ScaleOutExecutor
+
+                executor = ScaleOutExecutor(
+                    devices,
+                    profile=self.profile,
+                    interconnect=self.interconnect,
+                    partitioning=self.partitioning,
+                    residency=True,
+                )
+                self._scaleout[devices] = executor
+            return executor
+
+    # ------------------------------------------------------------------
+    def _resident_bytes(self, query: PhysicalQuery, database: Database) -> int:
+        """Bytes of the plan's base columns already pool-resident."""
+        device = self._pooled_device
+        if device is None or device.placement_pool is None:
+            return 0
+        pool = device.placement_pool
+        serial = database.fingerprint()[0]
+        seen: set[tuple[str, str]] = set()
+        total = 0
+        for pipeline in query.pipelines:
+            if pipeline.source_is_virtual:
+                continue
+            table = database.table(pipeline.source)
+            for name in pipeline.required_columns:
+                base = pipeline.source_rename.get(name, name)
+                key = (pipeline.source, base)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if (serial, pipeline.source, base) in pool:
+                    total += table.column(base).nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    def advise(
+        self, query: PhysicalQuery, database: Database
+    ) -> OptimizerDecision:
+        return self.advisor.advise(
+            query,
+            database,
+            engine=self.pinned_engine,
+            macro=self.pinned_macro,
+            devices=self.pinned_devices,
+            partitioning=self.partitioning,
+            placement=self.pinned_placement,
+            resident_bytes=self._resident_bytes(query, database),
+        )
+
+    def execute(
+        self, query: PhysicalQuery, database: Database, seed: int = 42
+    ) -> ExecutionResult:
+        """Advise, run, observe — the full adaptive loop for one query."""
+        decision = self.advise(query, database)
+        strategy = decision.chosen
+        result = self._dispatch(strategy, query, database, seed, decision)
+        observed_ms = result.total_ms
+        if result.scaleout is not None:
+            observed_ms = result.scaleout.makespan_ms + result.scaleout.merge_ms
+        decision.observed_ms = observed_ms
+        decision.observed_pcie_bytes = result.input_bytes + result.output_bytes
+        self.calibrator.observe(
+            self.profile.name,
+            strategy,
+            predicted_ms=decision.predicted_ms,
+            observed_ms=observed_ms,
+            predicted_bytes=decision.estimate.pcie_bytes,
+            observed_bytes=decision.observed_pcie_bytes,
+        )
+        result.optimizer = decision
+        with self._lock:
+            self.decisions += 1
+            self._last_decision = decision
+        return result
+
+    def _dispatch(
+        self,
+        strategy: StrategyChoice,
+        query: PhysicalQuery,
+        database: Database,
+        seed: int,
+        decision: OptimizerDecision,
+    ) -> ExecutionResult:
+        engine = self._engine(strategy.engine)
+        if strategy.devices > 1:
+            executor = self._scaleout_executor(strategy.devices)
+            return executor.execute(engine, query, database, seed=seed)
+        if strategy.macro == "out-of-core":
+            from ..macro.batch import execute_out_of_core
+
+            device = (
+                self.pooled_device()
+                if strategy.placement == "pooled"
+                else self.transient_device()
+            )
+            return execute_out_of_core(
+                query, database, device, seed=seed,
+                block_bytes=self.advisor.estimator.stream_block_bytes(),
+                mode=streamable_mode(strategy.engine),
+            )
+        if strategy.placement == "pooled":
+            from ..placement import execute_with_placement
+
+            # execute_with_placement already owns the DeviceMemoryError
+            # -> out-of-core retry, so a wrong fit estimate degrades to
+            # streaming instead of failing.
+            return execute_with_placement(
+                engine, query, database, self.pooled_device(), seed=seed
+            )
+        try:
+            return engine.execute(
+                query, database, self.transient_device(), seed=seed
+            )
+        except DeviceMemoryError:
+            # Safety net: the fit estimate was wrong.  Stream instead.
+            with self._lock:
+                self.fallbacks += 1
+            from .advisor import PrunedCandidate
+
+            decision.pruned.append(
+                PrunedCandidate(strategy, "ran out of device memory")
+            )
+            from ..macro.batch import execute_out_of_core
+
+            return execute_out_of_core(
+                query, database, self.transient_device(), seed=seed,
+                block_bytes=self.advisor.estimator.stream_block_bytes(),
+                mode=streamable_mode(strategy.engine),
+            )
+
+    # ------------------------------------------------------------------
+    def last_decision(self) -> OptimizerDecision | None:
+        with self._lock:
+            return self._last_decision
+
+    def observe_metrics(self, metrics, **labels) -> None:
+        """Export ``repro_optimizer_*`` metrics into ``metrics``."""
+        with self._lock:
+            decisions = self.decisions
+            fallbacks = self.fallbacks
+            last = self._last_decision
+        metrics.counter(
+            "repro_optimizer_decisions_total",
+            "Strategy decisions made by the adaptive optimizer",
+            **labels,
+        ).set_total(decisions)
+        metrics.counter(
+            "repro_optimizer_oom_fallbacks_total",
+            "Auto executions that hit the DeviceMemoryError safety net",
+            **labels,
+        ).set_total(fallbacks)
+        metrics.gauge(
+            "repro_optimizer_calibration_samples",
+            "Prediction/observation pairs folded into calibration",
+            **labels,
+        ).set(self.calibrator.samples)
+        byte_error = self.calibrator.median_byte_error()
+        if byte_error is not None:
+            metrics.gauge(
+                "repro_optimizer_median_byte_error",
+                "Median relative predicted-vs-observed PCIe byte error",
+                **labels,
+            ).set(byte_error)
+        time_error = self.calibrator.median_time_error()
+        if time_error is not None:
+            metrics.gauge(
+                "repro_optimizer_median_time_error",
+                "Median relative predicted-vs-observed latency error",
+                **labels,
+            ).set(time_error)
+        if last is not None:
+            metrics.counter(
+                "repro_optimizer_strategies_total",
+                "Executions by chosen strategy",
+                strategy=last.chosen.describe(),
+                **labels,
+            ).inc()
+            metrics.histogram(
+                "repro_optimizer_advise_ms",
+                "Advisor planning overhead per query (ms)",
+                **labels,
+            ).observe(last.advise_ms)
+            error = last.error_fraction()
+            if error is not None:
+                metrics.histogram(
+                    "repro_optimizer_prediction_error",
+                    "Relative predicted-vs-observed latency error",
+                    **labels,
+                ).observe(error)
+
+    def placement_stats(self):
+        device = self._pooled_device
+        if device is not None and device.placement_pool is not None:
+            return device.placement_pool.stats()
+        return None
+
+
+def resolve_auto(value, kind: str):
+    """Validate an ``engine``/``devices`` value that may be ``"auto"``.
+
+    Returns ``None`` when the dimension should be decided by the
+    advisor, else the pinned value.  Raises
+    :class:`~repro.errors.ConfigurationError` naming the valid choices
+    (mirroring :func:`repro.engines.make_engine` and
+    :func:`repro.scaleout.validate_devices`).
+    """
+    if kind == "engine":
+        if value == AUTO:
+            return None
+        return value
+    if kind == "devices":
+        if value == AUTO:
+            return None
+        if isinstance(value, str):
+            raise ConfigurationError(
+                f"devices must be an integer >= 1 or 'auto', got {value!r}"
+            )
+        return value
+    raise ConfigurationError(f"unknown auto dimension {kind!r}")

@@ -15,11 +15,12 @@ invalidation rules.  The throughput benchmark lives in
 :mod:`repro.serving.bench` (imported lazily — it pulls in workloads).
 """
 
-from .plan_cache import PlanCache, PlanCacheStats, normalize_sql
+from .plan_cache import CachedPlan, PlanCache, PlanCacheStats, normalize_sql
 from .server import Server
 from .stats import ServerStats, ServingStats
 
 __all__ = [
+    "CachedPlan",
     "PlanCache",
     "PlanCacheStats",
     "Server",

@@ -6,8 +6,8 @@ or report queries arriving over and over — that front-end work is pure
 overhead: the paper's whole argument is that compilation effort must be
 amortized for the coprocessor to run at hardware speed (Sections 5-7).
 
-The cache maps ``(normalized SQL, database fingerprint)`` to the
-extracted :class:`~repro.plan.physical.PhysicalQuery`:
+The cache maps ``(normalized SQL, database fingerprint, strategy)`` to
+the extracted :class:`~repro.plan.physical.PhysicalQuery`:
 
 * **Normalized SQL** — whitespace collapsed and keywords lowercased
   *outside* string literals, so ``SELECT  x`` and ``select x`` share an
@@ -18,6 +18,14 @@ extracted :class:`~repro.plan.physical.PhysicalQuery`:
   version, so a mutated catalog can never be served a stale plan; two
   catalogs never share a serial, so identical SQL against different
   databases never collides.
+* **Strategy** — a hashable token naming the caller's resolved
+  execution strategy (engine/devices/partitioning/placement, or the
+  adaptive optimizer's pinned dimensions).  An ``engine="auto"``
+  session therefore never collides with an explicitly pinned
+  configuration for the same SQL, and the optimizer's chosen
+  :class:`~repro.optimizer.StrategyChoice` is recorded on the entry
+  (:meth:`PlanCache.record_strategy`) so EXPLAIN and repeat executions
+  can see what ran last time.
 
 Cached plans are structurally immutable during execution (engines keep
 all per-query state on the :class:`~repro.engines.runtime.QueryRuntime`),
@@ -89,6 +97,15 @@ class PlanCacheStats:
         return self.hits / total if total else 0.0
 
 
+@dataclass
+class CachedPlan:
+    """One cache entry: the physical plan plus the execution strategy
+    recorded for it (``None`` until the owner records one)."""
+
+    physical: PhysicalQuery
+    strategy: object | None = None
+
+
 class PlanCache:
     """A bounded, thread-safe LRU of extracted physical query plans."""
 
@@ -97,41 +114,75 @@ class PlanCache:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, PhysicalQuery] = OrderedDict()
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _key(query: str, database: Database, strategy) -> tuple:
+        return (normalize_sql(query), database.fingerprint(), strategy)
+
     def lookup(
-        self, query: str | LogicalPlan, database: Database
+        self,
+        query: str | LogicalPlan,
+        database: Database,
+        strategy: object = None,
     ) -> tuple[PhysicalQuery, bool]:
         """Resolve ``query`` to a physical plan; returns ``(plan, hit)``.
 
-        SQL strings are keyed by normalized text + database
-        fingerprint.  :class:`LogicalPlan` objects bypass the cache
-        (they are already past the expensive front end) and count as
-        misses.
+        SQL strings are keyed by normalized text + database fingerprint
+        + the caller's ``strategy`` token (any hashable naming the
+        resolved execution configuration; sessions with different
+        pinned strategies — or auto vs. pinned — never share entries).
+        :class:`LogicalPlan` objects bypass the cache (they are already
+        past the expensive front end) and count as misses.
         """
         if isinstance(query, LogicalPlan):
             with self._lock:
                 self._misses += 1
             return extract_pipelines(query, database), False
-        key = (normalize_sql(query), database.fingerprint())
+        key = self._key(query, database, strategy)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
-                return cached, True
+                return cached.physical, True
             self._misses += 1
         physical = extract_pipelines(plan_sql(query, database), database)
         with self._lock:
-            self._entries[key] = physical
+            self._entries[key] = CachedPlan(physical)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
         return physical, False
+
+    # ------------------------------------------------------------------
+    def record_strategy(
+        self,
+        query: str,
+        database: Database,
+        strategy: object,
+        chosen: object,
+    ) -> None:
+        """Attach the optimizer's resolved choice to a cached entry
+        (no-op if the entry was evicted meanwhile)."""
+        key = self._key(query, database, strategy)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.strategy = chosen
+
+    def recorded_strategy(
+        self, query: str, database: Database, strategy: object = None
+    ) -> object | None:
+        """The strategy recorded for a cached entry, else ``None``."""
+        key = self._key(query, database, strategy)
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.strategy if entry is not None else None
 
     # ------------------------------------------------------------------
     def stats(self) -> PlanCacheStats:

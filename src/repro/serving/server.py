@@ -52,6 +52,8 @@ from .plan_cache import PlanCache
 from .stats import ServerStats, ServingStats
 
 _SHUTDOWN = object()
+#: Per-query ``engine="auto"`` marker (distinct from "server default").
+_AUTO = object()
 
 
 @dataclass
@@ -79,6 +81,14 @@ class Server:
         Default engine alias or instance.  Instances are shared across
         workers — engines are re-entrant (all per-query state lives on
         the :class:`~repro.engines.runtime.QueryRuntime`).
+        ``engine="auto"`` (and/or ``devices="auto"``) gives every
+        worker an adaptive :class:`~repro.optimizer.AutoExecutor`
+        sharing one statistics catalog and calibrator: each query runs
+        on the cost-based optimizer's cheapest feasible strategy, the
+        plan cache keys auto entries separately from pinned ones, and
+        ``metrics_text`` grows the ``repro_optimizer_*`` family.
+        Individual queries can still pin (``submit(..., engine=...)``)
+        or opt in (``engine="auto"``) per request.
     workers:
         Worker-thread count; each worker owns one virtual device.
     queue_size:
@@ -130,10 +140,23 @@ class Server:
         retry_policy=None,
     ):
         from ..api import _coerce_fault_plan
+        from ..errors import ConfigurationError
         from ..scaleout import validate_devices
 
-        validate_devices(devices)
+        auto_engine = isinstance(engine, str) and engine == "auto"
+        auto_devices = isinstance(devices, str)
+        if auto_devices and devices != "auto":
+            raise ConfigurationError(
+                f"devices must be an integer >= 1 or 'auto', got {devices!r}"
+            )
+        if not auto_devices:
+            validate_devices(devices)
         fault_plan = _coerce_fault_plan(fault_plan)
+        if (auto_engine or auto_devices) and fault_plan is not None:
+            raise ConfigurationError(
+                "fault injection needs a pinned configuration; use an "
+                "explicit engine and devices=N instead of 'auto'"
+            )
         if workers < 1:
             raise ServingError(f"need at least 1 worker, got {workers}")
         if queue_size < 1:
@@ -150,9 +173,18 @@ class Server:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(
             plan_cache_capacity
         )
-        self._default_engine = (
-            make_engine(engine) if isinstance(engine, str) else engine
-        )
+        self._default_engine = None
+        if not auto_engine and not auto_devices:
+            self._default_engine = (
+                make_engine(engine) if isinstance(engine, str) else engine
+            )
+        elif not auto_engine:
+            if not isinstance(engine, str):
+                raise ConfigurationError(
+                    "devices='auto' needs an engine alias (or 'auto'), "
+                    "not an Engine instance"
+                )
+            make_engine(engine)  # validate the alias early
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._queue_capacity = queue_size
         self._closed = False
@@ -183,8 +215,40 @@ class Server:
         ]
         self.residency = residency
         self.devices = devices
+        self.partitioning = partitioning
         self._executors: list = []
-        if devices > 1 or fault_plan is not None:
+        #: Per-worker adaptive executors (``engine="auto"`` /
+        #: ``devices="auto"``).  Statistics and calibration are shared
+        #: so every worker's observations tighten the same model.
+        self._auto_executors: list = [None] * workers
+        self._auto_lock = threading.Lock()
+        self._auto_token = None
+        if auto_engine or auto_devices:
+            from ..optimizer import AutoExecutor, Calibrator, StatisticsCatalog
+
+            statistics = StatisticsCatalog()
+            calibrator = Calibrator()
+            pinned_engine = None if auto_engine else engine
+            pinned_devices = None if auto_devices else devices
+            self._auto_executors = [
+                AutoExecutor(
+                    self.profile,
+                    interconnect=interconnect,
+                    engine=pinned_engine,
+                    devices=pinned_devices,
+                    partitioning=partitioning,
+                    placement="pooled" if residency else None,
+                    statistics=statistics,
+                    calibrator=calibrator,
+                )
+                for _ in range(workers)
+            ]
+            self._auto_token = (
+                "auto", pinned_engine, pinned_devices, partitioning,
+                "pooled" if residency else None,
+            )
+            self._pools = []
+        elif devices > 1 or fault_plan is not None:
             from ..scaleout import ScaleOutExecutor
 
             self._executors = [
@@ -244,7 +308,10 @@ class Server:
             raise ServingError("server is closed")
         chosen = None
         if engine is not None:
-            chosen = make_engine(engine) if isinstance(engine, str) else engine
+            if isinstance(engine, str) and engine == "auto":
+                chosen = _AUTO
+            else:
+                chosen = make_engine(engine) if isinstance(engine, str) else engine
         request = _Request(query=query, engine=chosen, seed=seed)
         try:
             self._queue.put(request, block=block, timeout=timeout)
@@ -294,6 +361,23 @@ class Server:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+    def _auto_for(self, index: int):
+        """This worker's adaptive executor (created lazily so pinned
+        servers pay nothing until a query asks for ``engine="auto"``)."""
+        with self._auto_lock:
+            auto = self._auto_executors[index]
+            if auto is None:
+                from ..optimizer import AutoExecutor
+
+                auto = AutoExecutor(
+                    self.profile,
+                    interconnect=self.interconnect,
+                    partitioning=self.partitioning,
+                    placement="pooled" if self.residency else None,
+                )
+                self._auto_executors[index] = auto
+            return auto
+
     def _worker_loop(self, index: int) -> None:
         device = self._devices[index]
         engine = self._default_engine
@@ -316,6 +400,17 @@ class Server:
             return
         queue_wait_ms = (time.perf_counter() - item.enqueued_at) * 1e3
         chosen = item.engine if item.engine is not None else engine
+        auto = None
+        if chosen is _AUTO or (chosen is None and self._auto_executors[index]):
+            auto = self._auto_for(index)
+            chosen = None
+        if auto is not None:
+            token = self._auto_token or (
+                "auto", None, None, self.partitioning, None
+            )
+        else:
+            # Pinned plans are engine-independent and shared (token None).
+            token = None
         try:
             tracer = Tracer(worker=index) if tracing_enabled() else None
             activation = tracer.activate() if tracer else contextlib.nullcontext()
@@ -325,18 +420,22 @@ class Server:
                 plan_start = time.perf_counter()
                 if tracer is None:
                     physical, hit = self.plan_cache.lookup(
-                        item.query, self.database
+                        item.query, self.database, token
                     )
                 else:
                     with tracer.span("plan", "plan") as span:
                         physical, hit = self.plan_cache.lookup(
-                            item.query, self.database
+                            item.query, self.database, token
                         )
                         span.attrs["cache_hit"] = hit
                 plan_ms = (time.perf_counter() - plan_start) * 1e3
                 begin_thread_compile_stats()
                 execute_start = time.perf_counter()
-                if self._executors:
+                if auto is not None:
+                    result = auto.execute(
+                        physical, self.database, seed=item.seed
+                    )
+                elif self._executors:
                     result = self._executors[index].execute(
                         chosen, physical, self.database, seed=item.seed
                     )
@@ -349,6 +448,14 @@ class Server:
                         physical, self.database, device, seed=item.seed
                     )
                 execute_ms = (time.perf_counter() - execute_start) * 1e3
+                if (
+                    result.optimizer is not None
+                    and isinstance(item.query, str)
+                ):
+                    self.plan_cache.record_strategy(
+                        item.query, self.database, token,
+                        result.optimizer.chosen,
+                    )
             if tracer is not None:
                 result.trace = tracer.finish()
             compile_hits, compile_misses, compile_ms = thread_compile_stats()
@@ -408,14 +515,21 @@ class Server:
                 execute_ms_total=self._execute_ms,
                 per_worker=list(self._per_worker),
                 plan_cache=self.plan_cache.stats(),
-                placement=(
-                    PlacementStats.aggregate([pool.stats() for pool in self._pools])
-                    if self._pools
-                    else None
-                ),
+                placement=self._placement_snapshot(),
                 latency=self._latency_hist.snapshot(),
                 queue_wait=self._queue_wait_hist.snapshot(),
             )
+
+    def _placement_snapshot(self):
+        """Aggregate buffer-pool stats across worker pools, fleets, and
+        adaptive executors (whichever this server actually uses)."""
+        snapshots = [pool.stats() for pool in self._pools]
+        for auto in self._auto_executors:
+            if auto is not None:
+                stats = auto.placement_stats()
+                if stats is not None:
+                    snapshots.append(stats)
+        return PlacementStats.aggregate(snapshots) if snapshots else None
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of the server's metrics.
@@ -494,6 +608,9 @@ class Server:
             ).set_total(placement.hit_bytes)
         for index, executor in enumerate(self._executors):
             executor.observe_metrics(metrics, worker=str(index))
+        for index, auto in enumerate(self._auto_executors):
+            if auto is not None:
+                auto.observe_metrics(metrics, worker=str(index))
         return metrics.render()
 
     def drain(self) -> None:

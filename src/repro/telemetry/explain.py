@@ -133,4 +133,8 @@ def _footer_lines(result, trace) -> list[str]:
         host_ops.append(f"finalize {finalize[0].duration_us / 1e3:.3f} ms")
     if host_ops:
         lines.append("host post-processing: " + ", ".join(host_ops))
+    optimizer = getattr(result, "optimizer", None)
+    if optimizer is not None:
+        lines.append("optimizer:")
+        lines.extend("  " + line for line in optimizer.render().splitlines())
     return lines

@@ -1,0 +1,452 @@
+"""Adaptive cost-based optimizer tests.
+
+Covers the four subsystem layers (statistics, cost model, calibration,
+advisor) plus the integration surfaces: auto executions stay
+byte-identical to pinned ones, the advisor never strands a query on an
+out-of-memory pick (Hypothesis property), the chosen strategy's
+observed simulated time carries bounded regret against a brute-force
+pinned oracle, and plan-cache entries for auto and pinned
+configurations never collide.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.engines import make_engine
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.expressions.expr import col, lit
+from repro.hardware import GTX970, PCIE3, VirtualCoprocessor
+from repro.optimizer import (
+    Advisor,
+    AutoExecutor,
+    Calibrator,
+    CostEstimator,
+    StatisticsCatalog,
+    StrategyChoice,
+    collect_table_stats,
+)
+from repro.plan.pipelines import extract_pipelines
+from repro.serving.plan_cache import PlanCache
+from repro.storage.table import rows_approx_equal
+from repro.workloads import SSB_QUERIES, TPCH_PLANS, microbench
+
+#: Small enough that SSB sf=0.004 working sets overflow run-to-finish.
+TINY_GPU = GTX970.with_overrides(memory_capacity=512 << 10)
+
+PINNED_ENGINES = ["operator-at-a-time", "multipass", "pipelined", "resolution"]
+
+
+def _physical(plan, database):
+    return extract_pipelines(plan, database)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+def test_column_stats_capture_domain(ssb_db):
+    stats = collect_table_stats("lineorder", ssb_db.table("lineorder"))
+    quantity = stats.column("lo_quantity")
+    assert quantity is not None
+    assert quantity.rows == ssb_db.table("lineorder").num_rows
+    assert quantity.minimum == 1.0
+    assert quantity.maximum == 50.0
+    assert quantity.integral
+    assert 40 <= quantity.distinct <= 60
+    assert stats.column("no_such_column") is None
+
+
+def test_statistics_catalog_caches_and_invalidates(ssb_db):
+    catalog = StatisticsCatalog()
+    first = catalog.table_stats(ssb_db, "date")
+    again = catalog.table_stats(ssb_db, "date")
+    assert first is again
+    assert catalog.collections == 1
+    assert catalog.hits == 1
+
+    # A catalog mutation bumps the fingerprint: stats are re-collected
+    # and the stale version's entry is evicted, not accumulated.
+    ssb_db.replace("date", ssb_db.table("date"))
+    try:
+        fresh = catalog.table_stats(ssb_db, "date")
+        assert fresh is not first
+        assert catalog.collections == 2
+        assert len(catalog) == 1
+    finally:
+        # restore the fixture's fingerprint-stability for other tests
+        ssb_db.replace("date", ssb_db.table("date"))
+
+
+def test_analyze_collects_every_table(tpch_db):
+    catalog = StatisticsCatalog()
+    collected = catalog.analyze(tpch_db)
+    assert set(collected) == set(tpch_db.table_names)
+    assert all(stats.rows >= 0 for stats in collected.values())
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+def test_between_selectivity_tracks_paper_knob(ssb_db):
+    catalog = StatisticsCatalog()
+    estimator = CostEstimator(GTX970, PCIE3, catalog)
+    stats = catalog.table_stats(ssb_db, "lineorder")
+    for x in (0, 5, 12, 25):
+        predicate = col("lo_quantity").between(25 - x, 25 + x)
+        predicted = estimator.predicate_selectivity(predicate, stats, {})
+        expected = microbench.selectivity_of(x)
+        assert predicted == pytest.approx(expected, abs=0.05)
+
+
+def test_compound_selectivity_composes(ssb_db):
+    catalog = StatisticsCatalog()
+    estimator = CostEstimator(GTX970, PCIE3, catalog)
+    stats = catalog.table_stats(ssb_db, "lineorder")
+    narrow = col("lo_quantity").between(20, 30)
+    single = estimator.predicate_selectivity(narrow, stats, {})
+    both = estimator.predicate_selectivity(narrow & narrow, stats, {})
+    either = estimator.predicate_selectivity(narrow | narrow, stats, {})
+    assert both == pytest.approx(single * single, rel=1e-6)
+    assert either == pytest.approx(1 - (1 - single) ** 2, rel=1e-6)
+    assert 0.0 <= estimator.predicate_selectivity(
+        ~narrow, stats, {}
+    ) <= 1.0
+
+
+def test_byte_predictions_match_execution(ssb_db):
+    """Predicted PCIe bytes for the chosen strategy stay within 10% of
+    the actual transfer accounting (acceptance: <5% median over a
+    workload; individual queries get a little slack)."""
+    for plan in (
+        microbench.projection_query(25),
+        microbench.group_by_query(8),
+        microbench.star_join_aggregate_query(),
+    ):
+        auto = AutoExecutor(GTX970, PCIE3)
+        result = auto.execute(_physical(plan, ssb_db), ssb_db, seed=42)
+        decision = result.optimizer
+        predicted = decision.estimate.pcie_bytes
+        observed = decision.observed_pcie_bytes
+        assert observed > 0
+        assert abs(predicted - observed) / observed < 0.10
+
+
+def test_streaming_contracts_peak_footprint(ssb_db):
+    """Run-to-finish peak exceeds the tiny device; the out-of-core
+    estimate's peak (dims + two streaming blocks) fits.  Capacity
+    pruning itself is the advisor's job (tested below)."""
+    catalog = StatisticsCatalog()
+    estimator = CostEstimator(TINY_GPU, PCIE3, catalog)
+    query = _physical(microbench.projection_query(25), ssb_db)
+    fit = estimator.estimate(
+        query, ssb_db,
+        StrategyChoice("resolution", "run-to-finish", 1, "range", "transient"),
+    )
+    stream = estimator.estimate(
+        query, ssb_db,
+        StrategyChoice("pipelined", "out-of-core", 1, "range", "transient"),
+    )
+    assert fit.peak_device_bytes > TINY_GPU.memory_capacity
+    assert stream.peak_device_bytes < fit.peak_device_bytes
+
+
+def test_virtual_final_pipeline_cannot_stream_or_partition(tpch_db):
+    """q15's final pipeline reads a virtual table: the estimator flags
+    out-of-core and scale-out as statically infeasible for it."""
+    from repro.workloads import TPCH_PLANS
+
+    catalog = StatisticsCatalog()
+    estimator = CostEstimator(GTX970, PCIE3, catalog)
+    query = _physical(TPCH_PLANS["q15"](tpch_db), tpch_db)
+    assert query.final_pipeline.source_is_virtual
+    streamed = estimator.estimate(
+        query, tpch_db,
+        StrategyChoice("pipelined", "out-of-core", 1, "range", "transient"),
+    )
+    assert not streamed.feasible and "final pipeline" in streamed.reason
+    fanned = estimator.estimate(
+        query, tpch_db,
+        StrategyChoice("pipelined", "run-to-finish", 2, "range", "transient"),
+    )
+    assert not fanned.feasible
+
+
+def test_pooled_residency_discounts_h2d(ssb_db):
+    catalog = StatisticsCatalog()
+    estimator = CostEstimator(GTX970, PCIE3, catalog)
+    query = _physical(microbench.projection_query(25), ssb_db)
+    pooled = StrategyChoice("resolution", "run-to-finish", 1, "range", "pooled")
+    cold = estimator.estimate(query, ssb_db, pooled, resident_bytes=0)
+    warm = estimator.estimate(
+        query, ssb_db, pooled, resident_bytes=cold.pcie_h2d_bytes
+    )
+    assert warm.pcie_h2d_bytes < cold.pcie_h2d_bytes
+    assert warm.total_ms < cold.total_ms
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+def test_calibrator_converges_on_constant_bias():
+    calibrator = Calibrator(alpha=0.3)
+    strategy = StrategyChoice("pipelined", "run-to-finish", 1, "range", "pooled")
+    for _ in range(30):
+        calibrator.observe("GTX970", strategy, predicted_ms=1.0, observed_ms=2.0)
+    assert calibrator.factor("GTX970", strategy) == pytest.approx(2.0, rel=0.01)
+    # Buckets are per (device, engine, macro): other keys stay neutral.
+    other = StrategyChoice("multipass", "run-to-finish", 1, "range", "pooled")
+    assert calibrator.factor("GTX970", other) == 1.0
+    assert calibrator.median_time_error() == pytest.approx(0.5, rel=0.01)
+
+
+def test_calibrator_clamps_outliers():
+    calibrator = Calibrator(alpha=1.0, factor_clamp=(0.25, 4.0),
+                            sample_clamp=(0.1, 10.0))
+    strategy = StrategyChoice("resolution", "run-to-finish", 1, "range", "pooled")
+    calibrator.observe("GTX970", strategy, predicted_ms=1.0, observed_ms=1e6)
+    assert calibrator.factor("GTX970", strategy) == 4.0
+    calibrator.observe("GTX970", strategy, predicted_ms=1e6, observed_ms=1.0)
+    assert calibrator.factor("GTX970", strategy) == 0.25
+
+
+def test_calibrator_byte_error_and_reset():
+    calibrator = Calibrator()
+    strategy = StrategyChoice("resolution", "run-to-finish", 1, "range", "pooled")
+    calibrator.observe(
+        "GTX970", strategy, predicted_ms=1.0, observed_ms=1.0,
+        predicted_bytes=95, observed_bytes=100,
+    )
+    assert calibrator.median_byte_error() == pytest.approx(0.05)
+    assert calibrator.samples == 1
+    snapshot = calibrator.snapshot()
+    assert ("GTX970", "resolution", "run-to-finish") in snapshot
+    calibrator.reset()
+    assert calibrator.samples == 0
+    assert calibrator.median_byte_error() is None
+    with pytest.raises(ValueError):
+        Calibrator(alpha=0.0)
+
+
+# ----------------------------------------------------------------------
+# advisor
+# ----------------------------------------------------------------------
+def test_advisor_ranks_full_lattice(ssb_db):
+    advisor = Advisor(GTX970, PCIE3)
+    query = _physical(microbench.star_join_aggregate_query(), ssb_db)
+    decision = advisor.advise(query, ssb_db)
+    assert decision.chosen is decision.candidates[0].strategy
+    ranked = [candidate.calibrated_ms for candidate in decision.candidates]
+    assert ranked == sorted(ranked)
+    # Engines, macros, and device counts all show up in the lattice.
+    engines = {c.strategy.engine for c in decision.candidates}
+    assert {"pipelined", "resolution"} <= engines
+    assert decision.advise_ms >= 0.0
+    rendered = decision.render()
+    assert "strategy" in rendered and "predicted" in rendered
+    assert decision.chosen.describe() in rendered
+
+
+def test_advisor_respects_pinned_dimensions(ssb_db):
+    advisor = Advisor(GTX970, PCIE3)
+    query = _physical(microbench.group_by_query(64), ssb_db)
+    assert advisor.advise(query, ssb_db, engine="multipass").chosen.engine == \
+        "multipass"
+    assert advisor.advise(query, ssb_db, devices=2).chosen.devices == 2
+    pooled = advisor.advise(query, ssb_db, placement="pooled").chosen
+    assert pooled.placement == "pooled"
+    streamed = advisor.advise(query, ssb_db, macro="out-of-core").chosen
+    assert streamed.macro == "out-of-core"
+
+
+def test_advisor_routes_oversized_out_of_core(ssb_db):
+    advisor = Advisor(TINY_GPU, PCIE3)
+    query = _physical(microbench.group_by_query(64), ssb_db)
+    decision = advisor.advise(query, ssb_db, devices=1)
+    assert decision.chosen.macro == "out-of-core"
+    # Every infeasible run-to-finish candidate names the memory gap.
+    reasons = [p.reason for p in decision.pruned]
+    assert any("memory" in reason for reason in reasons)
+
+
+def test_advisor_bounded_regret_vs_pinned_oracle(ssb_db):
+    """The chosen strategy's *observed* simulated latency stays within
+    25% of the best pinned single-device engine (the brute-force
+    oracle) — the crossover queries of Figures 16/26 land on the right
+    side of the lattice."""
+    grid = [
+        microbench.projection_query(0),
+        microbench.projection_query(25),
+        microbench.aggregation_query(12),
+        microbench.group_by_query(8),
+        microbench.group_by_query(65536),
+        microbench.star_join_aggregate_query(),
+    ]
+    for plan in grid:
+        query = _physical(plan, ssb_db)
+        oracle = {}
+        for name in PINNED_ENGINES:
+            device = VirtualCoprocessor(GTX970, interconnect=PCIE3)
+            result = make_engine(name).execute(query, ssb_db, device, seed=42)
+            oracle[name] = result.total_ms
+        auto = AutoExecutor(GTX970, PCIE3)
+        chosen = auto.execute(query, ssb_db, seed=42)
+        best = min(oracle.values())
+        assert chosen.total_ms <= best * 1.25, (
+            f"regret {chosen.total_ms / best:.2f} for "
+            f"{chosen.optimizer.chosen.describe()}; oracle {oracle}"
+        )
+
+
+def test_advisor_rejects_impossible_pins(ssb_db):
+    advisor = Advisor(GTX970, PCIE3)
+    query = _physical(microbench.group_by_query(64), ssb_db)
+    # operator-at-a-time cannot stream: pinning both is unsatisfiable.
+    with pytest.raises(ConfigurationError):
+        advisor.advise(
+            query, ssb_db, engine="operator-at-a-time", macro="out-of-core"
+        )
+
+
+# ----------------------------------------------------------------------
+# auto executor: differential correctness
+# ----------------------------------------------------------------------
+def test_auto_matches_pinned_across_ssb(ssb_db):
+    session_auto = Session(ssb_db, engine="auto", devices="auto")
+    session_pinned = Session(ssb_db, engine="resolution")
+    for name, sql in sorted(SSB_QUERIES.items()):
+        expected = session_pinned.execute(sql).table.sorted_rows()
+        actual = session_auto.execute(sql)
+        assert actual.optimizer is not None
+        assert rows_approx_equal(expected, actual.table.sorted_rows()), name
+
+
+@pytest.mark.parametrize("name", sorted(TPCH_PLANS))
+def test_auto_matches_pinned_tpch(tpch_db, name):
+    plan = TPCH_PLANS[name](tpch_db)
+    expected = Session(tpch_db, engine="resolution").execute(plan)
+    actual = Session(tpch_db, engine="auto", devices="auto").execute(plan)
+    assert actual.optimizer is not None
+    assert rows_approx_equal(
+        expected.table.sorted_rows(), actual.table.sorted_rows()
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=25),
+    groups=st.sampled_from([1, 8, 1024, 100000]),
+    shape=st.sampled_from(["projection", "aggregation", "group_by"]),
+)
+def test_auto_never_out_of_memory(ssb_db, x, groups, shape):
+    """Property: whatever the query shape and however small the device,
+    the advisor routes around DeviceMemoryError (oversized working sets
+    go out-of-core) and the result matches a pinned big-device run."""
+    if shape == "projection":
+        plan = microbench.projection_query(x)
+    elif shape == "aggregation":
+        plan = microbench.aggregation_query(x)
+    else:
+        plan = microbench.group_by_query(groups)
+    query = _physical(plan, ssb_db)
+
+    reference_device = VirtualCoprocessor(GTX970, interconnect=PCIE3)
+    expected = make_engine("resolution").execute(
+        query, ssb_db, reference_device, seed=42
+    )
+
+    auto = AutoExecutor(TINY_GPU, PCIE3, devices=1)
+    try:
+        result = auto.execute(query, ssb_db, seed=42)
+    except DeviceMemoryError as exc:  # pragma: no cover - the regression
+        pytest.fail(f"advisor stranded the query on an OOM pick: {exc}")
+    decision = result.optimizer
+    # Oversized run-to-finish working sets must route to streaming
+    # up front, not via the OOM safety net: any run-to-finish winner
+    # fits the device.
+    if decision.chosen.macro == "run-to-finish":
+        assert (
+            decision.estimate.peak_device_bytes <= TINY_GPU.memory_capacity
+        )
+    assert auto.fallbacks == 0
+    assert rows_approx_equal(
+        expected.table.sorted_rows(), result.table.sorted_rows()
+    )
+
+
+# ----------------------------------------------------------------------
+# plan cache keying + session/serving surfaces
+# ----------------------------------------------------------------------
+def test_plan_cache_separates_auto_from_pinned(ssb_db):
+    cache = PlanCache(capacity=8)
+    sql = "select count(*) as n from date"
+    pinned_a = Session(ssb_db, engine="resolution", plan_cache=cache)
+    pinned_b = Session(ssb_db, engine="multipass", plan_cache=cache)
+    auto = Session(ssb_db, engine="auto", plan_cache=cache)
+
+    pinned_a.execute(sql)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (0, 1)
+    # Physical plans are engine-independent: a second pinned engine hits.
+    pinned_b.execute(sql)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 1)
+    # An auto session never shares an entry with a pinned one.
+    auto.execute(sql)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (1, 2)
+    # ... but hits its own entry on repeat, with the strategy recorded.
+    result = auto.execute(sql)
+    stats = cache.stats()
+    assert (stats.hits, stats.misses) == (2, 2)
+    token = auto._strategy_token(None)
+    recorded = cache.recorded_strategy(sql, ssb_db, token)
+    assert recorded == result.optimizer.chosen
+
+
+def test_session_auto_surfaces(ssb_db):
+    session = Session(ssb_db, engine="auto", devices="auto")
+    sql = "select count(*) as n from date"
+    explained = session.explain(sql)
+    assert "optimizer:" in explained
+    result = session.execute(sql)
+    # optimizer_decision re-advises: same winning strategy, no execution.
+    advised = session.optimizer_decision(sql)
+    assert advised.chosen == result.optimizer.chosen
+    assert advised.observed_ms is None
+    # Per-query pinned override on an auto session bypasses the advisor.
+    pinned = session.execute(sql, engine="resolution")
+    assert pinned.optimizer is None
+    # Per-query auto override on a pinned session engages it.
+    pinned_session = Session(ssb_db, engine="resolution")
+    adaptive = pinned_session.execute(sql, engine="auto")
+    assert adaptive.optimizer is not None
+
+
+def test_auto_configuration_errors(ssb_db):
+    with pytest.raises(ConfigurationError, match="integer >= 1 or 'auto'"):
+        Session(ssb_db, devices="both")
+    with pytest.raises(ConfigurationError, match="pinned configuration"):
+        Session(
+            ssb_db, engine="auto",
+            fault_plan={"seed": 1, "events": []},
+        )
+    with pytest.raises(ConfigurationError, match="engine alias"):
+        Session(ssb_db, engine=make_engine("resolution"), devices="auto")
+    with pytest.raises(ConfigurationError, match="'auto' is accepted"):
+        make_engine("auto")
+
+
+def test_auto_metrics_exported(ssb_db):
+    from repro.telemetry.metrics import MetricsRegistry
+
+    auto = AutoExecutor(GTX970, PCIE3)
+    auto.execute(_physical(microbench.projection_query(5), ssb_db), ssb_db)
+    registry = MetricsRegistry()
+    auto.observe_metrics(registry, worker="0")
+    text = registry.render()
+    assert "repro_optimizer_decisions_total" in text
+    assert "repro_optimizer_oom_fallbacks_total" in text
+    assert "repro_optimizer_advise_ms" in text

@@ -27,11 +27,18 @@ from .plan.logical import LogicalPlan
 from .plan.pipelines import extract_pipelines
 from .sql.translate import plan_sql
 from .storage.database import Database
+from .telemetry.events import (
+    installed_log,
+    new_query_id,
+    query_scope,
+    record_event,
+)
 from .telemetry.trace import Tracer, tracing_enabled
 
 if TYPE_CHECKING:  # avoid the api -> serving -> api import cycle
     from .serving.plan_cache import PlanCache
     from .telemetry.metrics import MetricsRegistry
+    from .telemetry.recorder import FlightRecorder
 
 __all__ = ["ENGINE_FACTORIES", "Session", "connect", "make_engine"]
 
@@ -95,6 +102,7 @@ class Session:
         partitioning: str = "range",
         fault_plan=None,
         retry_policy=None,
+        recorder: "FlightRecorder | None" = None,
     ):
         from .scaleout import validate_devices
 
@@ -117,6 +125,15 @@ class Session:
                 "explicit engine and devices=N instead of 'auto'"
             )
         self.database = database
+        #: Optional :class:`~repro.telemetry.FlightRecorder`; when set,
+        #: every ``execute`` lands a flight record (and failures write a
+        #: post-mortem bundle) under a per-query correlation id.
+        self.recorder = recorder
+        #: The engine alias as given (``None`` for Engine instances) —
+        #: what post-mortem replay recipes record.
+        self.engine_alias = engine if isinstance(engine, str) else None
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
         #: Optional :class:`~repro.telemetry.MetricsRegistry`; when set,
         #: every ``execute`` observes the session query-latency
         #: histogram and bumps ``repro_queries_total`` (the same metric
@@ -263,12 +280,49 @@ class Session:
             else:
                 chosen = make_engine(engine) if isinstance(engine, str) else engine
         started = time.perf_counter()
+        recorder = self.recorder
+        flight = None
+        if recorder is not None:
+            alias = self.engine_alias
+            if engine is not None and isinstance(engine, str):
+                alias = engine
+            flight = recorder.start(
+                query,
+                seed=seed,
+                engine=alias,
+                device=self.device.profile.name,
+                devices=self.devices,
+                partitioning=self.partitioning,
+            )
+            flight.note(seed=seed)
+        # A correlation id whenever anything is listening: the flight's
+        # when the recorder is on, a fresh one when only a bare event
+        # log is installed.
+        query_id = flight.query_id if flight is not None else (
+            new_query_id() if installed_log() is not None else None
+        )
         tracer = Tracer(api="session") if tracing_enabled() else None
+        if tracer is not None and query_id is not None:
+            tracer.root.attrs["query_id"] = query_id
         activation = tracer.activate() if tracer else contextlib.nullcontext()
-        with activation:
-            result = self._execute_inner(chosen, query, seed, tracer)
+        scope = query_scope(query_id)
+        try:
+            with scope, activation:
+                result = self._execute_inner(chosen, query, seed, tracer)
+        except BaseException as error:
+            if recorder is not None:
+                recorder.fail(
+                    flight,
+                    error,
+                    trace=tracer.finish() if tracer is not None else None,
+                    fault_plan=self._fault_plan,
+                    retry_policy=self._retry_policy,
+                )
+            raise
         if tracer is not None:
             result.trace = tracer.finish()
+        if recorder is not None:
+            recorder.complete(flight, result)
         if self.metrics is not None:
             self.metrics.histogram(
                 "repro_query_latency_ms",
@@ -289,7 +343,10 @@ class Session:
                 with tracer.span("plan", "plan") as span:
                     plan = self.plan(query)
                     span.attrs["cache_hit"] = False
-            return self._run(chosen, plan, seed)
+            record_event("query.planned", cache_hit=False)
+            result = self._run(chosen, plan, seed)
+            record_event("query.executed", status="ok")
+            return result
 
         from .serving.stats import ServingStats
 
@@ -304,10 +361,14 @@ class Session:
                 )
                 span.attrs["cache_hit"] = hit
         plan_ms = (time.perf_counter() - plan_start) * 1e3
+        record_event("query.planned", cache_hit=hit, plan_ms=round(plan_ms, 3))
         begin_thread_compile_stats()
         execute_start = time.perf_counter()
         result = self._run(chosen, physical, seed)
         execute_ms = (time.perf_counter() - execute_start) * 1e3
+        record_event(
+            "query.executed", status="ok", execute_ms=round(execute_ms, 3)
+        )
         compile_hits, compile_misses, compile_ms = thread_compile_stats()
         result.serving = ServingStats(
             plan_cache_hit=hit,
@@ -423,6 +484,7 @@ def connect(
     partitioning: str = "range",
     fault_plan=None,
     retry_policy=None,
+    recorder=None,
 ) -> Session:
     """Create a session (the one-line entry point).
 
@@ -439,4 +501,5 @@ def connect(
         partitioning=partitioning,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        recorder=recorder,
     )

@@ -25,6 +25,16 @@ Commands
 ``metrics``
     Run a small SSB workload through a server and print its
     Prometheus text exposition (latency histograms, cache counters).
+``log``
+    Tail a structured event-log JSONL file (written by
+    ``query --events-out`` / ``serve-bench --events-out``), with
+    ``--kind`` / ``--query`` filters.
+``baseline``
+    Record (``baseline record``) or check (``baseline check``) the
+    perf-regression sentinel's committed per-query fingerprints.
+``replay``
+    Re-execute a post-mortem bundle's query deterministically and
+    verify the outcome byte-for-byte against the recorded checksums.
 
 ``query --trace-out trace.json`` records the execution's span tree as
 Chrome trace-event JSON (open in Perfetto / ``chrome://tracing``);
@@ -39,7 +49,7 @@ import sys
 
 from .analysis import format_table
 from .api import ENGINE_FACTORIES, Session
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ReproError
 from .engines import CompoundEngine, MultiPassEngine, OperatorAtATimeEngine
 from .hardware import list_profiles
 from .storage import load_database, save_database
@@ -85,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="write the execution's span tree as Chrome "
                 "trace-event JSON (open in Perfetto)",
             )
+            _add_recorder_options(cmd)
         else:
             cmd.add_argument(
                 "--analyze", action="store_true",
@@ -176,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the latency server's Prometheus text exposition",
     )
+    serve.add_argument(
+        "--recorder", action="store_true",
+        help="run the benchmark servers with the flight recorder on "
+        "(failures write post-mortem bundles)",
+    )
+    _add_recorder_options(serve)
 
     metrics = sub.add_parser(
         "metrics",
@@ -205,6 +222,65 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument(
         "--out", default=None, metavar="PATH",
         help="also write the exposition to a file",
+    )
+
+    log = sub.add_parser(
+        "log", help="tail a structured event-log JSONL file"
+    )
+    log.add_argument("path", help="event-log JSONL file (see --events-out)")
+    log.add_argument(
+        "-n", "--tail", type=int, default=20, metavar="N",
+        help="show the last N events (default: 20; 0 = all)",
+    )
+    log.add_argument(
+        "--kind", default=None,
+        help="only events of this kind (e.g. query.executed)",
+    )
+    log.add_argument(
+        "--query", default=None,
+        help="only events with this correlation id (e.g. q-000003)",
+    )
+    log.add_argument(
+        "--json", action="store_true",
+        help="print raw JSON lines instead of the aligned view",
+    )
+
+    baseline = sub.add_parser(
+        "baseline",
+        help="record or check the perf-regression sentinel's baselines",
+    )
+    baseline.add_argument(
+        "action", choices=("record", "check"),
+        help="'record' re-measures and writes the store; 'check' "
+        "re-measures and diffs against it",
+    )
+    baseline.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline store (default: benchmarks/baselines/"
+        "perf_baselines.json)",
+    )
+    baseline.add_argument(
+        "--tolerance", type=float, default=1.0, metavar="SCALE",
+        help="scale every metric's tolerance band (default: 1.0)",
+    )
+    baseline.add_argument(
+        "--scale-factor", type=float, default=0.002,
+        help="workload scale factor for 'record' (default: 0.002)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a post-mortem bundle and verify byte-identity",
+    )
+    replay.add_argument("bundle", help="bundle directory (see postmortems/)")
+    replay.add_argument(
+        "--data-dir", default=None,
+        help="load a persisted database instead of the bundle's "
+        "generator recipe",
+    )
+    replay.add_argument(
+        "--device", default=None,
+        help="override the bundle's device profile name",
     )
     return parser
 
@@ -277,6 +353,59 @@ def _add_fault_options(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_recorder_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the structured event log as JSONL (tail it with "
+        "'repro log')",
+    )
+    cmd.add_argument(
+        "--postmortem-dir", default=None, metavar="DIR",
+        help="flight-recorder bundle directory (default: postmortems/); "
+        "implies the recorder is on",
+    )
+
+
+def _recorder(args, database_recipe: dict):
+    """A :class:`~repro.telemetry.FlightRecorder` when any recorder
+    flag is set, else None."""
+    if not (
+        getattr(args, "recorder", False)
+        or args.events_out
+        or args.postmortem_dir
+    ):
+        return None
+    from .telemetry import FlightRecorder
+
+    return FlightRecorder(
+        postmortem_dir=args.postmortem_dir or "postmortems",
+        database_recipe=database_recipe,
+    )
+
+
+def _database_recipe(args) -> dict:
+    """Replay recipe matching :func:`_database` for bundle manifests."""
+    if getattr(args, "data_dir", None):
+        return {"data_dir": args.data_dir}
+    if args.workload == "tpch":
+        return {"workload": "tpch", "scale_factor": args.scale_factor, "seed": 11}
+    return {"workload": "ssb", "scale_factor": args.scale_factor, "seed": 7}
+
+
+def _finish_recorder(recorder, args) -> None:
+    """Flush ``--events-out``, surface bundle paths, detach the log."""
+    if recorder is None:
+        return
+    if args.events_out:
+        recorder.events.write_jsonl(args.events_out)
+        print(f"wrote event log to {args.events_out}", file=sys.stderr)
+    for record in recorder.records(status="failed"):
+        bundle = record.strategy.get("bundle")
+        if bundle:
+            print(f"wrote post-mortem bundle to {bundle}", file=sys.stderr)
+    recorder.uninstall()
+
+
 def _fault_kwargs(args) -> dict:
     """Build the Session/benchmark fault keywords from CLI flags
     (:class:`~repro.faults.RetryPolicy` validates the knobs and raises
@@ -328,6 +457,7 @@ def _cmd_devices(_args) -> int:
 
 
 def _cmd_query(args) -> int:
+    recorder = _recorder(args, _database_recipe(args))
     session = Session(
         _database(args),
         device=args.device,
@@ -335,15 +465,19 @@ def _cmd_query(args) -> int:
         residency=args.residency,
         devices=args.devices,
         partitioning=args.partitioning,
+        recorder=recorder,
         **_fault_kwargs(args),
     )
-    if args.trace_out:
-        from .telemetry import tracing
+    try:
+        if args.trace_out:
+            from .telemetry import tracing
 
-        with tracing():
+            with tracing():
+                result = session.execute(args.sql)
+        else:
             result = session.execute(args.sql)
-    else:
-        result = session.execute(args.sql)
+    finally:
+        _finish_recorder(recorder, args)
     for row in result.table.head(args.limit):
         print(row)
     if result.table.num_rows > args.limit:
@@ -486,17 +620,24 @@ def _cmd_serve_bench(args) -> int:
             int(part) for part in args.workers.split(",") if part.strip()
         )
         repeats, passes = args.repeats, args.passes
-    report = run_serving_benchmark(
-        scale_factor=scale_factor,
-        worker_counts=worker_counts,
-        repeats=repeats,
-        passes=passes,
-        device=args.device,
-        engine=args.engine,
-        devices=args.devices,
-        partitioning=args.partitioning,
-        **_fault_kwargs(args),
+    recorder = _recorder(
+        args, {"workload": "ssb", "scale_factor": scale_factor, "seed": 7}
     )
+    try:
+        report = run_serving_benchmark(
+            scale_factor=scale_factor,
+            worker_counts=worker_counts,
+            repeats=repeats,
+            passes=passes,
+            device=args.device,
+            engine=args.engine,
+            devices=args.devices,
+            partitioning=args.partitioning,
+            recorder=recorder,
+            **_fault_kwargs(args),
+        )
+    finally:
+        _finish_recorder(recorder, args)
     print(report.text())
     if args.metrics_out and report.metrics_text is not None:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -530,6 +671,61 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_log(args) -> int:
+    from .telemetry.events import load_jsonl
+
+    try:
+        events = load_jsonl(args.path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.kind:
+        events = [event for event in events if event.kind == args.kind]
+    if args.query:
+        events = [event for event in events if event.query == args.query]
+    if args.tail > 0:
+        events = events[-args.tail:]
+    for event in events:
+        if args.json:
+            print(event.to_json())
+        else:
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(event.attrs.items())
+            )
+            print(
+                f"{event.seq:>6}  {event.query or '-':<10} "
+                f"{event.kind:<22} {attrs}"
+            )
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from .telemetry.baseline import (
+        DEFAULT_BASELINE_PATH,
+        check_baselines,
+        record_baselines,
+    )
+
+    path = args.baseline or DEFAULT_BASELINE_PATH
+    if args.action == "record":
+        store = record_baselines(path=path, scale_factor=args.scale_factor)
+        print(f"recorded {len(store['queries'])} query baselines to {path}")
+        return 0
+    report = check_baselines(path, tolerance_scale=args.tolerance)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_replay(args) -> int:
+    from .telemetry.recorder import replay_bundle
+
+    report = replay_bundle(
+        args.bundle, data_dir=args.data_dir, device=args.device
+    )
+    print(report.render())
+    return 0 if report.matched else 1
+
+
 _COMMANDS = {
     "devices": _cmd_devices,
     "query": _cmd_query,
@@ -539,6 +735,9 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "serve-bench": _cmd_serve_bench,
     "metrics": _cmd_metrics,
+    "log": _cmd_log,
+    "baseline": _cmd_baseline,
+    "replay": _cmd_replay,
 }
 
 
@@ -549,6 +748,9 @@ def main(argv: list[str] | None = None) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

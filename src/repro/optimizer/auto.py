@@ -39,6 +39,7 @@ from ..hardware.interconnect import PCIE3, Interconnect
 from ..hardware.profiles import DeviceProfile
 from ..plan.physical import PhysicalQuery
 from ..storage.database import Database
+from ..telemetry.events import record_event
 from .advisor import Advisor, OptimizerDecision
 from .calibrate import Calibrator
 from .cost import StrategyChoice, streamable_mode
@@ -187,6 +188,11 @@ class AutoExecutor:
         """Advise, run, observe — the full adaptive loop for one query."""
         decision = self.advise(query, database)
         strategy = decision.chosen
+        record_event(
+            "optimizer.decision",
+            strategy=strategy.describe(),
+            predicted_ms=round(decision.predicted_ms, 6),
+        )
         result = self._dispatch(strategy, query, database, seed, decision)
         observed_ms = result.total_ms
         if result.scaleout is not None:

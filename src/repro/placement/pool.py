@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from ..errors import PlacementError
 from ..hardware.device import DeviceBuffer, VirtualCoprocessor
+from ..telemetry.events import record_event
 from .policy import PolicyFn, resolve_policy
 from .stats import PlacementStats
 
@@ -175,6 +176,13 @@ class BufferPool:
             self.device.free(entry.buffer)
         self._evictions += 1
         self._evicted_bytes += entry.nbytes
+        record_event(
+            "placement.evicted",
+            key=".".join(str(part) for part in entry.key)
+            if isinstance(entry.key, tuple)
+            else str(entry.key),
+            bytes=entry.nbytes,
+        )
 
     def _invalidate(self, entry: ResidentColumn) -> None:
         if entry.pinned:

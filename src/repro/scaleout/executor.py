@@ -82,6 +82,7 @@ from ..plan.pipelines import extract_pipelines
 from ..storage.column import Column
 from ..storage.database import Database
 from ..storage.table import Table
+from ..telemetry.events import current_query, record_event
 from ..telemetry.trace import Tracer, active_tracer, tracing_enabled
 from .fleet import DeviceFleet
 from .merge import PartialScheme, merge_partials, rewrite_for_partials
@@ -225,6 +226,7 @@ class ScaleOutExecutor:
             "faulted_queries": 0,
         }
         self._last_live = self.devices
+        self._event_query: str | None = None
 
     # ------------------------------------------------------------------
     def execute(
@@ -240,6 +242,11 @@ class ScaleOutExecutor:
         else:
             query = extract_pipelines(plan, database)
         with self._run_lock:
+            # The submitting thread's correlation id, re-stamped on
+            # events emitted from the per-device worker threads (their
+            # thread-locals don't inherit the query scope).  Safe to
+            # keep on ``self``: the run lock serializes queries.
+            self._event_query = current_query()
             final = query.final_pipeline
             if final.source_is_virtual:
                 return self._execute_fallback(engine, query, database, seed)
@@ -439,6 +446,12 @@ class ScaleOutExecutor:
                 if run.lost and run.share.device in alive:
                     alive.remove(run.share.device)
                     recovery.degraded_devices.append(run.share.device)
+                    record_event(
+                        "device.lost",
+                        query=self._event_query,
+                        device=run.share.device,
+                        wave=wave,
+                    )
                     if tracer is not None:
                         tracer.event(
                             f"device {run.share.device} lost", "fault", wave=wave
@@ -491,6 +504,13 @@ class ScaleOutExecutor:
                 if load.pieces
             ]
             recovery.redistributed_morsels += len(pending)
+            record_event(
+                "morsel.redistributed",
+                query=self._event_query,
+                wave=wave,
+                morsels=len(pending),
+                survivors=len(alive),
+            )
             if tracer is not None:
                 tracer.event(
                     "redistribute", "fault",
@@ -559,6 +579,14 @@ class ScaleOutExecutor:
                     injected = injector is not None and injector.fired_matching(
                         fired_mark, load.device
                     )
+                    if injected:
+                        record_event(
+                            "fault.fired",
+                            query=self._event_query,
+                            fault=kind,
+                            device=load.device,
+                            stage="build",
+                        )
                     for piece_index in load.pieces:
                         if partition_set.pieces[piece_index].rows:
                             run.failed[piece_index] = kind
@@ -660,6 +688,13 @@ class ScaleOutExecutor:
                     fired_mark, run.share.device, piece.index
                 ):
                     run.fault_fired.add(piece.index)
+                    record_event(
+                        "fault.fired",
+                        query=self._event_query,
+                        fault=kind,
+                        device=run.share.device,
+                        morsel=piece.index,
+                    )
                 if not device.alive:
                     run.lost = True
                     run.failed[piece.index] = kind
@@ -668,6 +703,15 @@ class ScaleOutExecutor:
                     run.retries += 1
                     backoff = policy.backoff_ms(attempt)
                     run.backoff_ms += backoff
+                    record_event(
+                        "morsel.retry",
+                        query=self._event_query,
+                        device=run.share.device,
+                        morsel=piece.index,
+                        attempt=attempt,
+                        fault=kind,
+                        backoff_ms=backoff,
+                    )
                     if child is not None:
                         child.event(
                             f"retry p{piece.index}", "fault",
@@ -744,6 +788,11 @@ class ScaleOutExecutor:
         on the reserve host device, streaming out-of-core (run-to-finish
         when the plan cannot stream)."""
         recovery.host_fallback = True
+        record_event(
+            "fallback.host",
+            query=self._event_query,
+            devices_lost=len(recovery.degraded_devices),
+        )
         if tracer is not None:
             tracer.event(
                 "host fallback", "fault", devices_lost=len(recovery.degraded_devices)

@@ -180,13 +180,17 @@ def run_serving_benchmark(
     partitioning: str = "range",
     fault_plan=None,
     retry_policy=None,
+    recorder=None,
 ) -> ServingBenchReport:
     """Run both phases; see the module docstring for the metrics.
 
     ``devices=N`` gives every server a per-worker scale-out fleet
     (:mod:`repro.scaleout`); latencies then use the fleet makespan.
     ``fault_plan``/``retry_policy`` arm deterministic fault injection
-    on every worker's fleet (see ``docs/fault-tolerance.md``)."""
+    on every worker's fleet (see ``docs/fault-tolerance.md``).
+    ``recorder`` (a :class:`~repro.telemetry.FlightRecorder`) rides
+    along in every server: per-query flight records, post-mortem
+    bundles on failure, and recorder counters in ``metrics_text``."""
     if database is None:
         database = generate_ssb(scale_factor, seed=seed)
     names = sorted(SSB_QUERIES)
@@ -198,7 +202,8 @@ def run_serving_benchmark(
     with Server(database, device=device, engine=engine, workers=1,
                 queue_size=len(queries) + 1, residency=residency,
                 devices=devices, partitioning=partitioning,
-                fault_plan=fault_plan, retry_policy=retry_policy) as server:
+                fault_plan=fault_plan, retry_policy=retry_policy,
+                recorder=recorder) as server:
         cold = server.execute_many(queries)
         warm_passes = [server.execute_many(queries) for _ in range(repeats)]
         latency_stats = server.stats()
@@ -224,7 +229,8 @@ def run_serving_benchmark(
                     queue_size=len(workload) + 1,
                     plan_cache=shared_cache, residency=residency,
                     devices=devices, partitioning=partitioning,
-                    fault_plan=fault_plan, retry_policy=retry_policy) as server:
+                    fault_plan=fault_plan, retry_policy=retry_policy,
+                    recorder=recorder) as server:
             server.execute_many(queries)  # warm this server's devices/caches
             started = time.perf_counter()
             results = server.execute_many(workload)

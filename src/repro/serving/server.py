@@ -46,6 +46,12 @@ from ..kernels.codegen import (
 from ..placement import BufferPool, PlacementStats, execute_with_placement
 from ..plan.logical import LogicalPlan
 from ..storage.database import Database
+from ..telemetry.events import (
+    installed_log,
+    new_query_id,
+    query_scope,
+    record_event,
+)
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.trace import Tracer, tracing_enabled
 from .plan_cache import PlanCache
@@ -138,6 +144,7 @@ class Server:
         partitioning: str = "range",
         fault_plan=None,
         retry_policy=None,
+        recorder=None,
     ):
         from ..api import _coerce_fault_plan
         from ..errors import ConfigurationError
@@ -167,6 +174,13 @@ class Server:
                 "private VirtualCoprocessor (profiler state is per-query)"
             )
         self.database = database
+        #: Optional :class:`~repro.telemetry.FlightRecorder` shared by
+        #: all workers: every query lands a flight record, failures
+        #: write post-mortem bundles (with the armed fault plan).
+        self.recorder = recorder
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
+        self._engine_alias = engine if isinstance(engine, str) else None
         self.profile = get_profile(device) if isinstance(device, str) else device
         self.interconnect = interconnect
         self.workers = workers
@@ -322,6 +336,11 @@ class Server:
             ) from None
         with self._lock:
             self._submitted += 1
+        record_event(
+            "query.admitted",
+            queue_depth=self._queue.qsize(),
+            queue_capacity=self._queue_capacity,
+        )
         return request.future
 
     def execute(
@@ -411,10 +430,30 @@ class Server:
         else:
             # Pinned plans are engine-independent and shared (token None).
             token = None
+        recorder = self.recorder
+        flight = None
+        if recorder is not None:
+            flight = recorder.start(
+                item.query,
+                seed=item.seed,
+                engine="auto" if auto is not None else self._engine_alias,
+                device=self.profile.name,
+                devices=self.devices,
+                partitioning=self.partitioning,
+                worker=index,
+            )
+            flight.note(seed=item.seed)
+        query_id = flight.query_id if flight is not None else (
+            new_query_id() if installed_log() is not None else None
+        )
+        tracer = None
         try:
             tracer = Tracer(worker=index) if tracing_enabled() else None
+            if tracer is not None and query_id is not None:
+                tracer.root.attrs["query_id"] = query_id
             activation = tracer.activate() if tracer else contextlib.nullcontext()
-            with activation:
+            scope = query_scope(query_id)
+            with scope, activation:
                 if tracer is not None:
                     tracer.event("queue_wait", "queue", wait_ms=queue_wait_ms)
                 plan_start = time.perf_counter()
@@ -429,6 +468,16 @@ class Server:
                         )
                         span.attrs["cache_hit"] = hit
                 plan_ms = (time.perf_counter() - plan_start) * 1e3
+                record_event(
+                    "query.planned", cache_hit=hit, plan_ms=round(plan_ms, 3)
+                )
+                if flight is not None:
+                    from ..telemetry.recorder import plan_fingerprint
+
+                    flight.note(
+                        plan_fingerprint=plan_fingerprint(physical),
+                        cache_hit=hit,
+                    )
                 begin_thread_compile_stats()
                 execute_start = time.perf_counter()
                 if auto is not None:
@@ -448,6 +497,12 @@ class Server:
                         physical, self.database, device, seed=item.seed
                     )
                 execute_ms = (time.perf_counter() - execute_start) * 1e3
+                record_event(
+                    "query.executed",
+                    status="ok",
+                    execute_ms=round(execute_ms, 3),
+                    worker=index,
+                )
                 if (
                     result.optimizer is not None
                     and isinstance(item.query, str)
@@ -478,8 +533,18 @@ class Server:
             with self._lock:
                 self._failed += 1
                 self._queue_wait_ms += queue_wait_ms
+            if recorder is not None:
+                recorder.fail(
+                    flight,
+                    error,
+                    trace=tracer.finish() if tracer is not None else None,
+                    fault_plan=self._fault_plan,
+                    retry_policy=self._retry_policy,
+                )
             item.future.set_exception(error)
             return
+        if recorder is not None:
+            recorder.complete(flight, result)
         with self._lock:
             self._completed += 1
             self._per_worker[index] += 1
@@ -611,6 +676,8 @@ class Server:
         for index, auto in enumerate(self._auto_executors):
             if auto is not None:
                 auto.observe_metrics(metrics, worker=str(index))
+        if self.recorder is not None:
+            self.recorder.observe_metrics(metrics)
         return metrics.render()
 
     def drain(self) -> None:

@@ -14,11 +14,49 @@ Three surfaces over one substrate:
   ``Session.explain(sql, analyze=True)`` / ``repro explain --analyze``:
   run the query, render the per-pipeline movement/time table.
 
-Tracing is off by default and near-zero-cost when disabled; see
-``docs/observability.md``.
+Plus the durable observability layer on top:
+
+* **Event log** (:mod:`repro.telemetry.events`) — a bounded
+  thread-safe ring of typed JSON events (admission, planning, cache
+  and placement outcomes, retries, faults, optimizer decisions) with
+  per-query correlation ids; tail it with ``repro log``.
+* **Flight recorder** (:mod:`repro.telemetry.recorder`) — compact
+  per-query records; failures (and chaos misses) produce self-contained
+  post-mortem bundles replayable byte-for-byte via ``repro replay``.
+* **Regression sentinel** (:mod:`repro.telemetry.baseline`) —
+  committed perf fingerprints per benchmark query;
+  ``repro baseline record`` / ``repro baseline check`` gate CI against
+  silent cost-model or executor drift.
+
+Tracing and the event log are off by default and near-zero-cost when
+disabled; see ``docs/observability.md``.
 """
 
+from .baseline import (
+    DriftReport,
+    check_baselines,
+    load_baselines,
+    record_baselines,
+)
+from .events import (
+    Event,
+    EventLog,
+    current_query,
+    install_log,
+    new_query_id,
+    query_scope,
+    record_event,
+    uninstall_log,
+)
 from .explain import explain_analyze, render_explain_analyze
+from .recorder import (
+    FlightRecord,
+    FlightRecorder,
+    ReplayReport,
+    replay_bundle,
+    table_checksum,
+    write_postmortem_bundle,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -43,20 +81,38 @@ from .trace import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "DriftReport",
+    "Event",
+    "EventLog",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricsRegistry",
     "QueryTrace",
+    "ReplayReport",
     "Span",
     "Tracer",
     "active_tracer",
+    "check_baselines",
+    "current_query",
     "disable_tracing",
     "enable_tracing",
     "explain_analyze",
+    "install_log",
+    "load_baselines",
+    "new_query_id",
     "parse_prometheus_text",
+    "query_scope",
+    "record_baselines",
+    "record_event",
     "render_explain_analyze",
     "render_prometheus",
+    "replay_bundle",
+    "table_checksum",
     "tracing",
     "tracing_enabled",
+    "uninstall_log",
+    "write_postmortem_bundle",
 ]

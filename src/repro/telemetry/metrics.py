@@ -302,11 +302,36 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _unescape(value: str) -> str:
+    """Inverse of :func:`_escape` (single left-to-right pass, so an
+    escaped backslash never re-triggers on the next character)."""
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for name, family in sorted(registry.families().items()):
         if family.help:
-            lines.append(f"# HELP {name} {family.help}")
+            # HELP lines escape backslash and newline (Prometheus text
+            # format); quotes stay literal outside label values.
+            help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {family.kind}")
         for key in sorted(family.instances):
             instrument = family.instances[key]
@@ -372,7 +397,7 @@ def parse_prometheus_text(text: str) -> dict:
         if body:
             consumed = 0
             for pair in _LABEL_PAIR_RE.finditer(body):
-                labels[pair.group(1)] = pair.group(2)
+                labels[pair.group(1)] = _unescape(pair.group(2))
                 consumed = pair.end()
             remainder = body[consumed:].strip().strip(",")
             if remainder:

@@ -1,0 +1,642 @@
+"""Always-on flight recorder: per-query records + post-mortem bundles.
+
+A :class:`FlightRecorder` keeps a bounded ring of compact
+:class:`FlightRecord` objects — one per query, holding the plan
+fingerprint, the resolved execution strategy, the traffic/recovery
+numbers, the result checksum, and the tail of the structured event log
+(:mod:`repro.telemetry.events`).  The ring is cheap enough to leave on
+in production serving: no span trees, no tables, just a few hundred
+bytes per query.
+
+On a query **failure** (or an explicit :meth:`FlightRecorder.capture`,
+which the chaos suite uses for byte-identity misses) the recorder
+writes a self-contained **post-mortem bundle** directory::
+
+    postmortems/<stamp>-<query_id>/
+        manifest.json     flight record + error + expected outcome
+        events.jsonl      the event-log tail for the query
+        trace.json        Chrome trace (when tracing was enabled)
+        fault_plan.json   the armed FaultPlan (when any)
+        optimizer.txt     the optimizer decision render (when any)
+
+``manifest.json`` embeds a **replay recipe** — workload generator
+parameters (or a data dir), device profile, engine, fleet shape, fault
+plan, retry policy, and seed — so :func:`replay_bundle` (the
+``repro replay`` CLI) can re-execute the query deterministically and
+verify the outcome byte-for-byte against the recorded column checksums
+(or reproduce the recorded failure).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .events import Event, EventLog, install_log, uninstall_log
+
+__all__ = [
+    "BUNDLE_MANIFEST",
+    "Flight",
+    "FlightRecord",
+    "FlightRecorder",
+    "ReplayReport",
+    "replay_bundle",
+    "table_checksum",
+    "write_postmortem_bundle",
+]
+
+BUNDLE_MANIFEST = "manifest.json"
+_BUNDLE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# checksums (the byte-identity currency of bundles and replay)
+# ----------------------------------------------------------------------
+def table_checksum(table) -> dict:
+    """Per-column sha256 over dtype + raw values of a result table.
+
+    Two tables with equal checksums are byte-identical in the chaos
+    suite's sense: same columns, same dtypes, same values, same order.
+    """
+    out = {}
+    for name in table.column_names:
+        values = np.ascontiguousarray(table.column(name).values)
+        digest = hashlib.sha256()
+        digest.update(str(values.dtype).encode())
+        digest.update(values.tobytes())
+        out[name] = digest.hexdigest()
+    return out
+
+
+def plan_fingerprint(physical) -> str:
+    """Stable digest of a physical plan's pipeline decomposition."""
+    return hashlib.sha256(physical.describe().encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+@dataclass
+class FlightRecord:
+    """One query's compact forensic summary."""
+
+    query_id: str
+    sql: str | None
+    status: str  # "ok" | "failed"
+    started_at: float
+    host_ms: float = 0.0
+    error_type: str | None = None
+    error_message: str | None = None
+    #: Resolved strategy + plan identity (engine, devices, fingerprint...).
+    strategy: dict = field(default_factory=dict)
+    #: Simulated traffic/recovery numbers (sim_ms, pcie_bytes, ...).
+    metrics: dict = field(default_factory=dict)
+    #: Expected outcome for replay (status, checksums, error type).
+    expected: dict = field(default_factory=dict)
+    #: Event-log tail for this query (as dicts, oldest first).
+    events: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "sql": self.sql,
+            "status": self.status,
+            "started_at": round(self.started_at, 6),
+            "host_ms": round(self.host_ms, 3),
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "strategy": dict(self.strategy),
+            "metrics": dict(self.metrics),
+            "expected": dict(self.expected),
+            "events": list(self.events),
+        }
+
+
+@dataclass
+class Flight:
+    """In-flight handle returned by :meth:`FlightRecorder.start`."""
+
+    query_id: str
+    sql: str | None
+    started: float  # perf_counter origin for host_ms
+    started_at: float  # wall clock
+    strategy: dict = field(default_factory=dict)
+    seed: int = 42
+
+    def note(self, **attrs) -> None:
+        """Merge strategy/plan facts learned after takeoff (plan
+        fingerprint, cache hit, chosen optimizer strategy, ...)."""
+        self.strategy.update(attrs)
+
+
+class FlightRecorder:
+    """Bounded per-query flight-record ring + post-mortem bundle writer.
+
+    Parameters
+    ----------
+    capacity:
+        Flight records retained (ring; oldest dropped).
+    event_capacity / event_tail:
+        Size of the owned :class:`~repro.telemetry.events.EventLog` and
+        how many of a query's events each record keeps.
+    postmortem_dir:
+        Where failure bundles land (created on first write).
+    database_recipe:
+        Optional replay recipe for the database, e.g.
+        ``{"workload": "ssb", "scale_factor": 0.002, "seed": 7}`` or
+        ``{"data_dir": "/path"}`` — embedded in bundles so
+        :func:`replay_bundle` can rebuild the exact input.
+    install:
+        Install the owned event log as the process-wide sink
+        (:func:`repro.telemetry.events.record_event`); default True.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        event_capacity: int = 2048,
+        event_tail: int = 64,
+        postmortem_dir: str = "postmortems",
+        database_recipe: dict | None = None,
+        install: bool = True,
+    ):
+        from ..errors import ConfigurationError
+
+        if isinstance(capacity, bool) or not isinstance(capacity, int) or capacity < 1:
+            raise ConfigurationError(
+                f"flight-record capacity must be an integer >= 1, got {capacity!r}"
+            )
+        self.events = EventLog(event_capacity)
+        self.event_tail = event_tail
+        self.postmortem_dir = postmortem_dir
+        self.database_recipe = dict(database_recipe) if database_recipe else None
+        self._records: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._postmortems = 0
+        self._flights = 0
+        if install:
+            install_log(self.events)
+
+    # ------------------------------------------------------------------
+    def uninstall(self) -> None:
+        """Detach the owned event log from the process-wide sink."""
+        uninstall_log(self.events)
+
+    def __enter__(self) -> "FlightRecorder":
+        install_log(self.events)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # the per-query lifecycle
+    # ------------------------------------------------------------------
+    def start(self, query, seed: int = 42, **strategy) -> Flight:
+        """Open a flight; ``query`` may be SQL text or a plan object."""
+        from .events import new_query_id
+
+        with self._lock:
+            self._flights += 1
+        return Flight(
+            query_id=new_query_id(),
+            sql=query if isinstance(query, str) else None,
+            started=time.perf_counter(),
+            started_at=time.time(),
+            strategy=dict(strategy),
+            seed=seed,
+        )
+
+    def complete(self, flight: Flight, result) -> FlightRecord:
+        """Land a successful query: record strategy, traffic, checksum."""
+        record = self._base_record(flight, status="ok")
+        record.strategy.setdefault("engine", result.engine)
+        record.strategy.setdefault("device", result.device_name)
+        if result.optimizer is not None:
+            record.strategy["optimizer"] = result.optimizer.chosen.describe()
+        record.metrics = _result_metrics(result)
+        record.expected = {
+            "status": "ok",
+            "row_count": result.table.num_rows,
+            "checksum": table_checksum(result.table),
+        }
+        self._append(record)
+        return record
+
+    def fail(
+        self,
+        flight: Flight,
+        error: BaseException,
+        trace=None,
+        fault_plan=None,
+        retry_policy=None,
+        write_bundle: bool = True,
+    ) -> FlightRecord:
+        """Land a failed query; writes a post-mortem bundle by default.
+
+        Returns the record; the bundle path (when written) is in
+        ``record.strategy["bundle"]``."""
+        self.events.emit(
+            "query.executed",
+            query=flight.query_id,
+            status="failed",
+            error=type(error).__name__,
+        )
+        record = self._base_record(flight, status="failed")
+        record.error_type = type(error).__name__
+        record.error_message = str(error)
+        record.expected = {"status": "failed", "error_type": record.error_type}
+        self._append(record)
+        if write_bundle:
+            path = self.write_bundle(
+                record, trace=trace, fault_plan=fault_plan,
+                retry_policy=retry_policy,
+            )
+            record.strategy["bundle"] = path
+        return record
+
+    def _base_record(self, flight: Flight, status: str) -> FlightRecord:
+        tail = self.events.events(query=flight.query_id, limit=self.event_tail)
+        return FlightRecord(
+            query_id=flight.query_id,
+            sql=flight.sql,
+            status=status,
+            started_at=flight.started_at,
+            host_ms=(time.perf_counter() - flight.started) * 1e3,
+            strategy=dict(flight.strategy),
+            events=[event.to_dict() for event in tail],
+        )
+
+    def _append(self, record: FlightRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def records(self, status: str | None = None) -> list[FlightRecord]:
+        with self._lock:
+            snapshot = list(self._records)
+        if status is not None:
+            snapshot = [record for record in snapshot if record.status == status]
+        return snapshot
+
+    def last(self) -> FlightRecord | None:
+        with self._lock:
+            return self._records[-1] if self._records else None
+
+    def jsonl(self) -> str:
+        lines = [json.dumps(record.to_dict()) for record in self.records()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @property
+    def postmortems(self) -> int:
+        with self._lock:
+            return self._postmortems
+
+    def observe_metrics(self, metrics, **labels) -> None:
+        """Export flight/event counters into a
+        :class:`~repro.telemetry.metrics.MetricsRegistry`."""
+        with self._lock:
+            flights = self._flights
+            postmortems = self._postmortems
+            buffered = len(self._records)
+        metrics.counter(
+            "repro_flights_total", "Queries tracked by the flight recorder",
+            **labels,
+        ).set_total(flights)
+        metrics.counter(
+            "repro_postmortems_total", "Post-mortem bundles written",
+            **labels,
+        ).set_total(postmortems)
+        metrics.gauge(
+            "repro_flight_records", "Flight records currently buffered",
+            **labels,
+        ).set(buffered)
+        self.events.observe_metrics(metrics, **labels)
+
+    # ------------------------------------------------------------------
+    # bundles
+    # ------------------------------------------------------------------
+    def capture(
+        self, record: FlightRecord, name: str | None = None, **extra
+    ) -> str:
+        """Force a bundle for any record (e.g. a chaos byte-identity
+        miss on a query that technically 'succeeded')."""
+        return self.write_bundle(record, name=name, **extra)
+
+    def write_bundle(
+        self,
+        record: FlightRecord,
+        trace=None,
+        fault_plan=None,
+        retry_policy=None,
+        name: str | None = None,
+        manifest_extra: dict | None = None,
+    ) -> str:
+        replay = self._replay_recipe(record, retry_policy=retry_policy)
+        path = write_postmortem_bundle(
+            self.postmortem_dir,
+            record=record,
+            replay=replay,
+            events=self.events.events(query=record.query_id),
+            trace=trace,
+            fault_plan=fault_plan,
+            name=name,
+            manifest_extra=manifest_extra,
+        )
+        with self._lock:
+            self._postmortems += 1
+        return path
+
+    def _replay_recipe(self, record: FlightRecord, retry_policy=None) -> dict:
+        recipe: dict = {"sql": record.sql, "seed": record.strategy.get("seed", 42)}
+        if self.database_recipe:
+            recipe["database"] = dict(self.database_recipe)
+        for key in ("engine", "device", "devices", "partitioning"):
+            if key in record.strategy:
+                recipe[key] = record.strategy[key]
+        if retry_policy is not None:
+            recipe["retry_policy"] = {
+                "max_retries": retry_policy.max_retries,
+                "backoff_base_ms": retry_policy.backoff_base_ms,
+                "backoff_cap_ms": retry_policy.backoff_cap_ms,
+                "morsel_timeout_ms": retry_policy.morsel_timeout_ms,
+            }
+        return recipe
+
+
+def _result_metrics(result) -> dict:
+    metrics = {
+        "sim_ms": round(result.total_ms, 6),
+        "kernel_ms": round(result.kernel_ms, 6),
+        "pcie_bytes": int(result.input_bytes + result.output_bytes),
+        "global_bytes": int(result.global_memory_bytes),
+        "kernel_launches": len(result.profile.kernels),
+        "rows": int(result.table.num_rows),
+    }
+    if result.serving is not None:
+        metrics["plan_cache_hit"] = bool(result.serving.plan_cache_hit)
+    if result.scaleout is not None:
+        metrics["makespan_ms"] = round(result.scaleout.makespan_ms, 6)
+        recovery = result.scaleout.recovery
+        if recovery is not None and recovery.faulted:
+            metrics["recovery"] = {
+                "injected": dict(recovery.injected),
+                "retries": recovery.retries,
+                "redistributed_morsels": recovery.redistributed_morsels,
+                "degraded_devices": list(recovery.degraded_devices),
+                "waves": recovery.waves,
+                "timeouts": recovery.timeouts,
+                "host_fallback": recovery.host_fallback,
+            }
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# the bundle writer (module-level so the chaos suite can call it
+# without owning a recorder)
+# ----------------------------------------------------------------------
+def write_postmortem_bundle(
+    directory: str,
+    record: FlightRecord,
+    replay: dict | None = None,
+    events: list | None = None,
+    trace=None,
+    fault_plan=None,
+    name: str | None = None,
+    manifest_extra: dict | None = None,
+) -> str:
+    """Write one self-contained bundle directory; returns its path.
+
+    ``events`` may be :class:`~repro.telemetry.events.Event` objects or
+    plain dicts; ``trace`` a :class:`~repro.telemetry.trace.QueryTrace`
+    or a pre-built Chrome trace dict; ``fault_plan`` a
+    :class:`~repro.faults.FaultPlan` or a plan dict.
+    """
+    slug = name or f"{time.strftime('%Y%m%dT%H%M%S')}-{record.query_id}"
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "-", slug)
+    path = os.path.join(directory, slug)
+    os.makedirs(path, exist_ok=True)
+    manifest = {
+        "bundle_version": _BUNDLE_VERSION,
+        "written_at": round(time.time(), 3),
+        "record": record.to_dict(),
+        "expected": dict(record.expected),
+        "replay": dict(replay) if replay else {},
+    }
+    if manifest_extra:
+        manifest.update(manifest_extra)
+    contents = ["manifest.json"]
+    if events is not None:
+        with open(os.path.join(path, "events.jsonl"), "w", encoding="utf-8") as out:
+            for event in events:
+                data = event.to_dict() if isinstance(event, Event) else dict(event)
+                out.write(json.dumps(data) + "\n")
+        contents.append("events.jsonl")
+    if trace is not None:
+        chrome = trace if isinstance(trace, dict) else trace.chrome_trace()
+        with open(os.path.join(path, "trace.json"), "w", encoding="utf-8") as out:
+            json.dump(chrome, out)
+        contents.append("trace.json")
+    if fault_plan is not None:
+        text = (
+            json.dumps(fault_plan, indent=2)
+            if isinstance(fault_plan, dict)
+            else fault_plan.to_json()
+        )
+        with open(os.path.join(path, "fault_plan.json"), "w", encoding="utf-8") as out:
+            out.write(text)
+        contents.append("fault_plan.json")
+    optimizer = record.strategy.get("optimizer_render")
+    if optimizer:
+        with open(os.path.join(path, "optimizer.txt"), "w", encoding="utf-8") as out:
+            out.write(optimizer)
+        contents.append("optimizer.txt")
+    manifest["contents"] = sorted(set(contents))
+    with open(os.path.join(path, BUNDLE_MANIFEST), "w", encoding="utf-8") as out:
+        json.dump(manifest, out, indent=2, sort_keys=True)
+    return path
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing a bundle's query."""
+
+    bundle: str
+    matched: bool
+    expected_status: str
+    observed_status: str
+    details: list = field(default_factory=list)
+
+    def render(self) -> str:
+        verdict = "MATCH" if self.matched else "MISMATCH"
+        lines = [
+            f"replay of {self.bundle}: {verdict}",
+            f"  expected: {self.expected_status}",
+            f"  observed: {self.observed_status}",
+        ]
+        for detail in self.details:
+            lines.append(f"  {detail}")
+        return "\n".join(lines)
+
+
+def replay_bundle(
+    bundle: str,
+    data_dir: str | None = None,
+    device=None,
+) -> ReplayReport:
+    """Re-execute a post-mortem bundle's query and verify the outcome.
+
+    The database comes from ``--data-dir`` (or the recipe's
+    ``data_dir``) via :func:`repro.storage.load_database`, else from
+    the embedded workload-generator recipe.  Success bundles must
+    reproduce the recorded per-column checksums exactly; failure
+    bundles must reproduce the recorded error type.  ``device``
+    overrides the recipe's profile (for bundles recorded on a custom
+    profile object).
+    """
+    from ..errors import ConfigurationError, ReproError
+
+    manifest_path = os.path.join(bundle, BUNDLE_MANIFEST)
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"cannot read bundle manifest {manifest_path}: {error}"
+        ) from None
+    replay = manifest.get("replay", {})
+    expected = manifest.get("expected", {})
+    sql = replay.get("sql")
+    if not sql:
+        raise ConfigurationError(
+            f"bundle {bundle} has no replayable SQL (plan-object queries "
+            "cannot be replayed from a bundle)"
+        )
+    database = _replay_database(replay, data_dir)
+    fault_path = os.path.join(bundle, "fault_plan.json")
+    fault_plan = fault_path if os.path.exists(fault_path) else None
+    retry_policy = None
+    if replay.get("retry_policy"):
+        from ..faults import RetryPolicy
+
+        retry_policy = RetryPolicy(**replay["retry_policy"])
+    from ..api import Session
+
+    session = Session(
+        database,
+        device=device if device is not None else replay.get("device", "gtx970"),
+        engine=replay.get("engine", "resolution"),
+        devices=replay.get("devices", 1),
+        partitioning=replay.get("partitioning", "range"),
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    expected_status = expected.get("status", "ok")
+    details: list[str] = []
+    try:
+        result = session.execute(sql, seed=replay.get("seed", 42))
+    except ReproError as error:
+        observed_status = "failed"
+        observed_error = type(error).__name__
+        matched = (
+            expected_status == "failed"
+            and expected.get("error_type") == observed_error
+        )
+        details.append(f"error: {observed_error}: {error}")
+        if expected_status == "failed" and not matched:
+            details.append(
+                f"expected error type {expected.get('error_type')!r}, "
+                f"got {observed_error!r}"
+            )
+        return ReplayReport(
+            bundle=bundle,
+            matched=matched,
+            expected_status=_describe_expected(expected),
+            observed_status=f"failed ({observed_error})",
+            details=details,
+        )
+    observed_status = "ok"
+    if expected_status == "failed":
+        details.append(
+            f"expected failure {expected.get('error_type')!r} but the "
+            "query succeeded"
+        )
+        return ReplayReport(
+            bundle=bundle,
+            matched=False,
+            expected_status=_describe_expected(expected),
+            observed_status="ok",
+            details=details,
+        )
+    observed = table_checksum(result.table)
+    recorded = expected.get("checksum", {})
+    matched = observed == recorded
+    if not matched:
+        for column in sorted(set(recorded) | set(observed)):
+            want, got = recorded.get(column), observed.get(column)
+            if want != got:
+                details.append(
+                    f"column {column!r}: recorded {want}, replayed {got}"
+                )
+    else:
+        details.append(
+            f"byte-identical: {result.table.num_rows} rows, "
+            f"{len(observed)} column checksums match"
+        )
+    return ReplayReport(
+        bundle=bundle,
+        matched=matched,
+        expected_status=_describe_expected(expected),
+        observed_status=f"ok ({result.table.num_rows} rows)",
+        details=details,
+    )
+
+
+def _describe_expected(expected: dict) -> str:
+    if expected.get("status") == "failed":
+        return f"failed ({expected.get('error_type')})"
+    rows = expected.get("row_count")
+    return f"ok ({rows} rows)" if rows is not None else "ok"
+
+
+def _replay_database(replay: dict, data_dir: str | None):
+    from ..errors import ConfigurationError
+
+    recipe = replay.get("database") or {}
+    directory = data_dir or recipe.get("data_dir")
+    if directory:
+        from ..storage import load_database
+
+        return load_database(directory)
+    workload = recipe.get("workload")
+    if workload == "ssb":
+        from ..workloads import generate_ssb
+
+        return generate_ssb(
+            recipe.get("scale_factor", 0.01),
+            seed=recipe.get("seed", 7),
+            skew=recipe.get("skew", 0.0),
+        )
+    if workload == "tpch":
+        from ..workloads import generate_tpch
+
+        return generate_tpch(
+            recipe.get("scale_factor", 0.01), seed=recipe.get("seed", 7)
+        )
+    raise ConfigurationError(
+        "bundle has no database recipe; pass --data-dir (a database "
+        "persisted with 'repro generate') to supply the input"
+    )

@@ -128,3 +128,106 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestErrorExitCodes:
+    def test_sql_error_exits_one(self, capsys):
+        assert main(["query", "SELEC oops", "--scale-factor", "0.002"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_parse_error_exits_one(self, capsys):
+        assert main(["explain", "SELECT FROM", "--scale-factor", "0.002"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_configuration_error_exits_two(self, capsys):
+        assert main(["query", "SELECT 1", "--scale-factor", "0.002",
+                     "--device", "nonsense9000"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_data_dir_exits_one(self, capsys):
+        assert main(["query", "SELECT 1", "--data-dir", "/no/such/dir"]) in (1, 2)
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    SQL = "SELECT SUM(lo_revenue) AS rev FROM lineorder"
+
+    def test_events_out_and_log_tail(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main(["query", self.SQL, "--scale-factor", "0.002",
+                     "--events-out", events]) == 0
+        capsys.readouterr()
+        assert main(["log", events]) == 0
+        out = capsys.readouterr().out
+        assert "query.planned" in out and "query.executed" in out
+
+    def test_log_filters_and_json(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        main(["query", self.SQL, "--scale-factor", "0.002",
+              "--events-out", events])
+        capsys.readouterr()
+        assert main(["log", events, "--kind", "query.executed",
+                     "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        import json as _json
+
+        event = _json.loads(lines[0])
+        assert event["kind"] == "query.executed"
+        assert event["attrs"]["status"] == "ok"
+
+    def test_log_malformed_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        assert main(["log", str(bad)]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_log_missing_file_exits_one(self, capsys):
+        assert main(["log", "/no/such/events.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_bundle_round_trip(self, tmp_path, capsys):
+        """query --postmortem-dir + a forced capture + repro replay:
+        the CLI end of the byte-identity acceptance loop."""
+        import json as _json
+        import os
+
+        from repro.telemetry import FlightRecorder
+        from repro.telemetry.recorder import replay_bundle  # noqa: F401
+
+        postmortems = str(tmp_path / "pm")
+        recorder = FlightRecorder(
+            postmortem_dir=postmortems,
+            database_recipe={"workload": "ssb", "scale_factor": 0.002,
+                             "seed": 7},
+        )
+        try:
+            from repro.api import Session
+            from repro.workloads import generate_ssb
+
+            session = Session(
+                generate_ssb(0.002, seed=7), engine="resolution",
+                recorder=recorder,
+            )
+            session.execute(self.SQL)
+            bundle = recorder.capture(recorder.last(), name="cli-ok")
+        finally:
+            recorder.uninstall()
+        assert main(["replay", bundle]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out and "byte-identical" in out
+        # Tamper with the recorded checksum: replay must exit 1.
+        manifest_path = os.path.join(bundle, "manifest.json")
+        manifest = _json.load(open(manifest_path))
+        manifest["expected"]["checksum"] = {
+            column: "0" * 64
+            for column in manifest["expected"]["checksum"]
+        }
+        with open(manifest_path, "w") as handle:
+            _json.dump(manifest, handle)
+        assert main(["replay", bundle]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_replay_missing_bundle_exits_two(self, capsys):
+        assert main(["replay", "/no/such/bundle"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -11,8 +11,10 @@ morsel).
 Hypothesis drives randomly generated :class:`FaultPlan`s over SSB and
 TPC-H queries at 2–4 devices under both schemes; a pinned-seed matrix
 (override with ``CHAOS_SEEDS=1,2,3``) gives CI a stable smoke set.  Any
-failing plan is dumped as JSON under ``chaos-failures/`` so the exact
-schedule can be replayed locally (see ``docs/fault-tolerance.md``).
+byte-identity miss writes a self-contained post-mortem bundle under
+``postmortems/`` — fault plan, replay recipe, and the per-column
+checksum diff — replayable with ``repro replay <bundle>`` (see
+``docs/fault-tolerance.md`` and ``docs/observability.md``).
 
 The autouse ``buffer_leak_guard`` in ``conftest.py`` checks every fleet
 device (dead or alive, plus the host-fallback device) after each of
@@ -32,9 +34,29 @@ from repro.engines import make_engine
 from repro.faults import FaultPlan, RetryPolicy
 from repro.scaleout import PARTITION_SCHEMES, ScaleOutExecutor
 from repro.telemetry.metrics import MetricsRegistry
-from repro.workloads import ssb_plan, tpch_plan
+from repro.telemetry.recorder import (
+    FlightRecord,
+    table_checksum,
+    write_postmortem_bundle,
+)
+from repro.workloads import SSB_QUERIES, ssb_plan, tpch_plan
+from repro.workloads.tpch.queries import Q1_SQL, Q6_SQL
 
-FAILURE_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "chaos-failures")
+POSTMORTEM_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "postmortems")
+
+#: SQL text per chaos query, embedded in miss bundles so
+#: ``repro replay`` can re-execute the schedule.
+_CHAOS_SQL = {
+    ("ssb", name): SSB_QUERIES[name] for name in ("q1.1", "q2.1", "q3.2", "q4.1")
+}
+_CHAOS_SQL[("tpch", "q1")] = Q1_SQL
+_CHAOS_SQL[("tpch", "q6")] = Q6_SQL
+
+#: Database generator recipes matching the conftest fixtures.
+_CHAOS_DB = {
+    "ssb": {"workload": "ssb", "scale_factor": 0.004, "seed": 7},
+    "tpch": {"workload": "tpch", "scale_factor": 0.004, "seed": 11},
+}
 
 #: Queries exercised under chaos: star joins with group-bys (the
 #: mergeable-partials machinery), plus scan-heavy aggregates.
@@ -70,13 +92,15 @@ def _assert_identical(expected, got, context):
 
 def _run_chaos(workload, name, db, fault_plan, devices, scheme, label):
     """One chaos execution checked byte-for-byte against the fault-free
-    baseline; a failing plan is saved for replay before re-raising."""
+    baseline; a miss writes a replayable post-mortem bundle before
+    re-raising."""
     expected = _baseline(workload, name, db, devices, scheme)
+    policy = RetryPolicy(max_retries=1)
     executor = ScaleOutExecutor(
         devices,
         partitioning=scheme,
         fault_plan=fault_plan,
-        retry_policy=RetryPolicy(max_retries=1),
+        retry_policy=policy,
     )
     result = executor.execute(make_engine("resolution"), _plan_for(workload, name, db), db)
     try:
@@ -85,12 +109,66 @@ def _run_chaos(workload, name, db, fault_plan, devices, scheme, label):
             f"{workload} {name} devices={devices} {scheme} plan={fault_plan.summary()}",
         )
     except AssertionError:
-        os.makedirs(FAILURE_DIR, exist_ok=True)
-        path = os.path.join(FAILURE_DIR, f"{label}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(fault_plan.to_json())
+        path = _write_miss_bundle(
+            workload, name, fault_plan, devices, scheme, label,
+            expected, result, policy,
+        )
+        print(f"chaos miss: wrote post-mortem bundle to {path}")
         raise
     return result
+
+
+def _write_miss_bundle(
+    workload, name, fault_plan, devices, scheme, label, expected, result, policy
+):
+    """A byte-identity miss becomes a self-contained bundle: the armed
+    fault plan, a full replay recipe (fixture generator parameters),
+    the checksums both ways, and the recovery stats."""
+    record = FlightRecord(
+        query_id=label,
+        sql=_CHAOS_SQL[(workload, name)],
+        status="ok",
+        started_at=0.0,
+        strategy={
+            "engine": "resolution",
+            "device": "gtx970",
+            "devices": devices,
+            "partitioning": scheme,
+        },
+        expected={
+            "status": "ok",
+            "row_count": expected.num_rows,
+            "checksum": table_checksum(expected),
+        },
+    )
+    recovery = result.scaleout.recovery
+    return write_postmortem_bundle(
+        POSTMORTEM_DIR,
+        record=record,
+        replay={
+            "sql": record.sql,
+            "seed": 42,
+            "database": _CHAOS_DB[workload],
+            "engine": "resolution",
+            "device": "gtx970",
+            "devices": devices,
+            "partitioning": scheme,
+            "retry_policy": {
+                "max_retries": policy.max_retries,
+                "backoff_base_ms": policy.backoff_base_ms,
+                "backoff_cap_ms": policy.backoff_cap_ms,
+                "morsel_timeout_ms": policy.morsel_timeout_ms,
+            },
+        },
+        fault_plan=fault_plan,
+        name=label,
+        manifest_extra={
+            "mismatch": {
+                "observed_checksum": table_checksum(result.table),
+                "recovery": recovery.summary() if recovery is not None else None,
+            },
+        },
+    )
 
 
 # ----------------------------------------------------------------------

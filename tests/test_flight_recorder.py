@@ -1,0 +1,262 @@
+"""Flight recorder: records, post-mortem bundles, deterministic replay.
+
+The acceptance criteria live here: a failed scale-out query produces a
+self-contained bundle whose replay reproduces the recorded error, and a
+captured success bundle replays **byte-identically** (per-column sha256
+checksums) — including under an armed fault plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Session
+from repro.errors import ConfigurationError, MorselExhaustedError
+from repro.faults import FaultPlan
+from repro.hardware.profiles import GTX970
+from repro.serving import Server
+from repro.telemetry import (
+    FlightRecorder,
+    replay_bundle,
+    table_checksum,
+    tracing,
+    write_postmortem_bundle,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.recorder import BUNDLE_MANIFEST, FlightRecord
+from repro.workloads import SSB_QUERIES
+
+SSB_RECIPE = {"workload": "ssb", "scale_factor": 0.004, "seed": 7}
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    rec = FlightRecorder(
+        postmortem_dir=str(tmp_path / "postmortems"),
+        database_recipe=SSB_RECIPE,
+    )
+    try:
+        yield rec
+    finally:
+        rec.uninstall()
+
+
+class TestFlightRecords:
+    def test_ok_record_has_strategy_metrics_checksum(self, ssb_db, recorder):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        result = session.execute(SSB_QUERIES["q1.1"])
+        record = recorder.last()
+        assert record.status == "ok"
+        assert record.sql == SSB_QUERIES["q1.1"]
+        assert record.strategy["engine"] == "resolution"
+        assert record.strategy["device"] == "GTX970"
+        assert record.metrics["rows"] == result.table.num_rows
+        assert record.metrics["sim_ms"] > 0
+        assert record.metrics["kernel_launches"] > 0
+        assert record.expected["checksum"] == table_checksum(result.table)
+        # The record carries its own event-log tail.
+        kinds = [event["kind"] for event in record.events]
+        assert "query.executed" in kinds
+        assert all(
+            event["query"] == record.query_id for event in record.events
+        )
+
+    def test_ring_is_bounded(self, ssb_db, tmp_path):
+        rec = FlightRecorder(
+            capacity=2, postmortem_dir=str(tmp_path / "pm"),
+        )
+        try:
+            session = Session(ssb_db, engine="resolution", recorder=rec)
+            for _ in range(4):
+                session.execute(SSB_QUERIES["q1.1"])
+            assert len(rec.records()) == 2
+        finally:
+            rec.uninstall()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            FlightRecorder(capacity=0, install=False)
+
+    def test_jsonl_export(self, ssb_db, recorder):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        session.execute(SSB_QUERIES["q1.1"])
+        lines = recorder.jsonl().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["status"] == "ok"
+
+    def test_observe_metrics(self, ssb_db, recorder):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        session.execute(SSB_QUERIES["q1.1"])
+        metrics = MetricsRegistry()
+        recorder.observe_metrics(metrics)
+        text = metrics.render()
+        assert "repro_flights_total 1" in text
+        assert "repro_postmortems_total 0" in text
+        assert 'repro_events_total{kind="query.executed"} 1' in text
+
+
+class TestFailureBundle:
+    """A genuinely failing scale-out query writes a replayable bundle."""
+
+    @pytest.fixture
+    def tiny_profile(self):
+        # 20 KB of device memory: every build fails with a genuine
+        # (non-injected) OOM on every device, which exhausts the morsel
+        # blacklist -> MorselExhaustedError (the host fallback only
+        # engages on device *loss*).
+        return replace(GTX970, name="tiny970", memory_capacity=20_000)
+
+    def test_failed_query_writes_bundle(self, ssb_db, recorder, tiny_profile):
+        session = Session(
+            ssb_db, engine="resolution", device=tiny_profile, devices=2,
+            recorder=recorder,
+        )
+        with pytest.raises(MorselExhaustedError):
+            session.execute(SSB_QUERIES["q2.1"])
+        record = recorder.last()
+        assert record.status == "failed"
+        assert record.error_type == "MorselExhaustedError"
+        assert record.expected == {
+            "status": "failed", "error_type": "MorselExhaustedError",
+        }
+        bundle = record.strategy["bundle"]
+        assert os.path.isdir(bundle)
+        assert recorder.postmortems == 1
+        manifest = json.load(open(os.path.join(bundle, BUNDLE_MANIFEST)))
+        assert manifest["bundle_version"] == 1
+        assert manifest["replay"]["sql"] == SSB_QUERIES["q2.1"]
+        assert manifest["replay"]["database"] == SSB_RECIPE
+        assert manifest["replay"]["devices"] == 2
+        assert "events.jsonl" in manifest["contents"]
+        # The bundled events include the terminal failure event.
+        events = open(os.path.join(bundle, "events.jsonl")).read().splitlines()
+        last = json.loads(events[-1])
+        assert last["kind"] == "query.executed"
+        assert last["attrs"]["status"] == "failed"
+        assert last["attrs"]["error"] == "MorselExhaustedError"
+
+    def test_replay_reproduces_the_failure(self, ssb_db, recorder, tiny_profile):
+        session = Session(
+            ssb_db, engine="resolution", device=tiny_profile, devices=2,
+            recorder=recorder,
+        )
+        with pytest.raises(MorselExhaustedError):
+            session.execute(SSB_QUERIES["q2.1"])
+        bundle = recorder.last().strategy["bundle"]
+        report = replay_bundle(bundle, device=tiny_profile)
+        assert report.matched
+        assert "MorselExhaustedError" in report.observed_status
+        assert "MATCH" in report.render()
+
+    def test_server_failure_writes_bundle(self, ssb_db, recorder, tiny_profile):
+        with Server(
+            ssb_db, device=tiny_profile, devices=2, workers=1,
+            queue_size=4, recorder=recorder,
+        ) as server:
+            with pytest.raises(MorselExhaustedError):
+                server.execute(SSB_QUERIES["q2.1"])
+        record = recorder.last()
+        assert record.status == "failed"
+        assert os.path.isdir(record.strategy["bundle"])
+        # Recorder counters surface in the server's exposition.
+        with Server(
+            ssb_db, device=tiny_profile, workers=1, queue_size=4,
+            recorder=recorder,
+        ) as server:
+            text = server.metrics_text()
+        assert "repro_postmortems_total 1" in text
+
+
+class TestByteIdenticalReplay:
+    def test_capture_and_replay_fault_free(self, ssb_db, recorder):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        session.execute(SSB_QUERIES["q3.2"])
+        bundle = recorder.capture(recorder.last(), name="ok-plain")
+        report = replay_bundle(bundle)
+        assert report.matched
+        assert any("byte-identical" in detail for detail in report.details)
+
+    def test_capture_and_replay_under_fault_plan(self, ssb_db, recorder):
+        """Success bundles replay byte-identically even when the replay
+        re-runs the whole recovery dance (deterministic fault plan)."""
+        plan = FaultPlan.generate(seed=303, devices=2, morsels=8)
+        session = Session(
+            ssb_db, engine="resolution", devices=2, fault_plan=plan,
+            recorder=recorder,
+        )
+        session.execute(SSB_QUERIES["q4.1"])
+        record = recorder.last()
+        assert record.status == "ok"
+        bundle = recorder.write_bundle(
+            record, fault_plan=plan, name="ok-faulted",
+        )
+        assert os.path.exists(os.path.join(bundle, "fault_plan.json"))
+        report = replay_bundle(bundle)
+        assert report.matched, report.render()
+
+    def test_trace_rides_along_in_bundle(self, ssb_db, recorder):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        with tracing():
+            result = session.execute(SSB_QUERIES["q1.1"])
+        bundle = recorder.write_bundle(
+            recorder.last(), trace=result.trace, name="with-trace",
+        )
+        trace = json.load(open(os.path.join(bundle, "trace.json")))
+        assert trace["traceEvents"], "Chrome trace has events"
+
+    def test_replay_detects_checksum_divergence(self, ssb_db, recorder, tmp_path):
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        session.execute(SSB_QUERIES["q1.1"])
+        record = recorder.last()
+        # Corrupt the recorded checksum: replay must flag the column.
+        tampered = dict(record.expected)
+        tampered["checksum"] = {
+            column: "0" * 64 for column in record.expected["checksum"]
+        }
+        record.expected = tampered
+        bundle = recorder.capture(record, name="tampered")
+        report = replay_bundle(bundle)
+        assert not report.matched
+        assert any("recorded" in detail for detail in report.details)
+
+
+class TestReplayErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read bundle"):
+            replay_bundle(str(tmp_path / "nope"))
+
+    def test_bundle_without_sql(self, tmp_path):
+        record = FlightRecord(
+            query_id="q-1", sql=None, status="ok", started_at=0.0,
+        )
+        bundle = write_postmortem_bundle(
+            str(tmp_path), record, replay={"seed": 42}, name="nosql",
+        )
+        with pytest.raises(ConfigurationError, match="no replayable SQL"):
+            replay_bundle(bundle)
+
+    def test_bundle_without_database_recipe(self, tmp_path):
+        record = FlightRecord(
+            query_id="q-1", sql="SELECT 1", status="ok", started_at=0.0,
+        )
+        bundle = write_postmortem_bundle(
+            str(tmp_path), record,
+            replay={"sql": "SELECT 1", "seed": 42}, name="nodb",
+        )
+        with pytest.raises(ConfigurationError, match="data-dir"):
+            replay_bundle(bundle)
+
+    def test_data_dir_override(self, ssb_db, recorder, tmp_path):
+        from repro.storage import save_database
+
+        directory = str(tmp_path / "db")
+        save_database(ssb_db, directory)
+        session = Session(ssb_db, engine="resolution", recorder=recorder)
+        session.execute(SSB_QUERIES["q1.1"])
+        bundle = recorder.capture(recorder.last(), name="from-disk")
+        report = replay_bundle(bundle, data_dir=directory)
+        assert report.matched

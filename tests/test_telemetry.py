@@ -205,6 +205,45 @@ class TestMetrics:
         with pytest.raises(ValueError):
             parse_prometheus_text("this is not prometheus\n")
 
+    def test_empty_histogram_percentile_is_zero(self):
+        """No observations -> 0.0, not an exception or a bucket bound."""
+        snap = Histogram().snapshot()
+        assert snap.count == 0
+        assert snap.percentile(0.5) == 0.0
+        assert snap.p99 == 0.0
+
+    def test_percentile_rejects_bad_quantile(self):
+        snap = Histogram().snapshot()
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                snap.percentile(bad)
+
+    def test_label_values_escaped_in_exposition(self):
+        """Backslash, quote, and newline in label values must render as
+        \\\\, \\" and \\n — and round-trip through the parser."""
+        registry = MetricsRegistry()
+        hostile = 'a\\b"c\nd'
+        registry.counter("repro_test_total", "A counter", path=hostile).inc()
+        text = registry.render()
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        # The rendered exposition stays one-sample-per-line.
+        samples = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(samples) == 1
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_test_total"] == [({"path": hostile}, 1.0)]
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "line one\nline two").inc()
+        text = registry.render()
+        help_lines = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert help_lines == ["# HELP repro_test_total line one\\nline two"]
+        parse_prometheus_text(text)  # still a valid exposition
+
     def test_session_metrics_histogram_counts_queries(self, ssb_db):
         registry = MetricsRegistry()
         session = connect(ssb_db, metrics=registry)

@@ -1,0 +1,207 @@
+"""Compression-aware transfer benchmark (interconnect-bottleneck study).
+
+HorseQC's whole premise is that the PCIe link, not the GPU, bounds
+coprocessor query time (Section 3, Figure 5).  Compressed transfers
+attack that bound directly: each base column crosses the simulated
+link in its cheapest sampled codec (run-length, frame-of-reference
+bit-packing, delta, dictionary packing) and a generated kernel
+decompresses it on device, trading cheap global-memory bandwidth for
+scarce link bandwidth.
+
+This benchmark runs the four chaos-suite SSB queries twice per engine —
+``compression="off"`` vs ``compression="auto"`` — and reports, per
+query: H2D wire bytes, the achieved compression ratio, decode-kernel
+count, and the modeled end-to-end times.  It then repeats the widest
+query through the scale-out executor (1, 2, 4 devices) to show the
+scatter path ships compressed partitions too.
+
+Acceptance (checked by the report itself):
+
+* **byte identity**: every compressed run's result table has exactly
+  the per-column sha256 checksums of its uncompressed twin;
+* **wire reduction**: >= 2x total H2D byte reduction across the SSB
+  measurement set (the paper-facing claim of this subsystem);
+* **no free lunch**: compressed runs launch more kernels (the decode
+  kernels are really charged).
+
+Run standalone with ``python bench_compression_transfer.py [--quick]``
+or via ``pytest --benchmark-only``.  ``--quick`` is the CI smoke mode
+(one engine, two queries, no scale-out sweep).
+"""
+
+import sys
+from dataclasses import dataclass, field
+
+from common import emit
+
+from repro.api import connect
+from repro.telemetry.recorder import table_checksum
+from repro.workloads import generate_ssb, ssb_plan
+
+REDUCTION_TARGET = 2.0
+SCALE_FACTOR = 0.02
+QUERIES = ("q1.1", "q2.1", "q3.2", "q4.1")
+ENGINES = ("resolution", "multipass", "operator-at-a-time")
+DEVICE_COUNTS = (1, 2, 4)
+
+
+@dataclass
+class QueryComparison:
+    engine: str
+    query: str
+    raw_h2d: int
+    wire_h2d: int
+    raw_total_ms: float
+    wire_total_ms: float
+    decode_kernels: int
+    extra_kernels: int
+    codecs: dict
+    identical: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_h2d / self.wire_h2d if self.wire_h2d else float("inf")
+
+
+@dataclass
+class CompressionBenchReport:
+    scale_factor: float
+    rows: list = field(default_factory=list)
+    #: devices -> (wire_h2d, raw_h2d) for the scale-out sweep.
+    scaleout: dict = field(default_factory=dict)
+
+    @property
+    def total_raw(self) -> int:
+        return sum(row.raw_h2d for row in self.rows)
+
+    @property
+    def total_wire(self) -> int:
+        return sum(row.wire_h2d for row in self.rows)
+
+    @property
+    def overall_ratio(self) -> float:
+        return self.total_raw / self.total_wire if self.total_wire else float("inf")
+
+    @property
+    def all_identical(self) -> bool:
+        return all(row.identical for row in self.rows)
+
+    @property
+    def decode_charged(self) -> bool:
+        return all(
+            row.extra_kernels >= row.decode_kernels > 0 for row in self.rows
+        )
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.all_identical
+            and self.overall_ratio >= REDUCTION_TARGET
+            and self.decode_charged
+        )
+
+    def text(self) -> str:
+        lines = [
+            f"SSB at SF {self.scale_factor}: compression='auto' vs 'off' "
+            f"(wire = bytes actually crossing the simulated link)",
+            "",
+            f"{'engine':<11s} {'query':<6s} {'raw KB':>9s} {'wire KB':>9s} "
+            f"{'ratio':>7s} {'decode':>7s} {'off ms':>9s} {'auto ms':>9s} "
+            f"{'identical':>10s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.engine:<11s} {row.query:<6s} "
+                f"{row.raw_h2d / 1e3:>9.1f} {row.wire_h2d / 1e3:>9.1f} "
+                f"{row.ratio:>6.2f}x {row.decode_kernels:>7d} "
+                f"{row.raw_total_ms:>9.3f} {row.wire_total_ms:>9.3f} "
+                f"{'yes' if row.identical else 'NO':>10s}"
+            )
+        if self.scaleout:
+            lines += ["", "Scale-out scatter (q4.1, resolution engine):"]
+            for devices, (wire, raw) in sorted(self.scaleout.items()):
+                ratio = raw / wire if wire else float("inf")
+                lines.append(
+                    f"  {devices} device(s): wire {wire / 1e3:>9.1f} KB   "
+                    f"raw {raw / 1e3:>9.1f} KB   {ratio:.2f}x"
+                )
+        lines += [
+            "",
+            f"total H2D: raw {self.total_raw / 1e3:.1f} KB -> wire "
+            f"{self.total_wire / 1e3:.1f} KB "
+            f"({self.overall_ratio:.2f}x, target >= "
+            f"{REDUCTION_TARGET:.1f}x)",
+            f"byte identity: "
+            f"{'all queries' if self.all_identical else 'VIOLATED'}",
+            f"decode kernels charged: "
+            f"{'yes' if self.decode_charged else 'NO'}",
+            f"result: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(quick: bool = False) -> CompressionBenchReport:
+    queries = QUERIES[:2] if quick else QUERIES
+    engines = ENGINES[:1] if quick else ENGINES
+    database = generate_ssb(SCALE_FACTOR, seed=7)
+    report = CompressionBenchReport(scale_factor=SCALE_FACTOR)
+    for engine in engines:
+        off = connect(database, engine=engine, compression="off")
+        auto = connect(database, engine=engine, compression="auto")
+        for name in queries:
+            plan = ssb_plan(name, database)
+            base = off.execute(plan)
+            compressed = auto.execute(plan)
+            stats = compressed.compression
+            assert stats is not None, "compressed run carries no stats"
+            report.rows.append(
+                QueryComparison(
+                    engine=engine,
+                    query=name,
+                    raw_h2d=base.input_bytes,
+                    wire_h2d=compressed.input_bytes,
+                    raw_total_ms=base.total_ms,
+                    wire_total_ms=compressed.total_ms,
+                    decode_kernels=stats.decode_kernels,
+                    extra_kernels=len(compressed.profile.kernels)
+                    - len(base.profile.kernels),
+                    codecs=dict(stats.codecs),
+                    identical=table_checksum(compressed.table)
+                    == table_checksum(base.table),
+                )
+            )
+    if not quick:
+        plan = ssb_plan("q4.1", database)
+        for devices in DEVICE_COUNTS:
+            off = connect(
+                database, engine="resolution", devices=devices,
+                compression="off",
+            )
+            auto = connect(
+                database, engine="resolution", devices=devices,
+                compression="auto",
+            )
+            base = off.execute(plan)
+            compressed = auto.execute(plan)
+            assert table_checksum(compressed.table) == table_checksum(
+                base.table
+            ), f"scale-out at {devices} devices not byte-identical"
+            report.scaleout[devices] = (
+                compressed.input_bytes, base.input_bytes
+            )
+    return report
+
+
+def test_compression_transfer(benchmark):
+    report = benchmark.pedantic(lambda: run(quick=True), rounds=1, iterations=1)
+    emit("compression_transfer", report.text())
+    assert report.all_identical
+    assert report.overall_ratio >= REDUCTION_TARGET
+    assert report.decode_charged
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    report = run(quick=quick)
+    emit("compression_transfer", report.text())
+    sys.exit(0 if report.passed else 1)

@@ -87,6 +87,14 @@ class Session:
     stay pinned — ``engine="auto", devices=2`` fixes the fleet size
     but lets the advisor pick the rest.  ``residency=True`` pins
     placement to ``pooled``.  Fault plans require pinned devices.
+
+    ``compression="auto"`` turns on compression-aware transfers: each
+    base column crosses the simulated link in its cheapest sampled
+    codec and is decompressed by a generated kernel on device, so PCIe
+    charges shrink while results stay byte-identical (see
+    ``docs/compression.md``).  A codec name (``"rle"``, ``"forpack"``,
+    ``"delta"``, ``"dictionary"``, ``"passthrough"``) pins that codec;
+    ``"off"`` (default) keeps raw transfers.
     """
 
     def __init__(
@@ -103,7 +111,9 @@ class Session:
         fault_plan=None,
         retry_policy=None,
         recorder: "FlightRecorder | None" = None,
+        compression: str = "off",
     ):
+        from .compression import resolve_compression
         from .scaleout import validate_devices
 
         auto_engine = isinstance(engine, str) and engine == "auto"
@@ -144,6 +154,11 @@ class Session:
         if isinstance(device, DeviceProfile):
             device = VirtualCoprocessor(device, interconnect=interconnect)
         self.device = device
+        #: Wire-compression policy (``None`` = off): base columns cross
+        #: the simulated link compressed, decode kernels run on device,
+        #: and results carry ``result.compression`` accounting.
+        self.compression = resolve_compression(compression)
+        self.device.compression = self.compression
         self.devices = devices
         self.partitioning = partitioning
         self.auto = None
@@ -167,6 +182,7 @@ class Session:
                 devices=None if auto_devices else devices,
                 partitioning=partitioning,
                 placement="pooled" if residency else None,
+                compression=self.compression,
             )
             self.plan_cache = plan_cache
             self.pool = None
@@ -187,6 +203,7 @@ class Session:
                 residency=residency,
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
+                compression=self.compression,
             )
         elif residency:
             if self.device.placement_pool is not None:
@@ -331,6 +348,10 @@ class Session:
             self.metrics.counter(
                 "repro_queries_total", "Queries executed", status="completed"
             ).inc()
+            if result.compression is not None:
+                from .compression import observe_compression_metrics
+
+                observe_compression_metrics(self.metrics, result.compression)
         return result
 
     def _execute_inner(
@@ -396,6 +417,7 @@ class Session:
                 self.device.profile,
                 interconnect=self.device.interconnect,
                 partitioning=self.partitioning,
+                compression=self.compression,
             )
         return self.auto
 
@@ -485,11 +507,15 @@ def connect(
     fault_plan=None,
     retry_policy=None,
     recorder=None,
+    compression: str = "off",
 ) -> Session:
     """Create a session (the one-line entry point).
 
     ``engine="auto"`` / ``devices="auto"`` enable the adaptive
-    cost-based optimizer (see :class:`Session`)."""
+    cost-based optimizer (see :class:`Session`).  ``compression=
+    "auto"`` ships base columns over the link compressed (see
+    ``docs/compression.md``); a codec name pins one codec, ``"off"``
+    (the default) keeps raw transfers."""
     return Session(
         database,
         device=device,
@@ -502,4 +528,5 @@ def connect(
         fault_plan=fault_plan,
         retry_policy=retry_policy,
         recorder=recorder,
+        compression=compression,
     )

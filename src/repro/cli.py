@@ -326,6 +326,13 @@ def _add_common(cmd: argparse.ArgumentParser) -> None:
         help="fact-table partitioning scheme for --devices > 1 "
         "(default: range)",
     )
+    cmd.add_argument(
+        "--compression", default="off", metavar="MODE",
+        help="wire compression for host<->device transfers: 'auto' "
+        "samples a codec per column, a codec name (rle, forpack, "
+        "delta, dictionary, passthrough) pins it, 'off' disables "
+        "(default: off)",
+    )
     _add_fault_options(cmd)
 
 
@@ -466,6 +473,7 @@ def _cmd_query(args) -> int:
         devices=args.devices,
         partitioning=args.partitioning,
         recorder=recorder,
+        compression=args.compression,
         **_fault_kwargs(args),
     )
     try:
@@ -491,6 +499,8 @@ def _cmd_query(args) -> int:
             f"(predicted {decision.predicted_ms:.3f} ms, "
             f"observed {decision.observed_ms:.3f} ms)"
         )
+    if result.compression is not None:
+        print(f"compression: {result.compression.summary()}")
     if result.scaleout is not None:
         print(f"scaleout: {result.scaleout.summary()}")
         recovery = result.scaleout.recovery
@@ -518,6 +528,7 @@ def _cmd_explain(args) -> int:
         residency=args.residency,
         devices=args.devices,
         partitioning=args.partitioning,
+        compression=args.compression,
         **_fault_kwargs(args),
     )
     print(session.explain(args.sql, analyze=args.analyze))
@@ -543,6 +554,7 @@ def _cmd_bench(args) -> int:
             engine=engine,
             devices=args.devices,
             partitioning=args.partitioning,
+            compression=args.compression,
             **_fault_kwargs(args),
         )
         result = session.execute(plan)

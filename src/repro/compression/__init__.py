@@ -1,0 +1,38 @@
+"""Compressed columnar storage & compression-aware link transfer.
+
+See :mod:`repro.compression.codecs` for the wire formats,
+:mod:`repro.compression.policy` for the per-column auto chooser, and
+``docs/compression.md`` for how wire bytes are accounted end to end.
+"""
+
+from .codecs import (
+    CODEC_NAMES,
+    WIRE_HEADER_BYTES,
+    EncodedColumn,
+    decode,
+    encode,
+)
+from .kernels import decode_kernel_source, encode_kernel_source
+from .policy import (
+    MIN_RATIO,
+    VALID_MODES,
+    CompressionPolicy,
+    resolve_compression,
+)
+from .stats import CompressionStats, observe_compression_metrics
+
+__all__ = [
+    "CODEC_NAMES",
+    "WIRE_HEADER_BYTES",
+    "EncodedColumn",
+    "decode",
+    "encode",
+    "decode_kernel_source",
+    "encode_kernel_source",
+    "MIN_RATIO",
+    "VALID_MODES",
+    "CompressionPolicy",
+    "resolve_compression",
+    "CompressionStats",
+    "observe_compression_metrics",
+]

@@ -1,0 +1,397 @@
+"""Lightweight columnar codecs for compression-aware transfer.
+
+HorseQC's thesis is that coprocessor query processing is bound by data
+movement; the single largest movement is the host->device copy of base
+columns over PCIe.  This module provides the byte-exact codecs the
+transfer layer uses to shrink that copy:
+
+* ``passthrough`` — raw bytes, zero overhead (``wire == raw``, no
+  header, no decode kernel).  The fallback for incompressible data.
+* ``rle``         — run-length encoding: ``(run value, run length)``
+  pairs with lengths stored in the smallest unsigned dtype that fits
+  the longest run.
+* ``forpack``     — frame-of-reference bit packing for integers: store
+  the column minimum once and pack ``value - min`` into
+  ``ceil(log2(span + 1))`` bits per value.
+* ``delta``       — first value plus frame-of-reference-packed
+  consecutive differences; tiny for sorted or near-sorted keys.
+* ``dictionary``  — bit-packed dictionary codes for STRING columns.
+  The storage layer already dictionary-encodes strings (the column
+  holds int32 codes); this codec packs those codes into
+  ``ceil(log2(cardinality))`` bits.  The dictionary itself is host
+  catalog metadata and never crosses the link.
+
+Every codec round-trips **byte-identically**.  Floats are encoded
+through their unsigned-integer bit views so ``-0.0 == 0.0`` cannot
+merge RLE runs and ``NaN != NaN`` cannot split them; the decoded array
+reproduces the exact input bit pattern, NaN payloads included.
+
+Wire format: a non-passthrough encoded column is a fixed 16-byte
+header (codec id, bit width, row count) followed by the concatenated
+part buffers.  :attr:`EncodedColumn.wire_nbytes` is the exact byte
+count charged to the :class:`~repro.hardware.interconnect.Interconnect`
+and :attr:`EncodedColumn.wire_array` is the materialized transport
+buffer (so pooled resident columns genuinely occupy their compressed
+footprint on the device).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Fixed per-column wire header: codec id (1 byte), reserved (1),
+#: bit width (2), row count (8), reserved (4).
+WIRE_HEADER_BYTES = 16
+
+#: Every codec this module implements, in wire-id order.
+CODEC_NAMES = ("passthrough", "rle", "forpack", "delta", "dictionary")
+
+_CODEC_IDS = {name: index for index, name in enumerate(CODEC_NAMES)}
+
+
+@dataclass
+class EncodedColumn:
+    """One column (or contiguous column slice) in wire representation."""
+
+    codec: str
+    #: NumPy dtype of the decoded values (the column's physical dtype).
+    dtype: np.dtype
+    #: Number of rows encoded.
+    length: int
+    #: Decoded size in bytes — what materializes in device memory.
+    raw_nbytes: int
+    #: Encoded part buffers (codec-specific).
+    parts: dict = field(repr=False)
+    #: Codec-specific scalars (reference value, bit width, first value).
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Exact bytes that cross the interconnect for this column."""
+        if self.codec == "passthrough":
+            return self.raw_nbytes
+        return WIRE_HEADER_BYTES + sum(part.nbytes for part in self.parts.values())
+
+    @property
+    def ratio(self) -> float:
+        wire = self.wire_nbytes
+        return self.raw_nbytes / wire if wire else 1.0
+
+    @property
+    def wire_array(self) -> np.ndarray:
+        """The materialized transport buffer (header + encoded parts)."""
+        cached = self.__dict__.get("_wire_array")
+        if cached is None:
+            cached = self._build_wire()
+            self.__dict__["_wire_array"] = cached
+        return cached
+
+    def _build_wire(self) -> np.ndarray:
+        if self.codec == "passthrough":
+            values = self.parts["values"]
+            return np.ascontiguousarray(values).view(np.uint8).reshape(-1)
+        header = struct.pack(
+            "<BBHqI",
+            _CODEC_IDS[self.codec],
+            0,
+            int(self.meta.get("width", 0)),
+            self.length,
+            0,
+        )
+        buffers = [np.frombuffer(header, dtype=np.uint8)]
+        for part in self.parts.values():
+            buffers.append(np.ascontiguousarray(part).view(np.uint8).reshape(-1))
+        return np.concatenate(buffers)
+
+    def decode(self) -> np.ndarray:
+        return decode(self)
+
+
+# ----------------------------------------------------------------------
+# storage views: bit-exact integer representations of any dtype
+# ----------------------------------------------------------------------
+def _storage_view(values: np.ndarray) -> np.ndarray:
+    """Bit-exact integer view the codecs operate on.
+
+    Floats become same-width unsigned ints (so signed zeros and NaN
+    payloads survive run detection and the round trip); bools become
+    uint8; integers pass through unchanged.
+    """
+    if not values.flags.c_contiguous:
+        values = np.ascontiguousarray(values)
+    if values.dtype == np.bool_:
+        return values.view(np.uint8)
+    if values.dtype.kind == "f":
+        return values.view(np.dtype(f"u{values.dtype.itemsize}"))
+    return values
+
+
+def _from_storage(stored: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Reinterpret decoded storage values back to the original dtype."""
+    dtype = np.dtype(dtype)
+    if dtype == np.bool_:
+        return stored.view(np.bool_)
+    if dtype.kind == "f":
+        return stored.view(dtype)
+    return stored.astype(dtype, copy=False)
+
+
+def _from_u64(u64: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Narrow uint64 working values (two's complement) to ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype == np.bool_:
+        return u64.astype(np.uint8).view(np.bool_)
+    if dtype.kind == "f":
+        unsigned = u64.astype(np.dtype(f"u{dtype.itemsize}"), copy=False)
+        return unsigned.view(dtype)
+    if dtype.kind == "i":
+        # Reinterpret then narrow: the true value fits the target range,
+        # so the modular narrowing is exact.
+        return u64.view(np.int64).astype(dtype, copy=False)
+    return u64.astype(dtype, copy=False)
+
+
+def _smallest_uint(maximum: int) -> np.dtype:
+    for dtype in (np.uint8, np.uint16, np.uint32):
+        if maximum < np.iinfo(dtype).max + 1:
+            return np.dtype(dtype)
+    return np.dtype(np.uint64)
+
+
+# ----------------------------------------------------------------------
+# bit packing (shared by forpack / delta / dictionary)
+# ----------------------------------------------------------------------
+def _bit_pack(values_u64: np.ndarray, width: int) -> np.ndarray:
+    """Pack the ``width`` low bits of each value into a dense uint8 stream."""
+    n = len(values_u64)
+    if width == 0 or n == 0:
+        return np.empty(0, dtype=np.uint8)
+    bits = np.empty((n, width), dtype=np.uint8)
+    for bit in range(width):
+        shift = np.uint64(width - 1 - bit)
+        bits[:, bit] = ((values_u64 >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.reshape(-1))
+
+
+def _bit_unpack(packed: np.ndarray, n: int, width: int) -> np.ndarray:
+    if width == 0 or n == 0:
+        return np.zeros(n, dtype=np.uint64)
+    bits = np.unpackbits(packed, count=n * width).reshape(n, width)
+    out = np.zeros(n, dtype=np.uint64)
+    for bit in range(width):
+        shift = np.uint64(width - 1 - bit)
+        out |= bits[:, bit].astype(np.uint64) << shift
+    return out
+
+
+# ----------------------------------------------------------------------
+# encoders
+# ----------------------------------------------------------------------
+def _encode_passthrough(values: np.ndarray) -> EncodedColumn:
+    stored = _storage_view(values)
+    return EncodedColumn(
+        "passthrough", values.dtype, len(values), values.nbytes, {"values": stored}
+    )
+
+
+def _encode_rle(values: np.ndarray, stored: np.ndarray) -> EncodedColumn:
+    n = len(stored)
+    if n == 0:
+        run_values = stored[:0]
+        run_lengths = np.empty(0, dtype=np.uint8)
+    else:
+        boundaries = np.flatnonzero(stored[1:] != stored[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        lengths = ends - starts
+        run_values = stored[starts]
+        run_lengths = lengths.astype(_smallest_uint(int(lengths.max())))
+    return EncodedColumn(
+        "rle",
+        values.dtype,
+        n,
+        values.nbytes,
+        {"values": run_values, "lengths": run_lengths},
+    )
+
+
+def _decode_rle(encoded: EncodedColumn) -> np.ndarray:
+    stored = np.repeat(
+        encoded.parts["values"], encoded.parts["lengths"].astype(np.int64)
+    )
+    return _from_storage(stored, encoded.dtype)
+
+
+def _encode_forpack(values: np.ndarray, stored: np.ndarray) -> EncodedColumn | None:
+    if stored.dtype.kind not in "iu":
+        return None
+    n = len(stored)
+    if n == 0:
+        return EncodedColumn(
+            "forpack",
+            values.dtype,
+            0,
+            values.nbytes,
+            {"packed": np.empty(0, dtype=np.uint8)},
+            {"reference": 0, "width": 0},
+        )
+    lo = int(stored.min())
+    hi = int(stored.max())
+    span = hi - lo
+    if span >= 1 << 63 or hi >= 1 << 63:
+        return None  # deltas would not fit the 64-bit packing arithmetic
+    width = span.bit_length()
+    # int64 subtraction may wrap, but the true delta is < 2**63, so the
+    # uint64 reinterpretation recovers it exactly.
+    deltas = (stored.astype(np.int64, copy=False) - np.int64(lo)).view(np.uint64)
+    return EncodedColumn(
+        "forpack",
+        values.dtype,
+        n,
+        values.nbytes,
+        {"packed": _bit_pack(deltas, width)},
+        {"reference": lo, "width": width},
+    )
+
+
+def _decode_forpack(encoded: EncodedColumn) -> np.ndarray:
+    n = encoded.length
+    deltas = _bit_unpack(encoded.parts["packed"], n, encoded.meta["width"])
+    base = np.uint64(encoded.meta["reference"] % (1 << 64))
+    return _from_u64(deltas + base, encoded.dtype)
+
+
+def _encode_delta(values: np.ndarray, stored: np.ndarray) -> EncodedColumn | None:
+    if stored.dtype.kind != "i":
+        return None
+    n = len(stored)
+    if n == 0:
+        return EncodedColumn(
+            "delta",
+            values.dtype,
+            0,
+            values.nbytes,
+            {"packed": np.empty(0, dtype=np.uint8)},
+            {"first": 0, "reference": 0, "width": 0},
+        )
+    wide = stored.astype(np.int64, copy=False)
+    # Differences are taken modulo 2**64; the cumulative sum on decode
+    # wraps back, so extreme int64 inputs still round-trip exactly.
+    diffs = np.diff(wide)
+    if len(diffs) == 0:
+        lo, width = 0, 0
+        packed = np.empty(0, dtype=np.uint8)
+    else:
+        lo = int(diffs.min())
+        span = int(diffs.max()) - lo
+        if span >= 1 << 63:
+            return None
+        width = span.bit_length()
+        packed = _bit_pack((diffs - np.int64(lo)).view(np.uint64), width)
+    return EncodedColumn(
+        "delta",
+        values.dtype,
+        n,
+        values.nbytes,
+        {"packed": packed},
+        {"first": int(wide[0]), "reference": lo, "width": width},
+    )
+
+
+def _decode_delta(encoded: EncodedColumn) -> np.ndarray:
+    n = encoded.length
+    out = np.zeros(n, dtype=np.int64)
+    if n:
+        out[0] = encoded.meta["first"]
+        if n > 1:
+            deltas = _bit_unpack(encoded.parts["packed"], n - 1, encoded.meta["width"])
+            base = np.uint64(encoded.meta["reference"] % (1 << 64))
+            diffs = (deltas + base).view(np.int64)
+            np.cumsum(diffs, out=diffs)
+            out[1:] = np.int64(encoded.meta["first"]) + diffs
+    return _from_u64(out.view(np.uint64), encoded.dtype)
+
+
+def _encode_dictionary(
+    values: np.ndarray, stored: np.ndarray, dictionary_size: int | None
+) -> EncodedColumn | None:
+    if dictionary_size is None or stored.dtype.kind != "i":
+        return None
+    n = len(stored)
+    if n and int(stored.min()) < 0:
+        return None  # dictionary codes are non-negative by construction
+    top = dictionary_size - 1
+    if n:
+        top = max(top, int(stored.max()))
+    if top >= 1 << 63:
+        return None
+    width = top.bit_length() if top > 0 else 1
+    packed = _bit_pack(stored.astype(np.int64, copy=False).view(np.uint64), width)
+    return EncodedColumn(
+        "dictionary",
+        values.dtype,
+        n,
+        values.nbytes,
+        {"packed": packed},
+        {"reference": 0, "width": width},
+    )
+
+
+def _decode_dictionary(encoded: EncodedColumn) -> np.ndarray:
+    codes = _bit_unpack(encoded.parts["packed"], encoded.length, encoded.meta["width"])
+    return _from_u64(codes, encoded.dtype)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def encode(
+    values: np.ndarray, codec: str, dictionary_size: int | None = None
+) -> EncodedColumn | None:
+    """Encode ``values`` with ``codec``.
+
+    Returns ``None`` when the codec does not apply to the data (wrong
+    kind, or a value span the packing arithmetic cannot represent) —
+    callers fall back to ``passthrough``.
+    """
+    if codec == "passthrough":
+        return _encode_passthrough(values)
+    stored = _storage_view(values)
+    if codec == "rle":
+        return _encode_rle(values, stored)
+    if codec == "forpack":
+        return _encode_forpack(values, stored)
+    if codec == "delta":
+        return _encode_delta(values, stored)
+    if codec == "dictionary":
+        return _encode_dictionary(values, stored, dictionary_size)
+    raise ConfigurationError(
+        f"unknown codec {codec!r}; valid choices: {', '.join(CODEC_NAMES)}"
+    )
+
+
+_DECODERS = {
+    "rle": _decode_rle,
+    "forpack": _decode_forpack,
+    "delta": _decode_delta,
+    "dictionary": _decode_dictionary,
+}
+
+
+def decode(encoded: EncodedColumn) -> np.ndarray:
+    """Decode back to the exact original array (byte-identical)."""
+    if encoded.codec == "passthrough":
+        return _from_storage(encoded.parts["values"], encoded.dtype)
+    try:
+        decoder = _DECODERS[encoded.codec]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown codec {encoded.codec!r}; "
+            f"valid choices: {', '.join(CODEC_NAMES)}"
+        ) from None
+    return decoder(encoded)

@@ -1,0 +1,57 @@
+"""Generated decompression-kernel sources (for EXPLAIN inspection).
+
+The simulated device charges decode work through a
+:class:`~repro.hardware.traffic.TrafficMeter` (GLOBAL read of the wire
+bytes, GLOBAL write of the raw bytes) — the honest cost of compressed
+transfer.  Like the relational kernels, the charged launch keeps a
+generated source listing so ``EXPLAIN ANALYZE`` can show what ran.
+"""
+
+from __future__ import annotations
+
+
+def decode_kernel_source(
+    name: str, codec: str, dtype: str, length: int, wire_nbytes: int, raw_nbytes: int
+) -> str:
+    """Source listing for one column/block decompression kernel."""
+    body = {
+        "rle": (
+            "    # expand (run value, run length) pairs\n"
+            "    offsets = exclusive_scan(lengths)  # one thread per run\n"
+            "    out[offsets[r] : offsets[r] + lengths[r]] = run_values[r]"
+        ),
+        "forpack": (
+            "    # frame-of-reference unpack: width bits per value\n"
+            "    delta = extract_bits(wire, i * width, width)\n"
+            "    out[i] = reference + delta"
+        ),
+        "delta": (
+            "    # unpack packed differences, then prefix-sum\n"
+            "    diff = reference + extract_bits(wire, i * width, width)\n"
+            "    out[i] = first + inclusive_scan(diff)[i]"
+        ),
+        "dictionary": (
+            "    # unpack dictionary codes: width bits per code\n"
+            "    out[i] = extract_bits(wire, i * width, width)"
+        ),
+    }.get(codec, "    out[i] = wire[i]  # passthrough")
+    return (
+        f"def {name.replace('.', '_')}(wire, out):\n"
+        f"    # {codec} decode: {wire_nbytes} wire B -> {raw_nbytes} raw B "
+        f"({length} x {dtype})\n"
+        f"    # traffic: GLOBAL read {wire_nbytes} B, GLOBAL write {raw_nbytes} B\n"
+        f"{body}\n"
+    )
+
+
+def encode_kernel_source(
+    name: str, codec: str, dtype: str, length: int, wire_nbytes: int, raw_nbytes: int
+) -> str:
+    """Source listing for a device-side result-encode kernel (D2H)."""
+    return (
+        f"def {name.replace('.', '_')}(values, wire):\n"
+        f"    # {codec} encode: {raw_nbytes} raw B -> {wire_nbytes} wire B "
+        f"({length} x {dtype})\n"
+        f"    # traffic: GLOBAL read {raw_nbytes} B, GLOBAL write {wire_nbytes} B\n"
+        f"    wire[i] = pack({codec!r}, values[i])\n"
+    )

@@ -1,0 +1,106 @@
+"""Per-query compression accounting and Prometheus export."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompressionStats:
+    """What compression did to one query's link traffic.
+
+    ``raw_bytes``/``wire_bytes`` count transfers that actually crossed
+    the interconnect (placement hits contribute decode kernels but no
+    wire bytes).  ``columns`` counts transferred columns/blocks,
+    ``encoded_columns`` the subset that shipped in a non-passthrough
+    codec, and ``codecs`` the per-codec breakdown.
+    """
+
+    raw_bytes: int = 0
+    wire_bytes: int = 0
+    columns: int = 0
+    encoded_columns: int = 0
+    decode_kernels: int = 0
+    encode_kernels: int = 0
+    codecs: dict = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.raw_bytes - self.wire_bytes
+
+    def record(self, raw_nbytes: int, wire_nbytes: int, codec: str) -> None:
+        self.raw_bytes += int(raw_nbytes)
+        self.wire_bytes += int(wire_nbytes)
+        self.columns += 1
+        name = codec or "passthrough"
+        if name != "passthrough":
+            self.encoded_columns += 1
+        self.codecs[name] = self.codecs.get(name, 0) + 1
+
+    def merge(self, other: "CompressionStats") -> None:
+        self.raw_bytes += other.raw_bytes
+        self.wire_bytes += other.wire_bytes
+        self.columns += other.columns
+        self.encoded_columns += other.encoded_columns
+        self.decode_kernels += other.decode_kernels
+        self.encode_kernels += other.encode_kernels
+        for name, count in other.codecs.items():
+            self.codecs[name] = self.codecs.get(name, 0) + count
+
+    @classmethod
+    def aggregate(cls, items) -> "CompressionStats | None":
+        merged = None
+        for item in items:
+            if item is None:
+                continue
+            if merged is None:
+                merged = cls()
+            merged.merge(item)
+        return merged
+
+    def summary(self) -> str:
+        codecs = ", ".join(
+            f"{name}x{count}" for name, count in sorted(self.codecs.items())
+        )
+        return (
+            f"wire {self.wire_bytes:,}B / raw {self.raw_bytes:,}B "
+            f"({self.ratio:.2f}x, {self.encoded_columns}/{self.columns} "
+            f"columns encoded; {codecs})"
+        )
+
+
+def observe_compression_metrics(metrics, stats: CompressionStats) -> None:
+    """Export one query's compression stats to a metrics registry."""
+    if metrics is None or stats is None:
+        return
+    metrics.counter(
+        "repro_compression_raw_bytes_total",
+        "Pre-compression bytes of link transfers",
+    ).inc(stats.raw_bytes)
+    metrics.counter(
+        "repro_compression_wire_bytes_total",
+        "Bytes actually moved over the interconnect",
+    ).inc(stats.wire_bytes)
+    metrics.counter(
+        "repro_compression_saved_bytes_total",
+        "Link bytes avoided by columnar compression",
+    ).inc(max(stats.saved_bytes, 0))
+    metrics.histogram(
+        "repro_compression_ratio",
+        "Per-query raw/wire compression ratio",
+        buckets=(1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0),
+    ).observe(stats.ratio)
+    metrics.counter(
+        "repro_compression_decode_kernels_total",
+        "Decompression kernels launched on-device",
+    ).inc(stats.decode_kernels)
+    for codec, count in stats.codecs.items():
+        metrics.counter(
+            "repro_compression_columns_total",
+            "Columns transferred, by wire codec",
+            codec=codec,
+        ).inc(count)

@@ -58,6 +58,10 @@ class ExecutionResult:
     #: when the adaptive optimizer picked the execution strategy
     #: (``engine="auto"`` / ``devices="auto"``), else ``None``.
     optimizer: object | None = None
+    #: Wire-compression accounting
+    #: (:class:`repro.compression.CompressionStats`) when a compression
+    #: policy was active for this execution, else ``None``.
+    compression: object | None = None
 
     def timeline(self):
         """The ordered span list of this execution (depth-first, start
@@ -235,6 +239,7 @@ class Engine:
                     ),
                     kernel_sources=dict(runtime.kernel_sources),
                     placement=runtime.query_placement(),
+                    compression=runtime.compression_stats(),
                 )
                 if owned:
                     result.trace = tracer.finish()

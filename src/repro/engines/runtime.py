@@ -13,9 +13,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compression import (
+    CompressionStats,
+    decode_kernel_source,
+    encode_kernel_source,
+)
 from ..errors import PlanError
 from ..expressions.eval import evaluate
 from ..hardware.device import VirtualCoprocessor
+from ..hardware.traffic import MemoryLevel
 from ..telemetry.trace import active_tracer
 from ..primitives.hashtable import JoinHashTable
 from ..primitives.segmented import factorize, grouped_reduce
@@ -103,6 +109,14 @@ class QueryRuntime:
         self.placement_misses = 0
         #: PCIe bytes the placement hits avoided.
         self.placement_hit_bytes = 0
+        #: Wire compression policy (``device.compression``).  Zero-copy
+        #: devices never cross a link, so there is nothing to compress.
+        self.compression = (
+            device.compression if device.interconnect is not None else None
+        )
+        self._compression_stats = (
+            CompressionStats() if self.compression is not None else None
+        )
 
     # ------------------------------------------------------------------
     def source_rows(self, pipeline: Pipeline) -> int:
@@ -135,6 +149,12 @@ class QueryRuntime:
             key = (pipeline.source, base_name)
             if key not in self._transferred:
                 self._transferred.add(key)
+                label = f"{pipeline.source}.{base_name}"
+                encoded = (
+                    self.compression.encoded(column)
+                    if self.compression is not None
+                    else None
+                )
                 if self.pool is not None:
                     entry, hit = self.pool.acquire(
                         pipeline.source, base_name, column,
@@ -143,24 +163,114 @@ class QueryRuntime:
                     self._pinned.append(entry)
                     if self.tracer is not None:
                         self.tracer.event(
-                            f"placement {pipeline.source}.{base_name}",
+                            f"placement {label}",
                             "placement",
                             hit=hit,
                             nbytes=column.nbytes,
                         )
+                    # entry.nbytes is the resident footprint: the wire
+                    # size when the pool stores the column compressed.
                     if hit:
                         self.placement_hits += 1
-                        self.placement_hit_bytes += column.nbytes
+                        self.placement_hit_bytes += entry.nbytes
                     else:
                         self.placement_misses += 1
-                        self.input_bytes += column.nbytes
-                else:
+                        self.input_bytes += entry.nbytes
+                        if encoded is not None:
+                            self._compression_stats.record(
+                                column.nbytes, entry.nbytes, encoded.codec
+                            )
+                    if encoded is not None and encoded.codec != "passthrough":
+                        # Resident data is compressed: every query (hit
+                        # or miss) decodes it into a transient raw
+                        # buffer — hits skip the link, not the decode.
+                        self.device.allocate(
+                            np.empty(encoded.raw_nbytes, dtype=np.uint8),
+                            label=f"decode.{label}",
+                        )
+                        self.charge_decode(encoded, label)
+                elif encoded is not None and encoded.codec != "passthrough":
                     self.device.transfer_to_device(
-                        column.values, label=f"{pipeline.source}.{base_name}"
+                        column.values,
+                        label=label,
+                        wire_nbytes=encoded.wire_nbytes,
+                        codec=encoded.codec,
                     )
+                    self.input_bytes += encoded.wire_nbytes
+                    self._compression_stats.record(
+                        column.nbytes, encoded.wire_nbytes, encoded.codec
+                    )
+                    self.charge_decode(encoded, label)
+                else:
+                    self.device.transfer_to_device(column.values, label=label)
                     self.input_bytes += column.nbytes
+                    if self._compression_stats is not None:
+                        self._compression_stats.record(
+                            column.nbytes, column.nbytes, "passthrough"
+                        )
             scope[name] = column.values
         return scope
+
+    # ------------------------------------------------------------------
+    # compressed-transfer accounting
+    # ------------------------------------------------------------------
+    def charge_decode(self, encoded, label: str) -> None:
+        """Charge one on-device decompression kernel: GLOBAL read of
+        the wire bytes, GLOBAL write of the decoded raw bytes."""
+        self.charge_decode_raw(
+            encoded.wire_nbytes,
+            encoded.raw_nbytes,
+            encoded.length,
+            label,
+            encoded.codec,
+            dtype=str(encoded.dtype),
+        )
+
+    def charge_decode_raw(
+        self,
+        wire_nbytes: int,
+        raw_nbytes: int,
+        elements: int,
+        label: str,
+        codec: str,
+        dtype: str = "mixed",
+    ) -> None:
+        name = f"decode.{label}"
+        meter = self.device.new_meter()
+        meter.record_read(MemoryLevel.GLOBAL, wire_nbytes)
+        meter.record_write(MemoryLevel.GLOBAL, raw_nbytes)
+        meter.record_instructions(2 * elements)
+        self.device.launch(name, "decode", elements, meter)
+        if name not in self.kernel_sources:
+            self.kernel_sources[name] = decode_kernel_source(
+                name, codec, dtype, elements, wire_nbytes, raw_nbytes
+            )
+        if self._compression_stats is not None:
+            self._compression_stats.decode_kernels += 1
+
+    def _charge_encode(self, encoded, label: str) -> None:
+        """Charge a device-side result-encode kernel before D2H."""
+        name = f"encode.{label}"
+        meter = self.device.new_meter()
+        meter.record_read(MemoryLevel.GLOBAL, encoded.raw_nbytes)
+        meter.record_write(MemoryLevel.GLOBAL, encoded.wire_nbytes)
+        meter.record_instructions(2 * encoded.length)
+        self.device.launch(name, "encode", encoded.length, meter)
+        if name not in self.kernel_sources:
+            self.kernel_sources[name] = encode_kernel_source(
+                name,
+                encoded.codec,
+                str(encoded.dtype),
+                encoded.length,
+                encoded.wire_nbytes,
+                encoded.raw_nbytes,
+            )
+        if self._compression_stats is not None:
+            self._compression_stats.encode_kernels += 1
+
+    def compression_stats(self):
+        """Per-query compression accounting (None when disabled)."""
+        return self._compression_stats
 
     # ------------------------------------------------------------------
     def query_placement(self):
@@ -273,17 +383,37 @@ class QueryRuntime:
         if self.device.interconnect is not None:
             # One transfer per result column, as CoGaDB does.
             tracer = active_tracer()
+            output_total = 0
             for name, column in table.columns.items():
-                record = _d2h_record(self.device, column.nbytes, f"result.{name}")
+                wire, codec = column.nbytes, ""
+                if self.compression is not None:
+                    encoded = self.compression.encoded(column)
+                    if encoded.codec != "passthrough":
+                        wire, codec = encoded.wire_nbytes, encoded.codec
+                        self._charge_encode(encoded, f"result.{name}")
+                    self._compression_stats.record(
+                        column.nbytes, wire, codec or "passthrough"
+                    )
+                record = _d2h_record(
+                    self.device,
+                    wire,
+                    f"result.{name}",
+                    raw_nbytes=column.nbytes if codec else 0,
+                    codec=codec,
+                )
                 self.device.log.transfers.append(record)
+                output_total += wire
                 if tracer is not None:
-                    tracer.event(
-                        f"transfer result.{name}",
-                        "transfer",
+                    attrs = dict(
                         sim_ms=record.time_ms,
                         nbytes=record.nbytes,
                         direction="d2h",
                     )
+                    if codec:
+                        attrs["codec"] = codec
+                        attrs["raw_nbytes"] = column.nbytes
+                    tracer.event(f"transfer result.{name}", "transfer", **attrs)
+            self.output_bytes = output_total
 
         # Host-side post-processing (original engine, Section 7).
         if query.sort_keys:
@@ -294,12 +424,25 @@ class QueryRuntime:
         return table
 
 
-def _d2h_record(device: VirtualCoprocessor, nbytes: int, label: str):
+def _d2h_record(
+    device: VirtualCoprocessor,
+    nbytes: int,
+    label: str,
+    raw_nbytes: int = 0,
+    codec: str = "",
+):
     from ..hardware.traffic import TransferRecord
 
     assert device.interconnect is not None
     seconds = device.interconnect.transfer_time(nbytes, "d2h")
-    return TransferRecord(nbytes=nbytes, direction="d2h", time_ms=seconds * 1e3, label=label)
+    return TransferRecord(
+        nbytes=nbytes,
+        direction="d2h",
+        time_ms=seconds * 1e3,
+        label=label,
+        raw_nbytes=raw_nbytes,
+        codec=codec,
+    )
 
 
 def _accumulator_bytes(op: str) -> int:

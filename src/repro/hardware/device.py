@@ -100,6 +100,11 @@ class VirtualCoprocessor:
         #: Called by :meth:`reset_all` so an attached pool can drop its
         #: residency bookkeeping along with the device accounting.
         self.reset_callback = None
+        #: Optional :class:`~repro.compression.CompressionPolicy`: when
+        #: set, transfer points ship compressed wire bytes over the
+        #: interconnect and charge decode kernels on arrival.  ``None``
+        #: (the default) moves raw bytes, exactly as before.
+        self.compression = None
 
     # ------------------------------------------------------------------
     # allocation
@@ -183,11 +188,31 @@ class VirtualCoprocessor:
     # transfers
     # ------------------------------------------------------------------
     def transfer_to_device(
-        self, array: np.ndarray, label: str = "", pooled: bool = False
+        self,
+        array: np.ndarray,
+        label: str = "",
+        pooled: bool = False,
+        wire_nbytes: int | None = None,
+        raw_nbytes: int = 0,
+        codec: str = "",
     ) -> DeviceBuffer:
-        """Move a host array onto the device (PCIe h2d, or free on APUs)."""
+        """Move a host array onto the device (PCIe h2d, or free on APUs).
+
+        ``wire_nbytes`` charges the link for fewer bytes than the
+        allocated array (a compressed transfer whose raw decode buffer
+        materializes on-device); ``raw_nbytes``/``codec`` label a
+        transfer whose *allocated array* is the compressed wire image
+        (pooled resident columns stored compressed).
+        """
         buffer = self.allocate(array, label=label, pooled=pooled)
-        self._record_transfer(array.nbytes, "h2d", label)
+        if wire_nbytes is not None:
+            self._record_transfer(
+                wire_nbytes, "h2d", label, raw_nbytes=array.nbytes, codec=codec
+            )
+        else:
+            self._record_transfer(
+                array.nbytes, "h2d", label, raw_nbytes=raw_nbytes, codec=codec
+            )
         return buffer
 
     def transfer_to_host(self, buffer: DeviceBuffer, label: str = "") -> np.ndarray:
@@ -197,12 +222,26 @@ class VirtualCoprocessor:
         self.free(buffer)
         return array
 
-    def record_stream_transfer(self, nbytes: int, direction: str, label: str = "") -> None:
+    def record_stream_transfer(
+        self,
+        nbytes: int,
+        direction: str,
+        label: str = "",
+        raw_nbytes: int = 0,
+        codec: str = "",
+    ) -> None:
         """Log a streaming transfer that is not device-resident afterwards
         (batch processing blocks, which are consumed and discarded)."""
-        self._record_transfer(nbytes, direction, label)
+        self._record_transfer(nbytes, direction, label, raw_nbytes=raw_nbytes, codec=codec)
 
-    def _record_transfer(self, nbytes: int, direction: str, label: str) -> None:
+    def _record_transfer(
+        self,
+        nbytes: int,
+        direction: str,
+        label: str,
+        raw_nbytes: int = 0,
+        codec: str = "",
+    ) -> None:
         self._check_alive()
         if self.interconnect is None:
             # Zero-copy device: data never crosses a link.
@@ -212,17 +251,28 @@ class VirtualCoprocessor:
         else:
             seconds = self.interconnect.transfer_time(nbytes, direction)
             record = TransferRecord(
-                nbytes=nbytes, direction=direction, time_ms=seconds * 1e3, label=label
+                nbytes=nbytes,
+                direction=direction,
+                time_ms=seconds * 1e3,
+                label=label,
+                raw_nbytes=raw_nbytes,
+                codec=codec,
             )
         self.log.transfers.append(record)
         tracer = active_tracer()
         if tracer is not None:
-            tracer.event(
-                f"transfer {label}" if label else "transfer",
-                "transfer",
+            attrs = dict(
                 sim_ms=record.time_ms,
                 nbytes=record.nbytes,
                 direction=direction,
+            )
+            if codec:
+                attrs["codec"] = codec
+                attrs["raw_nbytes"] = raw_nbytes
+            tracer.event(
+                f"transfer {label}" if label else "transfer",
+                "transfer",
+                **attrs,
             )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class Interconnect:
@@ -34,7 +36,10 @@ class Interconnect:
         elif direction == "d2h":
             bandwidth = self.d2h_bandwidth
         else:
-            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+            raise ConfigurationError(
+                f"unknown transfer direction {direction!r}; "
+                "valid choices: 'h2d', 'd2h'"
+            )
         if nbytes == 0:
             return 0.0
         return self.latency + nbytes / (bandwidth * 1e9)

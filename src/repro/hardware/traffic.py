@@ -189,12 +189,20 @@ class KernelTrace:
 
 @dataclass
 class TransferRecord:
-    """The profiler record of one host<->device transfer."""
+    """The profiler record of one host<->device transfer.
+
+    ``nbytes`` is what crossed the link — for a compressed transfer
+    that is the *wire* size, with ``raw_nbytes`` holding the decoded
+    size and ``codec`` naming the wire encoding (``raw_nbytes == 0``
+    means the transfer was uncompressed).
+    """
 
     nbytes: int
     direction: str  # "h2d" or "d2h"
     time_ms: float
     label: str = ""
+    raw_nbytes: int = 0
+    codec: str = ""
 
 
 @dataclass

@@ -51,6 +51,10 @@ class BatchResult:
     #: Residency outcome (:class:`repro.placement.QueryPlacement`) when
     #: a buffer pool was attached to the device, else ``None``.
     placement: object | None = None
+    #: Wire-compression accounting
+    #: (:class:`repro.compression.CompressionStats`) when a compression
+    #: policy was active, else ``None``.
+    compression: object | None = None
 
     @property
     def stream_ms(self) -> float:
@@ -128,13 +132,44 @@ class BatchExecutor:
                 stop = min(start + rows_per_block, total_rows)
                 scope = {}
                 block_nbytes = 0
+                block_wire = 0
+                policy = runtime.compression
                 for name in final.required_columns:
                     base = final.source_rename.get(name, name)
-                    values = table.column(base).values[start:stop]
+                    column = table.column(base)
+                    values = column.values[start:stop]
                     scope[name] = values
                     block_nbytes += values.nbytes
-                device.record_stream_transfer(block_nbytes, "h2d", label=f"block{index}")
-                stream_input_bytes += block_nbytes
+                    if policy is not None:
+                        # Each block slice ships in the column's chosen
+                        # codec — exact per-block wire bytes.
+                        encoded = policy.encode_slice(column, start, stop)
+                        block_wire += encoded.wire_nbytes
+                        runtime.compression_stats().record(
+                            values.nbytes, encoded.wire_nbytes, encoded.codec
+                        )
+                if policy is not None and block_wire < block_nbytes:
+                    device.record_stream_transfer(
+                        block_wire,
+                        "h2d",
+                        label=f"block{index}",
+                        raw_nbytes=block_nbytes,
+                        codec="block",
+                    )
+                    # One decompression kernel covers the whole block.
+                    runtime.charge_decode_raw(
+                        block_wire,
+                        block_nbytes,
+                        stop - start,
+                        f"block{index}",
+                        "block",
+                    )
+                    stream_input_bytes += block_wire
+                else:
+                    device.record_stream_transfer(
+                        block_nbytes, "h2d", label=f"block{index}"
+                    )
+                    stream_input_bytes += block_nbytes
 
                 ctx = KernelContext(
                     runtime,
@@ -174,6 +209,7 @@ class BatchExecutor:
                 output_bytes=runtime.output_bytes,
                 peak_device_bytes=peak,
                 placement=runtime.query_placement(),
+                compression=runtime.compression_stats(),
             )
         finally:
             runtime.close()
@@ -252,4 +288,5 @@ def execute_out_of_core(
             batch.input_bytes + batch.output_bytes
         ),
         placement=placement,
+        compression=batch.compression,
     )

@@ -140,6 +140,7 @@ class Advisor:
         calibrator: Calibrator | None = None,
         max_devices: int = 4,
         block_bytes: int = 2 * 1024 * 1024,
+        compression=None,
     ):
         if max_devices < 1:
             raise ConfigurationError(
@@ -149,7 +150,8 @@ class Advisor:
         self.statistics = statistics if statistics is not None else StatisticsCatalog()
         self.calibrator = calibrator if calibrator is not None else Calibrator()
         self.estimator = CostEstimator(
-            profile, interconnect, self.statistics, block_bytes=block_bytes
+            profile, interconnect, self.statistics, block_bytes=block_bytes,
+            compression=compression,
         )
         self.max_devices = max_devices
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 
+from ..compression import resolve_compression
 from ..engines import make_engine
 from ..engines.base import Engine, ExecutionResult
 from ..errors import ConfigurationError, DeviceMemoryError
@@ -70,9 +71,11 @@ class AutoExecutor:
         macro: str | None = None,
         statistics: StatisticsCatalog | None = None,
         calibrator: Calibrator | None = None,
+        compression=None,
     ):
         self.profile = profile
         self.interconnect = interconnect
+        self.compression = resolve_compression(compression)
         self.statistics = statistics if statistics is not None else StatisticsCatalog()
         self.calibrator = calibrator if calibrator is not None else Calibrator()
         self.advisor = Advisor(
@@ -81,6 +84,7 @@ class AutoExecutor:
             statistics=self.statistics,
             calibrator=self.calibrator,
             max_devices=max_devices,
+            compression=self.compression,
         )
         self.pinned_engine = engine
         self.pinned_devices = devices
@@ -115,6 +119,7 @@ class AutoExecutor:
                 device = VirtualCoprocessor(
                     self.profile, interconnect=self.interconnect
                 )
+                device.compression = self.compression
                 BufferPool(device)
                 self._pooled_device = device
             return self._pooled_device
@@ -125,6 +130,7 @@ class AutoExecutor:
                 self._transient_device = VirtualCoprocessor(
                     self.profile, interconnect=self.interconnect
                 )
+                self._transient_device.compression = self.compression
             return self._transient_device
 
     def _scaleout_executor(self, devices: int):
@@ -139,13 +145,17 @@ class AutoExecutor:
                     interconnect=self.interconnect,
                     partitioning=self.partitioning,
                     residency=True,
+                    compression=self.compression,
                 )
                 self._scaleout[devices] = executor
             return executor
 
     # ------------------------------------------------------------------
     def _resident_bytes(self, query: PhysicalQuery, database: Database) -> int:
-        """Bytes of the plan's base columns already pool-resident."""
+        """Bytes of the plan's base columns already pool-resident.
+
+        With a compression policy the pool stores wire images, so the
+        discount (and the peak contribution) is the wire size."""
         device = self._pooled_device
         if device is None or device.placement_pool is None:
             return 0
@@ -164,7 +174,12 @@ class AutoExecutor:
                     continue
                 seen.add(key)
                 if (serial, pipeline.source, base) in pool:
-                    total += table.column(base).nbytes
+                    column = table.column(base)
+                    total += (
+                        self.compression.wire_nbytes(column)
+                        if self.compression is not None
+                        else column.nbytes
+                    )
         return total
 
     # ------------------------------------------------------------------

@@ -137,8 +137,11 @@ class PipelineEstimate:
     selectivity: float
     rows_out: int
     #: Exact bytes of the distinct source columns the pipeline reads
-    #: (the h2d charge for base-table pipelines).
+    #: (what materializes in device memory for base-table pipelines).
     input_bytes: int
+    #: Bytes that cross the link for those columns: the compressed wire
+    #: size when a compression policy is set, else ``input_bytes``.
+    wire_bytes: int = 0
     global_bytes: int = 0
     onchip_bytes: int = 0
     kernels: int = 1
@@ -191,6 +194,7 @@ class CostEstimator:
         statistics: StatisticsCatalog | None = None,
         morsels_per_device: int = 2,
         block_bytes: int = 2 * 1024 * 1024,
+        compression=None,
     ):
         self.profile = profile
         self.interconnect = None if profile.zero_copy else interconnect
@@ -198,6 +202,11 @@ class CostEstimator:
         self.cost_model = KernelCostModel(profile)
         self.morsels_per_device = morsels_per_device
         self.block_bytes = block_bytes
+        #: Wire-compression policy execution will run under: the model
+        #: learns per-column compressed sizes (cached on the columns, so
+        #: estimation shares the encodings execution will use) and
+        #: prices the decode kernels that pay for the link savings.
+        self.compression = compression if self.interconnect is not None else None
 
     def stream_block_bytes(self) -> int:
         """Streaming block size, shrunk on small devices so double
@@ -350,6 +359,7 @@ class CostEstimator:
         table_budget = 0  # resident hash/aggregation tables
         final = query.final_pipeline
         fact_pipeline_est: PipelineEstimate | None = None
+        raw_h2d_bytes = 0  # decoded footprint (device memory, not link)
 
         for pipeline in query.pipelines:
             pipe = self._estimate_pipeline(
@@ -360,7 +370,10 @@ class CostEstimator:
             estimate.onchip_bytes += pipe.onchip_bytes
             estimate.kernel_ms += pipe.kernel_ms
             if not pipeline.source_is_virtual:
-                estimate.pcie_h2d_bytes += pipe.input_bytes
+                # The link carries wire (possibly compressed) bytes;
+                # the decoded columns still occupy raw bytes on device.
+                estimate.pcie_h2d_bytes += pipe.wire_bytes
+                raw_h2d_bytes += pipe.input_bytes
             if isinstance(pipeline.sink, BuildSink):
                 payload = len(pipeline.sink.payload)
                 table_budget += pipe.rows_out * (16 + 8 * payload)
@@ -378,7 +391,7 @@ class CostEstimator:
             (16 * pipe.rows_in for pipe in estimate.pipelines), default=0
         )
         estimate.peak_device_bytes = (
-            estimate.pcie_h2d_bytes + resident_bytes + table_budget + scratch
+            raw_h2d_bytes + resident_bytes + table_budget + scratch
             + estimate.pcie_d2h_bytes
         )
         if strategy.placement == "pooled":
@@ -397,17 +410,28 @@ class CostEstimator:
         if pipeline.source_is_virtual:
             rows_in = virtual_rows.get(pipeline.source, 1)
             input_bytes = 8 * rows_in * max(1, len(pipeline.required_columns))
+            wire_bytes = input_bytes
         else:
             table = database.table(pipeline.source)
             stats = self.statistics.table_stats(database, pipeline.source)
             rows_in = stats.rows
             seen = set()
             input_bytes = 0
+            wire_bytes = 0
             for name in pipeline.required_columns:
                 base = renames.get(name, name)
                 if base not in seen:
                     seen.add(base)
-                    input_bytes += table.column(base).nbytes
+                    column = table.column(base)
+                    input_bytes += column.nbytes
+                    # Per-column compressed wire size (cached on the
+                    # column, so the estimator prices the exact
+                    # encodings execution will ship).
+                    wire_bytes += (
+                        self.compression.wire_nbytes(column)
+                        if self.compression is not None
+                        else column.nbytes
+                    )
 
         selectivity = 1.0
         probe_traffic = 0.0
@@ -468,6 +492,7 @@ class CostEstimator:
             selectivity=selectivity,
             rows_out=rows_out,
             input_bytes=input_bytes,
+            wire_bytes=wire_bytes,
             output_bytes=output_bytes,
             groups=groups,
         )
@@ -475,6 +500,18 @@ class CostEstimator:
             pipe, pipeline, strategy.engine, probe_traffic, pred_bytes,
             map_count,
         )
+        if pipe.wire_bytes < pipe.input_bytes:
+            # The link savings are not free: a decompression kernel
+            # reads the wire image and writes the raw columns back to
+            # global memory before the pipeline proper starts.
+            decode = TrafficMeter()
+            decode.record_read(_GLOBAL, pipe.wire_bytes)
+            decode.record_write(_GLOBAL, pipe.input_bytes)
+            decode.record_instructions(2 * rows_in)
+            breakdown = self.cost_model.breakdown(decode, kind="decode")
+            pipe.kernel_ms += breakdown.total * 1e3
+            pipe.global_bytes += pipe.wire_bytes + pipe.input_bytes
+            pipe.kernels += 1
         return pipe
 
     def _output_bytes(self, pipeline: Pipeline, rows_out: int, groups: int) -> int:
@@ -652,9 +689,9 @@ class CostEstimator:
                     "out-of-core streaming needs a base-table final pipeline"
                 )
                 return
-            dims_h2d = max(0, estimate.pcie_h2d_bytes - fact.input_bytes)
+            dims_h2d = max(0, estimate.pcie_h2d_bytes - fact.wire_bytes)
             dims_kernel_ms = estimate.kernel_ms - fact.kernel_ms
-            stream_transfer_ms = self._transfer_ms(fact.input_bytes, 0, 0)
+            stream_transfer_ms = self._transfer_ms(fact.wire_bytes, 0, 0)
             block_bytes = self.stream_block_bytes()
             blocks = max(1, math.ceil(fact.input_bytes / block_bytes))
             stream_ms = (
@@ -691,11 +728,13 @@ class CostEstimator:
             )
             return
         pieces = devices * self.morsels_per_device
-        dims_h2d = max(0, estimate.pcie_h2d_bytes - fact.input_bytes)
+        dims_h2d = max(0, estimate.pcie_h2d_bytes - fact.wire_bytes)
         dims_kernel_ms = estimate.kernel_ms - fact.kernel_ms
         # Every device pays the broadcast build sides; the fact share
-        # and its gather parallelize across per-device links.
-        per_device_h2d = dims_h2d + fact.input_bytes / devices
+        # and its gather parallelize across per-device links.  Link
+        # charges use wire bytes (the scatter ships compressed blocks);
+        # device peaks below stay raw.
+        per_device_h2d = dims_h2d + fact.wire_bytes / devices
         gather_per_piece = fact.output_bytes
         gather_total = gather_per_piece * pieces
         per_device_d2h = gather_total / devices
@@ -717,7 +756,7 @@ class CostEstimator:
         estimate.overhead_ms = (
             _MERGE_BASE_MS + _MERGE_PER_PARTIAL_MS * pieces
         )
-        estimate.pcie_h2d_bytes = int(dims_h2d * devices + fact.input_bytes)
+        estimate.pcie_h2d_bytes = int(dims_h2d * devices + fact.wire_bytes)
         estimate.pcie_d2h_bytes = int(gather_total)
         # Per-device peak: broadcast dims + this device's fact share.
         estimate.peak_device_bytes = int(

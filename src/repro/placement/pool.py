@@ -126,10 +126,26 @@ class BufferPool:
                 self._hit_bytes += entry.nbytes
                 return entry, True
             # Miss: transfer (allocation pressure may evict through
-            # _on_pressure, re-entrant under this RLock).
-            buffer = self.device.transfer_to_device(
-                column.values, label=f"{table}.{column_name}", pooled=True
-            )
+            # _on_pressure, re-entrant under this RLock).  With a
+            # compression policy on the device, the resident buffer is
+            # the *wire image*: more columns fit per device, eviction
+            # and re-transfer are charged at the compressed size, and
+            # each query decodes into transient scratch (the runtime
+            # charges that decode kernel).
+            policy = self.device.compression
+            encoded = policy.encoded(column) if policy is not None else None
+            if encoded is not None and encoded.codec != "passthrough":
+                buffer = self.device.transfer_to_device(
+                    encoded.wire_array,
+                    label=f"{table}.{column_name}",
+                    pooled=True,
+                    raw_nbytes=column.nbytes,
+                    codec=encoded.codec,
+                )
+            else:
+                buffer = self.device.transfer_to_device(
+                    column.values, label=f"{table}.{column_name}", pooled=True
+                )
             entry = ResidentColumn(
                 key=key,
                 buffer=buffer,

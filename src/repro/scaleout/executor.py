@@ -58,6 +58,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..compression import CompressionStats, resolve_compression
 from ..engines.base import Engine, ExecutionResult, _cast_outputs
 from ..engines.runtime import QueryRuntime, _sort_order
 from ..faults.injector import FaultInjector, partial_checksum
@@ -122,6 +123,8 @@ class _DeviceRun:
     retries: int = 0
     backoff_ms: float = 0.0
     timeouts: int = 0
+    #: Per-device wire-compression accounting (None when disabled).
+    compression: object | None = None
 
 
 def _fault_kind(error: BaseException, device) -> str:
@@ -177,6 +180,7 @@ class ScaleOutExecutor:
         residency: bool = False,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        compression=None,
     ):
         self.devices = validate_devices(devices)
         self.partitioning = validate_partitioning(partitioning)
@@ -199,8 +203,13 @@ class ScaleOutExecutor:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.compression = resolve_compression(compression)
         self.fleet = DeviceFleet(
-            self.profile, self.devices, interconnect=interconnect, residency=residency
+            self.profile,
+            self.devices,
+            interconnect=interconnect,
+            residency=residency,
+            compression=self.compression,
         )
         self._partition_cache: dict[tuple, PartitionSet] = {}
         self._cache_lock = threading.Lock()
@@ -621,6 +630,7 @@ class ScaleOutExecutor:
                 run.profile = device.log
                 run.kernel_sources = dict(runtime.kernel_sources)
                 run.placement = runtime.query_placement()
+                run.compression = runtime.compression_stats()
                 runtime.close()
 
     def _execute_morsel(
@@ -863,6 +873,9 @@ class ScaleOutExecutor:
             kernel_sources=kernel_sources,
             placement=placement,
             scaleout=stats,
+            compression=CompressionStats.aggregate(
+                run.compression for run in runs
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -28,14 +28,18 @@ class DeviceFleet:
         count: int,
         interconnect: Interconnect = PCIE3,
         residency: bool = False,
+        compression=None,
     ):
         if count < 1:
             raise ValueError("fleet needs at least one device")
         self.profile = profile
+        self.compression = compression
         self.devices = [
             VirtualCoprocessor(replace(profile), interconnect=interconnect)
             for _ in range(count)
         ]
+        for device in self.devices:
+            device.compression = compression
         self.pools: list[BufferPool | None] = [
             BufferPool(device) if residency else None for device in self.devices
         ]
@@ -69,6 +73,7 @@ class DeviceFleet:
             self._host_device = VirtualCoprocessor(
                 replace(self.profile), interconnect=self._interconnect
             )
+            self._host_device.compression = self.compression
         return self._host_device
 
     def begin_query(self, device_index: int) -> None:

@@ -145,8 +145,10 @@ class Server:
         fault_plan=None,
         retry_policy=None,
         recorder=None,
+        compression: str = "off",
     ):
         from ..api import _coerce_fault_plan
+        from ..compression import resolve_compression
         from ..errors import ConfigurationError
         from ..scaleout import validate_devices
 
@@ -223,10 +225,17 @@ class Server:
         self._queue_wait_hist = self.metrics.histogram(
             "repro_queue_wait_ms", "Admission-queue wait (host ms)"
         )
+        #: Shared wire-compression policy (``None`` = off).  One policy
+        #: for all workers: its per-column encoding cache lives on the
+        #: (immutable) columns, so sharing is safe and avoids
+        #: re-sampling per worker.
+        self.compression = resolve_compression(compression)
         self._devices = [
             VirtualCoprocessor(self.profile, interconnect=interconnect)
             for _ in range(workers)
         ]
+        for worker_device in self._devices:
+            worker_device.compression = self.compression
         self.residency = residency
         self.devices = devices
         self.partitioning = partitioning
@@ -254,6 +263,7 @@ class Server:
                     placement="pooled" if residency else None,
                     statistics=statistics,
                     calibrator=calibrator,
+                    compression=self.compression,
                 )
                 for _ in range(workers)
             ]
@@ -274,6 +284,7 @@ class Server:
                     residency=residency,
                     fault_plan=fault_plan,
                     retry_policy=retry_policy,
+                    compression=self.compression,
                 )
                 for _ in range(workers)
             ]
@@ -393,6 +404,7 @@ class Server:
                     interconnect=self.interconnect,
                     partitioning=self.partitioning,
                     placement="pooled" if self.residency else None,
+                    compression=self.compression,
                 )
                 self._auto_executors[index] = auto
             return auto
@@ -556,6 +568,10 @@ class Server:
             self._execute_ms += execute_ms
         self._latency_hist.observe(queue_wait_ms + plan_ms + execute_ms)
         self._queue_wait_hist.observe(queue_wait_ms)
+        if result.compression is not None:
+            from ..compression import observe_compression_metrics
+
+            observe_compression_metrics(self.metrics, result.compression)
         item.future.set_result(result)
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ class Column:
     """
 
     def __init__(self, dtype: DType, values: np.ndarray, dictionary: Dictionary | None = None):
+        original = values
         values = np.asarray(values)
         expected = dtype.numpy_dtype
         if values.dtype != expected:
@@ -34,6 +35,10 @@ class Column:
             raise SchemaError("STRING columns require a dictionary")
         if dtype is not DType.STRING and dictionary is not None:
             raise SchemaError(f"{dtype.value} columns must not carry a dictionary")
+        # np.asarray aliases ndarray inputs, and the freeze below would
+        # otherwise mark the *caller's* array read-only as a side effect.
+        if values is original and values.flags.writeable:
+            values = values.copy()
         self.dtype = dtype
         self.values = values
         self.dictionary = dictionary
@@ -95,7 +100,11 @@ class Column:
     # ------------------------------------------------------------------
     def take(self, indices: np.ndarray) -> "Column":
         """Gather by position, keeping dtype and dictionary."""
-        return Column(self.dtype, self.values[indices], self.dictionary)
+        gathered = self.values[indices]
+        # The gather output is ours alone; freeze it up front so the
+        # constructor's copy-on-writable-alias guard does not fire.
+        gathered.flags.writeable = False
+        return Column(self.dtype, gathered, self.dictionary)
 
     def slice(self, start: int, stop: int) -> "Column":
         """A contiguous block of this column (for block-wise transfer)."""

@@ -80,8 +80,15 @@ def measure_fingerprint(
     profile,
     engine_name: str = "resolution",
     seed: int = 42,
+    compression=None,
 ) -> dict:
-    """One query's perf fingerprint on a fresh device."""
+    """One query's perf fingerprint on a fresh device.
+
+    ``compression`` (a mode string or policy) fingerprints the
+    compression-aware transfer path: ``pcie_bytes`` then counts wire
+    (compressed) bytes and ``kernel_launches`` includes the decode
+    kernels, so codec or chooser drift is caught exactly."""
+    from ..compression import resolve_compression
     from ..engines import make_engine
     from ..hardware.device import VirtualCoprocessor
     from ..workloads import ssb_plan, tpch_plan
@@ -90,6 +97,7 @@ def measure_fingerprint(
         tpch_plan(name, database) if workload == "tpch" else ssb_plan(name, database)
     )
     device = VirtualCoprocessor(profile)
+    device.compression = resolve_compression(compression)
     result = make_engine(engine_name).execute(plan, database, device, seed=seed)
     return {
         "sim_ms": round(result.total_ms, 6),
@@ -126,6 +134,18 @@ def _measure_all(config: dict) -> dict:
             profile,
             engine_name=config["engine"],
             seed=config["seed"],
+        )
+        # Compressed-transfer twin: same query under compression="auto".
+        # Wire bytes, decode-kernel counts, and ratios are exactly
+        # deterministic, so codec/chooser drift fails the check too.
+        fingerprints[f"{workload}:{name}:compressed"] = measure_fingerprint(
+            workload,
+            name,
+            databases[workload],
+            profile,
+            engine_name=config["engine"],
+            seed=config["seed"],
+            compression="auto",
         )
     return fingerprints
 

@@ -36,9 +36,11 @@ class TestRecord:
     def test_store_shape(self, store):
         path, data = store
         assert data["version"] == 1
-        assert set(data["queries"]) == {
-            f"{workload}:{name}" for workload, name in BASELINE_QUERIES
-        }
+        # Every query is fingerprinted twice: raw, and under
+        # compression="auto" (the ":compressed" twin).
+        expected = {f"{workload}:{name}" for workload, name in BASELINE_QUERIES}
+        expected |= {f"{key}:compressed" for key in expected}
+        assert set(data["queries"]) == expected
         for fingerprint in data["queries"].values():
             assert set(fingerprint) == set(METRIC_TOLERANCES)
             # q3.2's filters select nothing at SF 0.002 — rows can be 0.
@@ -130,7 +132,7 @@ class TestCli:
     def test_record_then_check(self, tmp_path, capsys):
         path = str(tmp_path / "bl.json")
         assert main(["baseline", "record", "--baseline", path]) == 0
-        assert "recorded 6 query baselines" in capsys.readouterr().out
+        assert "recorded 12 query baselines" in capsys.readouterr().out
         assert main(["baseline", "check", "--baseline", path]) == 0
         assert "PASS" in capsys.readouterr().out
 

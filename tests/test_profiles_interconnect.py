@@ -78,8 +78,15 @@ class TestInterconnect:
         assert one_gb == pytest.approx(1.0 + PCIE3.latency, rel=1e-6)
 
     def test_invalid_direction(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
             PCIE3.transfer_time(100, "sideways")
+        # The error must name the valid directions, like every other
+        # ConfigurationError in the project.
+        assert "h2d" in str(excinfo.value)
+        assert "d2h" in str(excinfo.value)
+        assert "sideways" in str(excinfo.value)
 
     def test_negative_bytes(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,202 @@
+"""Late-materialization benchmark (device global-memory traffic study).
+
+Compressed transfers (``compression="auto"``) fix the PCIe bound but
+still decode every column into raw global memory before the first
+predicate runs.  Late materialization (``compression="lazy"``) executes
+predicates *directly on the wire images* — RLE run values, dictionary
+code LUTs, FOR/cascade min-max block skipping — and materializes only
+the selected positions of downstream columns, so the decode traffic a
+selective query pays scales with its selectivity, not its input.
+
+This benchmark runs the selective SSB q1.x family (plus a wider q3.2
+control) under ``compression="auto"`` vs ``compression="lazy"`` and
+reports, per query: device global-memory bytes, simulated kernel and
+end-to-end time, compressed-scan/block-skip counts, and deferred
+columns.
+
+Acceptance (checked by the report itself):
+
+* **byte identity**: every lazy run's result table has exactly the
+  per-column sha256 checksums of its decode-everything twin;
+* **global-memory reduction**: >= 1.5x fewer device global-memory
+  bytes across the selective (q1.x) measurement set;
+* **time**: simulated kernel time and end-to-end time no worse on
+  every measured query.
+
+Run standalone with ``python bench_late_materialization.py [--quick]``
+or via ``pytest --benchmark-only``.  ``--quick`` is the CI smoke mode
+(two queries, resolution engine only).
+"""
+
+import sys
+from dataclasses import dataclass, field
+
+from common import emit
+
+from repro.api import connect
+from repro.telemetry.recorder import table_checksum
+from repro.workloads import generate_ssb, ssb_plan
+
+REDUCTION_TARGET = 1.5
+SCALE_FACTOR = 0.02
+#: The selective queries the reduction target is measured on.
+SELECTIVE_QUERIES = ("q1.1", "q1.2", "q1.3")
+#: Wider control queries: must stay byte-identical and no slower, but
+#: join-heavy shapes materialize most positions anyway, so they are
+#: excluded from the reduction average.
+CONTROL_QUERIES = ("q3.2",)
+ENGINES = ("resolution", "multipass")
+
+
+@dataclass
+class QueryComparison:
+    engine: str
+    query: str
+    selective: bool
+    eager_global: int
+    lazy_global: int
+    eager_kernel_ms: float
+    lazy_kernel_ms: float
+    eager_total_ms: float
+    lazy_total_ms: float
+    compressed_scans: int
+    blocks_skipped: int
+    deferred_columns: int
+    identical: bool
+
+    @property
+    def reduction(self) -> float:
+        return (
+            self.eager_global / self.lazy_global
+            if self.lazy_global
+            else float("inf")
+        )
+
+    @property
+    def no_slower(self) -> bool:
+        return (
+            self.lazy_kernel_ms <= self.eager_kernel_ms
+            and self.lazy_total_ms <= self.eager_total_ms
+        )
+
+
+@dataclass
+class LateMaterializationReport:
+    scale_factor: float
+    rows: list = field(default_factory=list)
+
+    @property
+    def selective_rows(self) -> list:
+        return [row for row in self.rows if row.selective]
+
+    @property
+    def selective_reduction(self) -> float:
+        eager = sum(row.eager_global for row in self.selective_rows)
+        lazy = sum(row.lazy_global for row in self.selective_rows)
+        return eager / lazy if lazy else float("inf")
+
+    @property
+    def all_identical(self) -> bool:
+        return all(row.identical for row in self.rows)
+
+    @property
+    def never_slower(self) -> bool:
+        return all(row.no_slower for row in self.rows)
+
+    @property
+    def scans_fired(self) -> bool:
+        return all(row.compressed_scans > 0 for row in self.rows)
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.all_identical
+            and self.selective_reduction >= REDUCTION_TARGET
+            and self.never_slower
+            and self.scans_fired
+        )
+
+    def text(self) -> str:
+        lines = [
+            f"SSB at SF {self.scale_factor}: compression='lazy' vs 'auto' "
+            f"(global = device global-memory bytes actually charged)",
+            "",
+            f"{'engine':<11s} {'query':<6s} {'auto KB':>9s} {'lazy KB':>9s} "
+            f"{'reduce':>7s} {'scans':>6s} {'skip':>5s} {'defer':>6s} "
+            f"{'auto ms':>9s} {'lazy ms':>9s} {'identical':>10s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.engine:<11s} {row.query:<6s} "
+                f"{row.eager_global / 1e3:>9.1f} {row.lazy_global / 1e3:>9.1f} "
+                f"{row.reduction:>6.2f}x {row.compressed_scans:>6d} "
+                f"{row.blocks_skipped:>5d} {row.deferred_columns:>6d} "
+                f"{row.eager_total_ms:>9.3f} {row.lazy_total_ms:>9.3f} "
+                f"{'yes' if row.identical else 'NO':>10s}"
+            )
+        lines += [
+            "",
+            f"selective (q1.x) global-memory reduction: "
+            f"{self.selective_reduction:.2f}x (target >= "
+            f"{REDUCTION_TARGET:.1f}x)",
+            f"byte identity: "
+            f"{'all queries' if self.all_identical else 'VIOLATED'}",
+            f"simulated time no worse: "
+            f"{'yes' if self.never_slower else 'NO'}",
+            f"compressed scans fired: "
+            f"{'yes' if self.scans_fired else 'NO'}",
+            f"result: {'PASS' if self.passed else 'FAIL'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(quick: bool = False) -> LateMaterializationReport:
+    selective = SELECTIVE_QUERIES[:2] if quick else SELECTIVE_QUERIES
+    controls = () if quick else CONTROL_QUERIES
+    engines = ENGINES[:1] if quick else ENGINES
+    database = generate_ssb(SCALE_FACTOR, seed=7)
+    report = LateMaterializationReport(scale_factor=SCALE_FACTOR)
+    for engine in engines:
+        eager = connect(database, engine=engine, compression="auto")
+        lazy = connect(database, engine=engine, compression="lazy")
+        for name in selective + controls:
+            plan = ssb_plan(name, database)
+            base = eager.execute(plan)
+            deferred = lazy.execute(plan)
+            stats = deferred.compression
+            assert stats is not None, "lazy run carries no stats"
+            report.rows.append(
+                QueryComparison(
+                    engine=engine,
+                    query=name,
+                    selective=name in selective,
+                    eager_global=base.global_memory_bytes,
+                    lazy_global=deferred.global_memory_bytes,
+                    eager_kernel_ms=base.kernel_ms,
+                    lazy_kernel_ms=deferred.kernel_ms,
+                    eager_total_ms=base.total_ms,
+                    lazy_total_ms=deferred.total_ms,
+                    compressed_scans=stats.compressed_scans,
+                    blocks_skipped=stats.scan_blocks_skipped,
+                    deferred_columns=stats.deferred_columns,
+                    identical=table_checksum(deferred.table)
+                    == table_checksum(base.table),
+                )
+            )
+    return report
+
+
+def test_late_materialization(benchmark):
+    report = benchmark.pedantic(lambda: run(quick=True), rounds=1, iterations=1)
+    emit("late_materialization", report.text())
+    assert report.all_identical
+    assert report.selective_reduction >= REDUCTION_TARGET
+    assert report.never_slower
+    assert report.scans_fired
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    report = run(quick=quick)
+    emit("late_materialization", report.text())
+    sys.exit(0 if report.passed else 1)

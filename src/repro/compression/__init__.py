@@ -1,8 +1,10 @@
 """Compressed columnar storage & compression-aware link transfer.
 
 See :mod:`repro.compression.codecs` for the wire formats,
-:mod:`repro.compression.policy` for the per-column auto chooser, and
-``docs/compression.md`` for how wire bytes are accounted end to end.
+:mod:`repro.compression.policy` for the per-column auto chooser,
+:mod:`repro.compression.lazy` for late materialization (predicates on
+wire images), and ``docs/compression.md`` for how wire bytes are
+accounted end to end.
 """
 
 from .codecs import (
@@ -12,7 +14,22 @@ from .codecs import (
     decode,
     encode,
 )
-from .kernels import decode_kernel_source, encode_kernel_source
+from .kernels import (
+    compressed_scan_source,
+    decode_kernel_source,
+    encode_kernel_source,
+    gather_decode_source,
+)
+from .lazy import (
+    LAZY_BLOCK,
+    SCANNABLE_CODECS,
+    LazyColumn,
+    ScanPlan,
+    flatten_conjuncts,
+    gather_cost,
+    interval_analyzer,
+    plan_scan,
+)
 from .policy import (
     MIN_RATIO,
     VALID_MODES,
@@ -27,8 +44,18 @@ __all__ = [
     "EncodedColumn",
     "decode",
     "encode",
+    "compressed_scan_source",
     "decode_kernel_source",
     "encode_kernel_source",
+    "gather_decode_source",
+    "LAZY_BLOCK",
+    "SCANNABLE_CODECS",
+    "LazyColumn",
+    "ScanPlan",
+    "flatten_conjuncts",
+    "gather_cost",
+    "interval_analyzer",
+    "plan_scan",
     "MIN_RATIO",
     "VALID_MODES",
     "CompressionPolicy",

@@ -20,6 +20,11 @@ transfer layer uses to shrink that copy:
   holds int32 codes); this codec packs those codes into
   ``ceil(log2(cardinality))`` bits.  The dictionary itself is host
   catalog metadata and never crosses the link.
+* ``boolpack``    — one bit per value for boolean / null-mask columns
+  (eight-fold reduction before headers; the classic bitmap layout).
+* ``cascade``     — delta→forpack cascade: per-block (4096 rows)
+  frame-of-reference deltas with a *per-block* bit width, so locally
+  sorted regions pack tighter than one global delta width allows.
 
 Every codec round-trips **byte-identically**.  Floats are encoded
 through their unsigned-integer bit views so ``-0.0 == 0.0`` cannot
@@ -48,10 +53,18 @@ from ..errors import ConfigurationError
 #: bit width (2), row count (8), reserved (4).
 WIRE_HEADER_BYTES = 16
 
-#: Every codec this module implements, in wire-id order.
-CODEC_NAMES = ("passthrough", "rle", "forpack", "delta", "dictionary")
+#: Every codec this module implements, in wire-id order.  New codecs
+#: append (wire ids are positional and must stay stable).
+CODEC_NAMES = (
+    "passthrough", "rle", "forpack", "delta", "dictionary",
+    "boolpack", "cascade",
+)
 
 _CODEC_IDS = {name: index for index, name in enumerate(CODEC_NAMES)}
+
+#: Rows per cascade block: large enough to amortize the 17-byte
+#: per-block metadata, small enough to adapt the bit width locally.
+CASCADE_BLOCK = 4096
 
 
 @dataclass
@@ -347,6 +360,100 @@ def _decode_dictionary(encoded: EncodedColumn) -> np.ndarray:
     return _from_u64(codes, encoded.dtype)
 
 
+def _encode_boolpack(values: np.ndarray, stored: np.ndarray) -> EncodedColumn | None:
+    if values.dtype != np.bool_:
+        return None
+    return EncodedColumn(
+        "boolpack",
+        values.dtype,
+        len(values),
+        values.nbytes,
+        {"packed": np.packbits(stored)},
+        {"width": 1},
+    )
+
+
+def _decode_boolpack(encoded: EncodedColumn) -> np.ndarray:
+    bits = np.unpackbits(encoded.parts["packed"], count=encoded.length)
+    return _from_storage(bits, encoded.dtype)
+
+
+def _encode_cascade(values: np.ndarray, stored: np.ndarray) -> EncodedColumn | None:
+    if stored.dtype.kind != "i":
+        return None
+    n = len(stored)
+    if n == 0:
+        return EncodedColumn(
+            "cascade",
+            values.dtype,
+            0,
+            values.nbytes,
+            {
+                "firsts": np.empty(0, dtype=np.int64),
+                "references": np.empty(0, dtype=np.int64),
+                "widths": np.empty(0, dtype=np.uint8),
+                "packed": np.empty(0, dtype=np.uint8),
+            },
+            {"width": 0, "block": CASCADE_BLOCK},
+        )
+    wide = stored.astype(np.int64, copy=False)
+    firsts, references, widths, chunks = [], [], [], []
+    for start in range(0, n, CASCADE_BLOCK):
+        block = wide[start : start + CASCADE_BLOCK]
+        diffs = np.diff(block)
+        if len(diffs) == 0:
+            lo, width = 0, 0
+            packed = np.empty(0, dtype=np.uint8)
+        else:
+            lo = int(diffs.min())
+            span = int(diffs.max()) - lo
+            if span >= 1 << 63:
+                return None
+            width = span.bit_length()
+            packed = _bit_pack((diffs - np.int64(lo)).view(np.uint64), width)
+        firsts.append(int(block[0]))
+        references.append(lo)
+        widths.append(width)
+        chunks.append(packed)
+    return EncodedColumn(
+        "cascade",
+        values.dtype,
+        n,
+        values.nbytes,
+        {
+            "firsts": np.array(firsts, dtype=np.int64),
+            "references": np.array(references, dtype=np.int64),
+            "widths": np.array(widths, dtype=np.uint8),
+            "packed": np.concatenate(chunks) if chunks else np.empty(0, np.uint8),
+        },
+        {"width": max(widths), "block": CASCADE_BLOCK},
+    )
+
+
+def _decode_cascade(encoded: EncodedColumn) -> np.ndarray:
+    n = encoded.length
+    block = int(encoded.meta["block"])
+    firsts = encoded.parts["firsts"]
+    references = encoded.parts["references"]
+    widths = encoded.parts["widths"]
+    packed = encoded.parts["packed"]
+    out = np.zeros(n, dtype=np.int64)
+    offset = 0
+    for index, start in enumerate(range(0, n, block)):
+        length = min(block, n - start)
+        width = int(widths[index])
+        out[start] = firsts[index]
+        if length > 1:
+            nbytes = ((length - 1) * width + 7) // 8
+            deltas = _bit_unpack(packed[offset : offset + nbytes], length - 1, width)
+            offset += nbytes
+            base = np.uint64(int(references[index]) % (1 << 64))
+            diffs = (deltas + base).view(np.int64)
+            np.cumsum(diffs, out=diffs)
+            out[start + 1 : start + length] = np.int64(firsts[index]) + diffs
+    return _from_u64(out.view(np.uint64), encoded.dtype)
+
+
 # ----------------------------------------------------------------------
 # public entry points
 # ----------------------------------------------------------------------
@@ -370,6 +477,10 @@ def encode(
         return _encode_delta(values, stored)
     if codec == "dictionary":
         return _encode_dictionary(values, stored, dictionary_size)
+    if codec == "boolpack":
+        return _encode_boolpack(values, stored)
+    if codec == "cascade":
+        return _encode_cascade(values, stored)
     raise ConfigurationError(
         f"unknown codec {codec!r}; valid choices: {', '.join(CODEC_NAMES)}"
     )
@@ -380,6 +491,8 @@ _DECODERS = {
     "forpack": _decode_forpack,
     "delta": _decode_delta,
     "dictionary": _decode_dictionary,
+    "boolpack": _decode_boolpack,
+    "cascade": _decode_cascade,
 }
 
 

@@ -55,3 +55,56 @@ def encode_kernel_source(
         f"    # traffic: GLOBAL read {raw_nbytes} B, GLOBAL write {wire_nbytes} B\n"
         f"    wire[i] = pack({codec!r}, values[i])\n"
     )
+
+
+def compressed_scan_source(
+    name: str, strategy: str, codec: str, read_bytes: int, instructions: int,
+    detail: str = "",
+) -> str:
+    """Source listing for a fused compressed-scan stage (predicate
+    evaluated directly on the wire image — no raw materialization)."""
+    body = {
+        "rle-runs": (
+            "    # one predicate evaluation per run, amortized over lengths\n"
+            "    run_flag = predicate(run_values[r])\n"
+            "    flags[offsets[r] : offsets[r] + lengths[r]] = run_flag"
+        ),
+        "dict-lookup": (
+            "    # predicate pre-evaluated over the code domain (on-chip LUT)\n"
+            "    lut[c] = predicate(dictionary_value(c))  # once per code\n"
+            "    flags[i] = lut[extract_bits(wire, i * width, width)]"
+        ),
+        "block-skip": (
+            "    # test per-block [min, max] against the predicate first\n"
+            "    if block_all_true: flags[block] = True      # skip unpack\n"
+            "    elif block_all_false: flags[block] = False  # skip unpack\n"
+            "    else: flags[i] = predicate(reference + extract_bits(...))"
+        ),
+        "unpack-scan": (
+            "    # unpack into registers and test; raw never hits global\n"
+            "    flags[i] = predicate(unpack(wire, i))"
+        ),
+    }.get(strategy, "    flags[i] = predicate(unpack(wire, i))")
+    header = f"    # {strategy} over {codec} wire image"
+    if detail:
+        header += f" {detail}"
+    return (
+        f"def {name.replace('.', '_')}(wire, flags):\n"
+        f"{header}\n"
+        f"    # traffic: GLOBAL read {read_bytes} B, {instructions} instructions\n"
+        f"{body}\n"
+    )
+
+
+def gather_decode_source(
+    name: str, codec: str, dtype: str, rows: int, read_bytes: int, write_bytes: int
+) -> str:
+    """Source listing for a partial (late) materialization: decode only
+    the selected positions of a wire-resident column."""
+    return (
+        f"def {name.replace('.', '_')}(wire, positions, out):\n"
+        f"    # {codec} gather-decode: {rows} selected x {dtype} "
+        f"({read_bytes} wire B read -> {write_bytes} raw B written)\n"
+        f"    # traffic: GLOBAL read {read_bytes} B, GLOBAL write {write_bytes} B\n"
+        f"    out[t] = unpack({codec!r}, wire, positions[t])\n"
+    )

@@ -1,0 +1,394 @@
+"""Late materialization: predicates evaluated directly on wire images.
+
+PR 9 shipped base columns compressed but paid a full decode kernel
+before the first predicate ran — a global-memory round trip (wire read
++ raw write + raw re-read) for every column of every query.  This
+module elides that materialization the way the paper elides
+inter-operator materialization: the *scan operates on the compressed
+representation itself*, and raw bytes only ever exist for the
+positions a query actually needs.
+
+Three compressed-scan strategies, picked per predicate conjunct:
+
+* ``rle-runs``   — evaluate the predicate once per *run* instead of
+  once per row; selectivity testing is amortized over run lengths and
+  the raw column never touches global memory.
+* ``dict-lookup`` — pre-evaluate the predicate over the (tiny) code
+  domain into an on-chip lookup table; the scan degenerates to one
+  table probe per packed code.
+* ``block-skip`` — for frame-of-reference packed blocks, test the
+  per-block ``[min, max]`` interval against the predicate first and
+  unpack only *mixed* blocks; blocks that are provably all-true or
+  all-false never leave the wire image.
+
+Anything without a cheaper strategy falls back to ``unpack-scan``:
+unpack into registers and test, charging packed bytes instead of the
+decode round trip.  Columns needed *downstream* of the selection
+materialize only the selected positions (a gather-decode fused into
+the scan kernel); a per-column :class:`LazyColumn` tracks cumulative
+partial traffic and flips to a real full decode when repeated gathers
+would exceed it.
+
+Every strategy computes **exactly** the flags the decoded predicate
+would: runs/codes/blocks are genuine alternate representations of the
+same bytes (the codec round-trip contract), so results stay
+byte-identical on every engine, device count, and codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..expressions.eval import evaluate
+from ..expressions.expr import Between, ColumnRef, Comparison, Expr, InList, Literal, Not
+from .codecs import EncodedColumn, _from_storage, _from_u64
+
+#: Rows per skippable block (matches the cascade codec's block size so
+#: cascade blocks are independently decodable at exactly this grain).
+LAZY_BLOCK = 4096
+
+#: Modeled per-block metadata shipped with packed codecs for skipping:
+#: min + max (8 bytes each) — the price of being able to skip at all.
+BLOCK_META_BYTES = 16
+
+#: Codecs whose wire image a compressed scan can consume directly.
+SCANNABLE_CODECS = frozenset(
+    {"rle", "dictionary", "forpack", "delta", "cascade", "boolpack"}
+)
+
+#: Largest dictionary/code domain we will materialize as an on-chip LUT.
+MAX_LUT_DOMAIN = 1 << 20
+
+
+@dataclass
+class LazyColumn:
+    """Per-query lazy-decode state for one wire-resident column."""
+
+    label: str
+    encoded: EncodedColumn
+    #: Frozen ground-truth array (the decoded values; computation is
+    #: free in the simulation — only *charging* is modeled).
+    values: np.ndarray
+    #: True once the raw column materialized in device global memory.
+    decoded: bool = False
+    #: Cumulative modeled bytes spent on partial gather-decodes.
+    partial_bytes: int = 0
+    #: True once at least one predicate consumed the column compressed.
+    scanned: bool = False
+
+    @property
+    def n(self) -> int:
+        return self.encoded.length
+
+    @property
+    def codec(self) -> str:
+        return self.encoded.codec
+
+    @property
+    def itemsize(self) -> int:
+        return np.dtype(self.encoded.dtype).itemsize
+
+    @property
+    def raw_nbytes(self) -> int:
+        return self.encoded.raw_nbytes
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Wire payload bytes (parts only, header excluded)."""
+        return sum(part.nbytes for part in self.encoded.parts.values())
+
+    @property
+    def decode_bytes(self) -> int:
+        """GLOBAL traffic a full decode kernel would charge (wire+raw)."""
+        return self.encoded.wire_nbytes + self.encoded.raw_nbytes
+
+    def block_extents(self):
+        """Per-LAZY_BLOCK ``(mins, maxs)`` of the integer storage values."""
+        cached = self.__dict__.get("_extents")
+        if cached is None:
+            stored = self.values
+            if stored.dtype == np.bool_:
+                stored = stored.view(np.uint8)
+            if stored.dtype.kind not in "iu" or len(stored) == 0:
+                cached = (None, None)
+            else:
+                starts = np.arange(0, len(stored), LAZY_BLOCK)
+                cached = (
+                    np.minimum.reduceat(stored, starts),
+                    np.maximum.reduceat(stored, starts),
+                )
+            self.__dict__["_extents"] = cached
+        return cached
+
+
+# ----------------------------------------------------------------------
+# predicate analysis
+# ----------------------------------------------------------------------
+def flatten_conjuncts(expr: Expr) -> list[Expr]:
+    """Split a top-level AND into its conjuncts (one element otherwise)."""
+    from ..expressions.expr import BooleanOp
+
+    if isinstance(expr, BooleanOp) and expr.op == "and":
+        flat: list[Expr] = []
+        for operand in expr.operands:
+            flat.extend(flatten_conjuncts(operand))
+        return flat
+    return [expr]
+
+
+def _literal_number(expr: Expr):
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float, np.number)):
+        return int(expr.value) if isinstance(expr.value, bool) else expr.value
+    return None
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def interval_analyzer(expr: Expr):
+    """Return ``fn(lo, hi) -> 'all' | 'none' | 'mixed'`` deciding the
+    predicate over a value interval, or ``None`` if the shape is not
+    interval-sound (then every block is treated as mixed).
+
+    Only integer intervals are analyzed — float min/max skipping is
+    NaN-unsound, so float columns never take the block-skip strategy.
+    """
+    if isinstance(expr, Not):
+        inner = interval_analyzer(expr.operand)
+        if inner is None:
+            return None
+        flip = {"all": "none", "none": "all", "mixed": "mixed"}
+        return lambda lo, hi: flip[inner(lo, hi)]
+    if isinstance(expr, Comparison):
+        op, left, right = expr.op, expr.left, expr.right
+        if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+            left, right, op = right, left, _FLIPPED.get(op)
+        value = _literal_number(right)
+        if not isinstance(left, ColumnRef) or value is None or op is None:
+            return None
+
+        def test(lo, hi, op=op, value=value):
+            if op == "==":
+                if value < lo or value > hi:
+                    return "none"
+                return "all" if lo == hi == value else "mixed"
+            if op == "!=":
+                if value < lo or value > hi:
+                    return "all"
+                return "none" if lo == hi == value else "mixed"
+            compare = {
+                "<": lambda x: x < value,
+                "<=": lambda x: x <= value,
+                ">": lambda x: x > value,
+                ">=": lambda x: x >= value,
+            }[op]
+            low, high = compare(lo), compare(hi)
+            if low and high:
+                return "all"
+            if not low and not high:
+                return "none"
+            return "mixed"
+
+        return test
+    if isinstance(expr, Between):
+        if not isinstance(expr.operand, ColumnRef):
+            return None
+        low = _literal_number(expr.low)
+        high = _literal_number(expr.high)
+        if low is None or high is None:
+            return None
+
+        def test(lo, hi, low=low, high=high):
+            if lo >= low and hi <= high:
+                return "all"
+            if hi < low or lo > high:
+                return "none"
+            return "mixed"
+
+        return test
+    if isinstance(expr, InList):
+        if not isinstance(expr.operand, ColumnRef):
+            return None
+        options = [_literal_number(option) for option in expr.options]
+        if any(option is None for option in options):
+            return None
+        chosen = set(options)
+
+        def test(lo, hi, chosen=chosen):
+            inside = [option for option in chosen if lo <= option <= hi]
+            if not inside:
+                return "none"
+            span = hi - lo + 1
+            if span <= len(chosen) and all(v in chosen for v in range(lo, hi + 1)):
+                return "all"
+            return "mixed"
+
+        return test
+    return None
+
+
+# ----------------------------------------------------------------------
+# compressed-scan strategies
+# ----------------------------------------------------------------------
+@dataclass
+class ScanPlan:
+    """One predicate conjunct executed directly on a wire image."""
+
+    strategy: str
+    column: str
+    #: Modeled GLOBAL bytes the fused scan reads from the wire image.
+    read_bytes: int
+    #: Modeled instruction count of the fused scan.
+    instructions: int
+    #: On-chip traffic (LUT probes for dict-lookup).
+    onchip_bytes: int = 0
+    blocks: int = 0
+    blocks_skipped: int = 0
+    #: Exact selection flags over the full column (computed from the
+    #: compressed representation, byte-identical to the decoded eval).
+    flags: np.ndarray = field(default=None, repr=False)
+    detail: str = ""
+
+    def note(self, decode_bytes: int) -> str:
+        return (
+            f"{self.column}: {self.strategy} {self.detail} "
+            f"~{self.read_bytes / 1e3:.1f}KB vs decode "
+            f"{decode_bytes / 1e3:.1f}KB"
+        )
+
+
+def _scan_rle(state: LazyColumn, conjunct: Expr, name: str) -> ScanPlan:
+    run_values = state.encoded.parts["values"]
+    lengths = state.encoded.parts["lengths"]
+    typed = _from_storage(run_values, state.encoded.dtype)
+    run_flags = np.asarray(evaluate(conjunct, {name: typed}), dtype=bool)
+    flags = np.repeat(run_flags, lengths.astype(np.int64))
+    runs = len(run_values)
+    return ScanPlan(
+        strategy="rle-runs",
+        column=name,
+        read_bytes=run_values.nbytes + lengths.nbytes,
+        instructions=conjunct.size() * runs + state.n,
+        flags=flags,
+        detail=f"({runs} runs)",
+    )
+
+
+def _scan_dictionary(state: LazyColumn, conjunct: Expr, name: str) -> ScanPlan | None:
+    width = int(state.encoded.meta.get("width", 0))
+    domain = 1 << width
+    if domain > MAX_LUT_DOMAIN:
+        return None
+    codes = np.arange(domain, dtype=np.uint64)
+    lut = np.asarray(
+        evaluate(conjunct, {name: _from_u64(codes, state.encoded.dtype)}), dtype=bool
+    )
+    flags = lut[state.values.astype(np.int64, copy=False)]
+    return ScanPlan(
+        strategy="dict-lookup",
+        column=name,
+        read_bytes=state.packed_nbytes,
+        instructions=conjunct.size() * domain + state.n,
+        onchip_bytes=state.n,
+        flags=flags,
+        detail=f"({domain}-entry LUT)",
+    )
+
+
+def _scan_block_skip(state: LazyColumn, conjunct: Expr, name: str) -> ScanPlan | None:
+    test = interval_analyzer(conjunct)
+    if test is None:
+        return None
+    los, his = state.block_extents()
+    if los is None:
+        return None
+    n = state.n
+    values = state.values
+    flags = np.empty(n, dtype=bool)
+    if state.codec == "cascade":
+        widths = state.encoded.parts["widths"].astype(np.int64)
+    else:
+        widths = None
+    width = int(state.encoded.meta.get("width", 0))
+    survivor_rows = 0
+    survivor_bits = 0
+    skipped = 0
+    blocks = len(los)
+    for index in range(blocks):
+        start = index * LAZY_BLOCK
+        stop = min(start + LAZY_BLOCK, n)
+        verdict = test(int(los[index]), int(his[index]))
+        if verdict == "all":
+            flags[start:stop] = True
+            skipped += 1
+        elif verdict == "none":
+            flags[start:stop] = False
+            skipped += 1
+        else:
+            flags[start:stop] = np.asarray(
+                evaluate(conjunct, {name: values[start:stop]}), dtype=bool
+            )
+            rows = stop - start
+            survivor_rows += rows
+            survivor_bits += rows * (int(widths[index]) if widths is not None else width)
+    read_bytes = blocks * BLOCK_META_BYTES + (survivor_bits + 7) // 8
+    return ScanPlan(
+        strategy="block-skip",
+        column=name,
+        read_bytes=read_bytes,
+        instructions=2 * blocks + (2 + conjunct.size()) * survivor_rows,
+        blocks=blocks,
+        blocks_skipped=skipped,
+        flags=flags,
+        detail=f"({skipped}/{blocks} blocks skipped)",
+    )
+
+
+def _scan_unpack(state: LazyColumn, conjunct: Expr, name: str) -> ScanPlan:
+    flags = np.asarray(evaluate(conjunct, {name: state.values}), dtype=bool)
+    return ScanPlan(
+        strategy="unpack-scan",
+        column=name,
+        read_bytes=state.packed_nbytes,
+        instructions=(2 + conjunct.size()) * state.n,
+        flags=flags,
+    )
+
+
+def plan_scan(state: LazyColumn, conjunct: Expr, name: str) -> ScanPlan | None:
+    """Build the cheapest compressed-scan plan for one single-column
+    conjunct, or ``None`` when the codec cannot be scanned in place."""
+    codec = state.codec
+    if codec not in SCANNABLE_CODECS:
+        return None
+    if codec == "rle":
+        return _scan_rle(state, conjunct, name)
+    if codec == "dictionary":
+        plan = _scan_dictionary(state, conjunct, name)
+        return plan if plan is not None else _scan_unpack(state, conjunct, name)
+    if codec in ("forpack", "cascade"):
+        plan = _scan_block_skip(state, conjunct, name)
+        return plan if plan is not None else _scan_unpack(state, conjunct, name)
+    # delta needs the sequential prefix sum (no random block access);
+    # boolpack has no exploitable order — both unpack in registers.
+    return _scan_unpack(state, conjunct, name)
+
+
+# ----------------------------------------------------------------------
+# partial materialization (gather-decode)
+# ----------------------------------------------------------------------
+def gather_cost(state: LazyColumn, rows: int):
+    """Modeled ``(read_bytes, write_bytes, instructions)`` of gathering
+    ``rows`` selected values out of the wire image, or ``None`` when
+    the codec cannot be randomly accessed (delta's prefix dependency)
+    and only a full decode will do."""
+    if state.codec == "delta":
+        return None
+    rows = int(min(rows, state.n))
+    write_bytes = rows * state.itemsize
+    read_bytes = state.packed_nbytes
+    if state.codec == "cascade":
+        read_bytes += len(state.encoded.parts["widths"]) * BLOCK_META_BYTES
+    return read_bytes, write_bytes, 2 * rows

@@ -41,8 +41,11 @@ SAMPLE_WINDOWS = 4
 #: column ships raw (``passthrough``).
 MIN_RATIO = 1.1
 
-#: Everything ``compression=`` accepts.
-VALID_MODES = ("auto", "off") + CODEC_NAMES
+#: Everything ``compression=`` accepts.  ``"lazy"`` chooses codecs
+#: exactly like ``"auto"`` but additionally defers decode: predicates
+#: execute directly on wire images and raw columns materialize only on
+#: demand (see ``repro.compression.lazy`` / docs/compression.md).
+VALID_MODES = ("auto", "lazy", "off") + CODEC_NAMES
 
 
 def resolve_compression(value) -> "CompressionPolicy | None":
@@ -79,9 +82,9 @@ def _candidates(column) -> tuple:
         return ("dictionary", "rle")
     dtype = column.values.dtype
     if dtype == np.bool_:
-        return ("forpack", "rle")
+        return ("boolpack", "forpack", "rle")
     if dtype.kind == "i":
-        return ("forpack", "rle", "delta")
+        return ("forpack", "rle", "delta", "cascade")
     if dtype.kind == "u":
         return ("forpack", "rle")
     if dtype.kind == "f":
@@ -113,9 +116,46 @@ class CompressionPolicy:
                 f"valid choices: {', '.join(name for name in VALID_MODES if name != 'off')}"
             )
         self.mode = mode
+        #: ``"lazy"`` defers decode (late materialization); codec
+        #: choice itself is identical to ``"auto"``.
+        self.lazy = mode == "lazy"
+        #: Per-codec observed decode throughput (bytes / sim ms), fed
+        #: by the calibration layer; ``None`` until observed.
+        self.decode_throughput: dict[str, float] = {}
 
     def __repr__(self) -> str:
         return f"CompressionPolicy({self.mode!r})"
+
+    # ------------------------------------------------------------------
+    # calibration feedback
+    # ------------------------------------------------------------------
+    #: EWMA weight for decode-throughput observations.
+    THROUGHPUT_ALPHA = 0.3
+
+    def observe_decode(self, codec: str, raw_bytes: int, sim_ms: float) -> None:
+        """Fold an observed decode-kernel timing into the per-codec
+        throughput estimate the chooser and runtime consult."""
+        if sim_ms <= 0 or raw_bytes <= 0:
+            return
+        rate = raw_bytes / sim_ms
+        prior = self.decode_throughput.get(codec)
+        if prior is None:
+            self.decode_throughput[codec] = rate
+        else:
+            alpha = self.THROUGHPUT_ALPHA
+            self.decode_throughput[codec] = alpha * rate + (1 - alpha) * prior
+
+    def decode_factor(self, codec: str) -> float:
+        """Relative decode slowness of ``codec`` vs the fastest codec
+        observed so far (1.0 when uncalibrated).  >1 means this codec's
+        decode kernels run slow, which tilts decisions toward
+        compressed scans and away from eager decode."""
+        rate = self.decode_throughput.get(codec)
+        if not rate or not self.decode_throughput:
+            return 1.0
+        best = max(self.decode_throughput.values())
+        factor = best / rate if rate else 1.0
+        return min(4.0, max(0.25, factor))
 
     # ------------------------------------------------------------------
     # whole-column encoding (cached)
@@ -123,10 +163,12 @@ class CompressionPolicy:
     def encoded(self, column) -> EncodedColumn:
         """The column's wire encoding under this policy (cached)."""
         cache = column.__dict__.setdefault("_compression_cache", {})
-        hit = cache.get(self.mode)
+        # "lazy" picks codecs exactly like "auto" — share its cache slot.
+        key = "auto" if self.lazy else self.mode
+        hit = cache.get(key)
         if hit is None:
             hit = self._encode_full(column)
-            cache[self.mode] = hit
+            cache[key] = hit
         return hit
 
     def wire_nbytes(self, column) -> int:
@@ -134,7 +176,7 @@ class CompressionPolicy:
 
     def _encode_full(self, column) -> EncodedColumn:
         values = column.values
-        codec = self.choose(column) if self.mode == "auto" else self.mode
+        codec = self.choose(column) if self.mode in ("auto", "lazy") else self.mode
         if codec != "passthrough":
             result = encode(values, codec, _dictionary_size(column))
             if result is not None and result.raw_nbytes >= MIN_RATIO * result.wire_nbytes:
@@ -167,5 +209,34 @@ class CompressionPolicy:
         if codec != "passthrough":
             result = encode(values, codec, _dictionary_size(column))
             if result is not None and result.wire_nbytes < values.nbytes:
+                return result
+        return encode(values, "passthrough")
+
+    # ------------------------------------------------------------------
+    # bare arrays (D2H partials: gather / per-block results; uncached)
+    # ------------------------------------------------------------------
+    def encode_array(self, values: np.ndarray) -> EncodedColumn:
+        """Encode a result/partial array for the D2H direction.
+
+        Scores the dtype's candidate codecs on a sample (partials are
+        fresh arrays, so nothing is cached) and falls back to
+        passthrough unless a codec clears :data:`MIN_RATIO`."""
+        values = np.ascontiguousarray(values)
+
+        class _Bare:
+            pass
+
+        bare = _Bare()
+        bare.values = values
+        bare.dictionary = None
+        sample = _sample(values)
+        best, best_wire = "passthrough", sample.nbytes
+        for codec in _candidates(bare):
+            scored = encode(sample, codec)
+            if scored is not None and scored.wire_nbytes < best_wire:
+                best, best_wire = codec, scored.wire_nbytes
+        if best != "passthrough":
+            result = encode(values, best)
+            if result is not None and result.raw_nbytes >= MIN_RATIO * result.wire_nbytes:
                 return result
         return encode(values, "passthrough")

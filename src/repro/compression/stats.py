@@ -23,6 +23,23 @@ class CompressionStats:
     decode_kernels: int = 0
     encode_kernels: int = 0
     codecs: dict = field(default_factory=dict)
+    #: Late materialization (``compression="lazy"``): predicate
+    #: conjuncts executed directly on wire images, block-skip
+    #: accounting, columns whose raw form never hit global memory, and
+    #: modeled bytes of partial (selected-positions-only) decodes.
+    compressed_scans: int = 0
+    scan_blocks: int = 0
+    scan_blocks_skipped: int = 0
+    deferred_columns: int = 0
+    partial_decode_bytes: int = 0
+    #: D2H partials shipped as wire images decode on the host; these
+    #: bytes never charge a device kernel.
+    host_decode_bytes: int = 0
+    #: Human-readable per-conjunct scan decisions (for EXPLAIN).
+    scans: list = field(default_factory=list)
+    #: Observed decode-kernel cost by codec (calibration feedback).
+    decode_ms_by_codec: dict = field(default_factory=dict)
+    decode_bytes_by_codec: dict = field(default_factory=dict)
 
     @property
     def ratio(self) -> float:
@@ -41,6 +58,15 @@ class CompressionStats:
             self.encoded_columns += 1
         self.codecs[name] = self.codecs.get(name, 0) + 1
 
+    def record_decode_cost(self, codec: str, raw_nbytes: int, sim_ms: float) -> None:
+        name = codec or "passthrough"
+        self.decode_ms_by_codec[name] = (
+            self.decode_ms_by_codec.get(name, 0.0) + float(sim_ms)
+        )
+        self.decode_bytes_by_codec[name] = (
+            self.decode_bytes_by_codec.get(name, 0) + int(raw_nbytes)
+        )
+
     def merge(self, other: "CompressionStats") -> None:
         self.raw_bytes += other.raw_bytes
         self.wire_bytes += other.wire_bytes
@@ -48,8 +74,23 @@ class CompressionStats:
         self.encoded_columns += other.encoded_columns
         self.decode_kernels += other.decode_kernels
         self.encode_kernels += other.encode_kernels
+        self.compressed_scans += other.compressed_scans
+        self.scan_blocks += other.scan_blocks
+        self.scan_blocks_skipped += other.scan_blocks_skipped
+        self.deferred_columns += other.deferred_columns
+        self.partial_decode_bytes += other.partial_decode_bytes
+        self.host_decode_bytes += other.host_decode_bytes
+        self.scans.extend(other.scans)
         for name, count in other.codecs.items():
             self.codecs[name] = self.codecs.get(name, 0) + count
+        for name, ms in other.decode_ms_by_codec.items():
+            self.decode_ms_by_codec[name] = (
+                self.decode_ms_by_codec.get(name, 0.0) + ms
+            )
+        for name, nbytes in other.decode_bytes_by_codec.items():
+            self.decode_bytes_by_codec[name] = (
+                self.decode_bytes_by_codec.get(name, 0) + nbytes
+            )
 
     @classmethod
     def aggregate(cls, items) -> "CompressionStats | None":
@@ -66,11 +107,18 @@ class CompressionStats:
         codecs = ", ".join(
             f"{name}x{count}" for name, count in sorted(self.codecs.items())
         )
-        return (
+        text = (
             f"wire {self.wire_bytes:,}B / raw {self.raw_bytes:,}B "
             f"({self.ratio:.2f}x, {self.encoded_columns}/{self.columns} "
             f"columns encoded; {codecs})"
         )
+        if self.compressed_scans:
+            text += (
+                f"; {self.compressed_scans} compressed scans "
+                f"({self.scan_blocks_skipped}/{self.scan_blocks} blocks "
+                f"skipped), {self.deferred_columns} decodes deferred"
+            )
+        return text
 
 
 def observe_compression_metrics(metrics, stats: CompressionStats) -> None:
@@ -98,6 +146,26 @@ def observe_compression_metrics(metrics, stats: CompressionStats) -> None:
         "repro_compression_decode_kernels_total",
         "Decompression kernels launched on-device",
     ).inc(stats.decode_kernels)
+    metrics.counter(
+        "repro_compression_compressed_scans_total",
+        "Predicate conjuncts executed directly on wire images",
+    ).inc(stats.compressed_scans)
+    metrics.counter(
+        "repro_compression_scan_blocks_skipped_total",
+        "Packed blocks skipped via min/max tests during compressed scans",
+    ).inc(stats.scan_blocks_skipped)
+    metrics.counter(
+        "repro_compression_deferred_decodes_total",
+        "Columns whose raw form never materialized in device memory",
+    ).inc(stats.deferred_columns)
+    metrics.counter(
+        "repro_compression_partial_decode_bytes_total",
+        "Raw bytes materialized by selected-positions-only decodes",
+    ).inc(stats.partial_decode_bytes)
+    metrics.counter(
+        "repro_compression_host_decode_bytes_total",
+        "Raw bytes of D2H partials decoded host-side",
+    ).inc(stats.host_decode_bytes)
     for codec, count in stats.codecs.items():
         metrics.counter(
             "repro_compression_columns_total",

@@ -45,7 +45,7 @@ class CompoundEngine(Engine):
     def execute_pipeline(
         self, pipeline: Pipeline, runtime: QueryRuntime
     ) -> dict[str, np.ndarray] | None:
-        scope = runtime.load_source(pipeline)
+        scope = runtime.load_source(pipeline, lazy_capable=True)
         ctx = KernelContext(
             runtime,
             scope,
@@ -54,6 +54,7 @@ class CompoundEngine(Engine):
             sink=pipeline.sink,
             output_schema=pipeline.output_schema,
             rows=runtime.source_rows(pipeline),
+            pipeline=pipeline,
         )
         kernel = generate_compound_kernel(pipeline)
         runtime.kernel_sources[pipeline.name] = kernel.source

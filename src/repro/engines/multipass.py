@@ -38,7 +38,7 @@ class MultiPassEngine(Engine):
         self, pipeline: Pipeline, runtime: QueryRuntime
     ) -> dict[str, np.ndarray] | None:
         device = runtime.device
-        scope = runtime.load_source(pipeline)
+        scope = runtime.load_source(pipeline, lazy_capable=True)
 
         # Phase 1: count kernel.
         count_ctx = KernelContext(
@@ -47,6 +47,7 @@ class MultiPassEngine(Engine):
             pipeline.scope_schema,
             mode="multipass",
             rows=runtime.source_rows(pipeline),
+            pipeline=pipeline,
         )
         count_kernel = generate_count_kernel(pipeline)
         runtime.kernel_sources[f"{pipeline.name}.count"] = count_kernel.source
@@ -68,6 +69,7 @@ class MultiPassEngine(Engine):
             sink=pipeline.sink,
             output_schema=pipeline.output_schema,
             rows=runtime.source_rows(pipeline),
+            pipeline=pipeline,
         )
         write_ctx.install_flags(flags)
         write_ctx.set_positions(scan)

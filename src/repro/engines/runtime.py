@@ -18,6 +18,8 @@ from ..compression import (
     decode_kernel_source,
     encode_kernel_source,
 )
+from ..compression.kernels import compressed_scan_source, gather_decode_source
+from ..compression.lazy import LazyColumn, gather_cost
 from ..errors import PlanError
 from ..expressions.eval import evaluate
 from ..hardware.device import VirtualCoprocessor
@@ -117,6 +119,10 @@ class QueryRuntime:
         self._compression_stats = (
             CompressionStats() if self.compression is not None else None
         )
+        #: Late materialization (``compression="lazy"``): wire-resident
+        #: columns whose decode is deferred, keyed by ``id(values)`` of
+        #: the ground-truth array the scope holds.
+        self.lazy_columns: dict[int, LazyColumn] = {}
 
     # ------------------------------------------------------------------
     def source_rows(self, pipeline: Pipeline) -> int:
@@ -129,9 +135,20 @@ class QueryRuntime:
             return len(next(iter(virtual.arrays.values())))
         return self.database.table(pipeline.source).num_rows
 
-    def load_source(self, pipeline: Pipeline) -> dict[str, np.ndarray]:
+    def load_source(
+        self, pipeline: Pipeline, lazy_capable: bool = False
+    ) -> dict[str, np.ndarray]:
         """The pipeline's input scope: base columns (transferred on
-        first use) or a virtual table already on the device."""
+        first use) or a virtual table already on the device.
+
+        ``lazy_capable=True`` (compound/multipass engines, whose charge
+        paths route through :class:`~repro.kernels.context.KernelContext`)
+        lets a ``compression="lazy"`` policy defer decode kernels: the
+        column stays wire-resident and a :class:`LazyColumn` is
+        registered for compressed scans / on-demand materialization.
+        Engines that charge column reads outside the context (the
+        operator-at-a-time design) keep the eager decode-at-load path.
+        """
         if pipeline.source_is_virtual:
             try:
                 virtual = self.virtual_tables[pipeline.source]
@@ -142,6 +159,11 @@ class QueryRuntime:
                 ) from None
             return dict(virtual.arrays)
         table = self.database.table(pipeline.source)
+        lazy = (
+            lazy_capable
+            and self.compression is not None
+            and getattr(self.compression, "lazy", False)
+        )
         scope: dict[str, np.ndarray] = {}
         for name in pipeline.required_columns:
             base_name = pipeline.source_rename.get(name, name)
@@ -181,26 +203,48 @@ class QueryRuntime:
                                 column.nbytes, entry.nbytes, encoded.codec
                             )
                     if encoded is not None and encoded.codec != "passthrough":
-                        # Resident data is compressed: every query (hit
-                        # or miss) decodes it into a transient raw
-                        # buffer — hits skip the link, not the decode.
-                        self.device.allocate(
-                            np.empty(encoded.raw_nbytes, dtype=np.uint8),
-                            label=f"decode.{label}",
+                        if lazy:
+                            # Decoded-on-demand residency: the wire
+                            # image stays pooled, raw materializes only
+                            # if a consumer actually needs it.
+                            self._register_lazy(label, encoded, column)
+                        else:
+                            # Resident data is compressed: every query
+                            # (hit or miss) decodes it into a transient
+                            # raw buffer — hits skip the link, not the
+                            # decode.
+                            self.device.allocate(
+                                np.empty(encoded.raw_nbytes, dtype=np.uint8),
+                                label=f"decode.{label}",
+                            )
+                            self.charge_decode(encoded, label)
+                elif encoded is not None and encoded.codec != "passthrough":
+                    if lazy:
+                        # Ship and keep only the wire image; no decode
+                        # kernel, no raw allocation — yet.
+                        self.device.transfer_to_device(
+                            encoded.wire_array,
+                            label=label,
+                            raw_nbytes=column.nbytes,
+                            codec=encoded.codec,
+                        )
+                        self.input_bytes += encoded.wire_nbytes
+                        self._compression_stats.record(
+                            column.nbytes, encoded.wire_nbytes, encoded.codec
+                        )
+                        self._register_lazy(label, encoded, column)
+                    else:
+                        self.device.transfer_to_device(
+                            column.values,
+                            label=label,
+                            wire_nbytes=encoded.wire_nbytes,
+                            codec=encoded.codec,
+                        )
+                        self.input_bytes += encoded.wire_nbytes
+                        self._compression_stats.record(
+                            column.nbytes, encoded.wire_nbytes, encoded.codec
                         )
                         self.charge_decode(encoded, label)
-                elif encoded is not None and encoded.codec != "passthrough":
-                    self.device.transfer_to_device(
-                        column.values,
-                        label=label,
-                        wire_nbytes=encoded.wire_nbytes,
-                        codec=encoded.codec,
-                    )
-                    self.input_bytes += encoded.wire_nbytes
-                    self._compression_stats.record(
-                        column.nbytes, encoded.wire_nbytes, encoded.codec
-                    )
-                    self.charge_decode(encoded, label)
                 else:
                     self.device.transfer_to_device(column.values, label=label)
                     self.input_bytes += column.nbytes
@@ -247,6 +291,12 @@ class QueryRuntime:
             )
         if self._compression_stats is not None:
             self._compression_stats.decode_kernels += 1
+            # Observed decode cost by codec feeds the calibration layer
+            # (per-codec decode-throughput factors).
+            trace = self.device.log.kernels[-1]
+            self._compression_stats.record_decode_cost(
+                codec, raw_nbytes, trace.time_ms
+            )
 
     def _charge_encode(self, encoded, label: str) -> None:
         """Charge a device-side result-encode kernel before D2H."""
@@ -271,6 +321,111 @@ class QueryRuntime:
     def compression_stats(self):
         """Per-query compression accounting (None when disabled)."""
         return self._compression_stats
+
+    # ------------------------------------------------------------------
+    # late materialization (compression="lazy")
+    # ------------------------------------------------------------------
+    def _register_lazy(self, label: str, encoded, column) -> None:
+        state = LazyColumn(label=label, encoded=encoded, values=column.values)
+        self.lazy_columns[id(column.values)] = state
+        if self._compression_stats is not None:
+            self._compression_stats.deferred_columns += 1
+
+    def lazy_lookup(self, array) -> "LazyColumn | None":
+        """The undecoded lazy state backing a scope array, if any.
+
+        Sliced views (the vector engine's per-vector scopes) resolve
+        through ``array.base`` and force a full decode — per-vector
+        partial tracking would charge the decode piecemeal anyway.
+        """
+        if not self.lazy_columns or array is None:
+            return None
+        state = self.lazy_columns.get(id(array))
+        if state is not None:
+            return None if state.decoded else state
+        base = getattr(array, "base", None)
+        if base is not None:
+            state = self.lazy_columns.get(id(base))
+            if state is not None and not state.decoded:
+                self.ensure_decoded(state)
+        return None
+
+    def ensure_decoded(self, state: LazyColumn) -> None:
+        """Materialize a wire-resident column in full: the deferred
+        decode kernel runs now, exactly as the eager path charges it."""
+        if state.decoded:
+            return
+        state.decoded = True
+        if self._compression_stats is not None:
+            self._compression_stats.deferred_columns -= 1
+        self.device.allocate(
+            np.empty(state.encoded.raw_nbytes, dtype=np.uint8),
+            label=f"decode.{state.label}",
+        )
+        self.charge_decode(state.encoded, state.label)
+
+    def lazy_gather(self, state: LazyColumn, rows: int, meter) -> bool:
+        """Charge a partial gather-decode (selected positions only)
+        fused into the running kernel's meter.
+
+        Returns True when the partial charge was applied — the caller
+        skips its normal raw-column read, the gathered values live in
+        registers.  Returns False when the column flipped to a full
+        decode instead (repeated gathers would exceed the decode cost,
+        or the codec has a sequential dependency): the deferred decode
+        kernel has then been charged and the caller proceeds eagerly.
+        """
+        cost = gather_cost(state, rows)
+        if cost is not None and 2 * rows <= state.n:
+            read_bytes, write_bytes, instructions = cost
+            if state.partial_bytes + read_bytes + write_bytes < state.decode_bytes:
+                state.partial_bytes += read_bytes + write_bytes
+                meter.record_read(MemoryLevel.GLOBAL, read_bytes)
+                meter.record_write(MemoryLevel.GLOBAL, write_bytes)
+                meter.record_instructions(instructions)
+                name = f"gather.{state.label}"
+                if name not in self.kernel_sources:
+                    self.kernel_sources[name] = gather_decode_source(
+                        name,
+                        state.codec,
+                        str(state.encoded.dtype),
+                        int(rows),
+                        read_bytes,
+                        write_bytes,
+                    )
+                if self._compression_stats is not None:
+                    self._compression_stats.partial_decode_bytes += write_bytes
+                return True
+        self.ensure_decoded(state)
+        return False
+
+    def record_scan(self, state: LazyColumn, plan, meter) -> None:
+        """Account one compressed-scan conjunct: charge the fused
+        strategy traffic and keep the decision visible (kernel source
+        listing + stats note for EXPLAIN)."""
+        meter.record_read(MemoryLevel.GLOBAL, plan.read_bytes)
+        if plan.onchip_bytes:
+            meter.record_read(MemoryLevel.ONCHIP, plan.onchip_bytes)
+        meter.record_instructions(plan.instructions)
+        state.scanned = True
+        name = f"compressed_scan.{state.label}"
+        if name not in self.kernel_sources:
+            self.kernel_sources[name] = compressed_scan_source(
+                name,
+                plan.strategy,
+                state.codec,
+                plan.read_bytes,
+                plan.instructions,
+                plan.detail,
+            )
+        if self._compression_stats is not None:
+            stats = self._compression_stats
+            stats.compressed_scans += 1
+            stats.scan_blocks += plan.blocks
+            stats.scan_blocks_skipped += plan.blocks_skipped
+            note = plan.note(state.decode_bytes)
+            if note not in stats.scans:
+                stats.scans.append(note)
 
     # ------------------------------------------------------------------
     def query_placement(self):

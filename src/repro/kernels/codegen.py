@@ -174,11 +174,19 @@ def _emit_stages(lines: list[str], pipeline: Pipeline) -> None:
     """Emit the relational primitives of the pipeline, in order."""
     for index, stage in enumerate(pipeline.stages):
         if isinstance(stage, FilterStage):
+            # One filter_stage call per selection: the context decides at
+            # RUNTIME whether to load + evaluate (classic) or to scan the
+            # compressed wire image per conjunct (compression="lazy") —
+            # generated source must stay identical either way so the
+            # process-wide kernel cache stays policy-agnostic.
             lines.append(f"# select (stage {index})")
-            lines.append(_touch_line(stage.predicate.columns()))
-            lines.append(f"flags_{index} = {to_source(stage.predicate)}")
+            columns = ", ".join(
+                repr(column) for column in sorted(stage.predicate.columns())
+            )
             lines.append(
-                f"mask = ctx.apply_filter(mask, flags_{index}, cost={stage.predicate.size()})"
+                f"mask = ctx.filter_stage(mask, {index}, "
+                f"lambda scope: {to_source(stage.predicate)}, "
+                f"cost={stage.predicate.size()}, columns=[{columns}])"
             )
         elif isinstance(stage, MapStage):
             lines.append(f"# map {stage.name} (stage {index})")

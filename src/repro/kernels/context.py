@@ -68,6 +68,7 @@ class KernelContext:
         sink=None,
         output_schema: PlanSchema | None = None,
         rows: int | None = None,
+        pipeline=None,
     ):
         if mode not in REDUCTION_MODES:
             raise CompilationError(f"unknown reduction mode {mode!r}")
@@ -96,6 +97,11 @@ class KernelContext:
         self._positions: ScanResult | None = None
         self._loaded: set[str] = set()
         self._valid = self.n if base_count is None else base_count
+        #: The physical pipeline this kernel implements (None for
+        #: hand-built contexts).  Needed by :meth:`filter_stage` to
+        #: reach the predicate *expression tree* at runtime — generated
+        #: source stays identical regardless of compression policy.
+        self.pipeline = pipeline
 
     @property
     def profile(self) -> DeviceProfile:
@@ -111,13 +117,26 @@ class KernelContext:
         return dtype.itemsize
 
     def touch(self, names: list[str], count: int | None = None) -> None:
-        """Charge the first global-memory load of each named column."""
+        """Charge the first global-memory load of each named column.
+
+        A column whose decode is deferred (``compression="lazy"``)
+        charges a *gather-decode* fused into this kernel instead — only
+        the alive positions materialize — unless cumulative partial
+        traffic flips it to the full decode kernel first.
+        """
         charge = self._valid if count is None else count
         charge = min(charge, self.base_count)
+        runtime = self.runtime
         for name in names:
             if name in self._loaded:
                 continue
             self._loaded.add(name)
+            if runtime.lazy_columns:
+                state = runtime.lazy_lookup(self.scope.get(name))
+                if state is not None and runtime.lazy_gather(
+                    state, charge, self.meter
+                ):
+                    continue
             self.meter.record_read(MemoryLevel.GLOBAL, charge * self.itemsize(name))
 
     def mark_loaded(self, names: list[str]) -> None:
@@ -141,6 +160,70 @@ class KernelContext:
         mask = mask & flags
         self._valid = int(mask.sum())
         return mask
+
+    def filter_stage(self, mask, index, fn, cost, columns):
+        """Execute one FilterStage: load the predicate columns and AND
+        its flags into the mask.
+
+        The default path charges exactly what the classic emission did
+        (touch + one apply_filter).  Under ``compression="lazy"``,
+        single-column conjuncts over wire-resident columns execute as
+        *compressed scans* — on RLE runs, dictionary-code LUTs, or
+        min/max-skipped packed blocks — so the predicate columns never
+        materialize raw (see ``repro.compression.lazy``).  Both paths
+        compute identical flags.
+        """
+        predicate = None
+        if self.pipeline is not None and self.runtime.lazy_columns:
+            stage = self.pipeline.stages[index]
+            predicate = getattr(stage, "predicate", None)
+        if predicate is not None:
+            from ..compression.lazy import flatten_conjuncts, plan_scan
+
+            conjuncts = flatten_conjuncts(predicate)
+            plans = []
+            any_scan = False
+            policy = self.runtime.compression
+            for conjunct in conjuncts:
+                plan = state = None
+                names = conjunct.columns()
+                if len(names) == 1:
+                    name = next(iter(names))
+                    state = self.runtime.lazy_lookup(self.scope.get(name))
+                    if state is not None:
+                        plan = plan_scan(state, conjunct, name)
+                        if plan is not None:
+                            # Compressed scan vs decode-then-scan, with
+                            # the calibrated per-codec decode factor.
+                            factor = (
+                                policy.decode_factor(state.codec)
+                                if policy is not None
+                                else 1.0
+                            )
+                            decode_side = state.decode_bytes * factor + min(
+                                self._valid, self.base_count
+                            ) * state.itemsize
+                            if plan.read_bytes + plan.onchip_bytes >= decode_side:
+                                plan = None
+                if plan is not None:
+                    any_scan = True
+                plans.append((conjunct, plan, state))
+            if any_scan:
+                for conjunct, plan, state in plans:
+                    if plan is not None:
+                        self.runtime.record_scan(state, plan, self.meter)
+                        mask = mask & plan.flags
+                        self._valid = int(mask.sum())
+                    else:
+                        from ..expressions.eval import evaluate
+
+                        self.touch(sorted(conjunct.columns()))
+                        mask = self.apply_filter(
+                            mask, evaluate(conjunct, self.scope), conjunct.size()
+                        )
+                return mask
+        self.touch(columns)
+        return self.apply_filter(mask, fn(self.scope), cost)
 
     def probe(
         self,

@@ -184,6 +184,10 @@ class BatchExecutor:
                 kernel(ctx)
                 device.launch(f"{kernel.name}.block{index}", "compound", ctx.n, ctx.meter)
                 partials.append(dict(ctx.outputs))
+                if policy is not None:
+                    self._ship_partial(
+                        ctx.outputs, index, runtime, device, policy
+                    )
                 counts.append(
                     ctx.aggregation.inputs if ctx.aggregation is not None else 0
                 )
@@ -213,6 +217,52 @@ class BatchExecutor:
             )
         finally:
             runtime.close()
+
+    # ------------------------------------------------------------------
+    def _ship_partial(
+        self,
+        outputs: dict,
+        index: int,
+        runtime: QueryRuntime,
+        device: VirtualCoprocessor,
+        policy,
+    ) -> None:
+        """Ship one block's partial columns d2h as wire images.
+
+        Mirrors the scale-out gather: columns that clear the wire-ratio
+        gate pay a device-side encode kernel and cross the link
+        compressed; the decode happens during the host merge
+        (``host_decode_bytes``), never on the device.  Without a policy
+        the partials stay un-charged, exactly as before compression
+        existed (the plain-mode timing baselines depend on it).
+        """
+        stats = runtime.compression_stats()
+        for name, values in outputs.items():
+            arr = np.asarray(values)
+            if arr.nbytes == 0:
+                continue
+            encoded = policy.encode_array(arr)
+            label = f"partial.block{index}.{name}"
+            if (
+                encoded is not None
+                and encoded.codec != "passthrough"
+                and encoded.wire_nbytes < arr.nbytes
+            ):
+                runtime._charge_encode(encoded, label)
+                device.record_stream_transfer(
+                    encoded.wire_nbytes,
+                    "d2h",
+                    label=label,
+                    raw_nbytes=arr.nbytes,
+                    codec=encoded.codec,
+                )
+                if stats is not None:
+                    stats.record(arr.nbytes, encoded.wire_nbytes, encoded.codec)
+                    stats.host_decode_bytes += arr.nbytes
+            else:
+                device.record_stream_transfer(arr.nbytes, "d2h", label=label)
+                if stats is not None:
+                    stats.record(arr.nbytes, arr.nbytes, "passthrough")
 
     # ------------------------------------------------------------------
     def _rows_per_block(self, pipeline: Pipeline, table) -> int:

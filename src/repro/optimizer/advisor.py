@@ -126,6 +126,18 @@ class OptimizerDecision:
             lines.append(
                 f"  x {pruned.strategy.describe():<43} {pruned.reason}"
             )
+        # Late-materialization decisions (compression="lazy"): which
+        # predicate columns scan compressed and which decode.
+        notes = [
+            f"  {pipe.name}: {note}"
+            for pipe in self.estimate.pipelines
+            for note in pipe.scan_notes
+        ]
+        if notes:
+            lines.append("late materialization:")
+            lines.extend(notes[:limit])
+            if len(notes) > limit:
+                lines.append(f"  ... {len(notes) - limit} more columns")
         return "\n".join(lines)
 
 

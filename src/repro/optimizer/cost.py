@@ -149,6 +149,9 @@ class PipelineEstimate:
     #: Estimated result bytes this pipeline ships d2h (final only).
     output_bytes: int = 0
     groups: int = 0
+    #: Per-column late-materialization decisions (compressed scan vs
+    #: decode-then-scan), surfaced in EXPLAIN under ``compression="lazy"``.
+    scan_notes: list = field(default_factory=list)
 
 
 @dataclass
@@ -407,6 +410,10 @@ class CostEstimator:
     ) -> PipelineEstimate:
         stats: TableStats | None = None
         renames = pipeline.source_rename
+        lazy = self.compression is not None and getattr(
+            self.compression, "lazy", False
+        )
+        column_objs: dict[str, object] = {}
         if pipeline.source_is_virtual:
             rows_in = virtual_rows.get(pipeline.source, 1)
             input_bytes = 8 * rows_in * max(1, len(pipeline.required_columns))
@@ -420,9 +427,10 @@ class CostEstimator:
             wire_bytes = 0
             for name in pipeline.required_columns:
                 base = renames.get(name, name)
+                column = table.column(base)
+                column_objs[name] = column
                 if base not in seen:
                     seen.add(base)
-                    column = table.column(base)
                     input_bytes += column.nbytes
                     # Per-column compressed wire size (cached on the
                     # column, so the estimator prices the exact
@@ -433,6 +441,10 @@ class CostEstimator:
                         else column.nbytes
                     )
 
+        #: Single-column predicate conjuncts eligible for a compressed
+        #: scan under ``compression="lazy"``: (scope name, conjunct,
+        #: estimated selectivity).
+        scan_candidates: list[tuple] = []
         selectivity = 1.0
         probe_traffic = 0.0
         map_count = 0
@@ -444,6 +456,21 @@ class CostEstimator:
                     stage.predicate, stats, renames
                 )
                 selectivity *= stage_sel
+                if lazy and column_objs:
+                    from ..compression.lazy import flatten_conjuncts
+
+                    for conjunct in flatten_conjuncts(stage.predicate):
+                        names = conjunct.columns()
+                        if len(names) == 1:
+                            cname = next(iter(names))
+                            if cname in column_objs:
+                                scan_candidates.append((
+                                    cname,
+                                    conjunct,
+                                    self.predicate_selectivity(
+                                        conjunct, stats, renames
+                                    ),
+                                ))
                 if stats is not None and not pipeline.source_is_virtual:
                     for name in stage.predicate.columns():
                         base = renames.get(name, name)
@@ -501,18 +528,145 @@ class CostEstimator:
             map_count,
         )
         if pipe.wire_bytes < pipe.input_bytes:
-            # The link savings are not free: a decompression kernel
-            # reads the wire image and writes the raw columns back to
-            # global memory before the pipeline proper starts.
-            decode = TrafficMeter()
-            decode.record_read(_GLOBAL, pipe.wire_bytes)
-            decode.record_write(_GLOBAL, pipe.input_bytes)
-            decode.record_instructions(2 * rows_in)
-            breakdown = self.cost_model.breakdown(decode, kind="decode")
-            pipe.kernel_ms += breakdown.total * 1e3
-            pipe.global_bytes += pipe.wire_bytes + pipe.input_bytes
-            pipe.kernels += 1
+            if lazy:
+                self._price_lazy(
+                    pipe, column_objs, scan_candidates, rows_in, rows_out
+                )
+            else:
+                # The link savings are not free: a decompression kernel
+                # reads the wire image and writes the raw columns back
+                # to global memory before the pipeline proper starts.
+                decode = TrafficMeter()
+                decode.record_read(_GLOBAL, pipe.wire_bytes)
+                decode.record_write(_GLOBAL, pipe.input_bytes)
+                decode.record_instructions(2 * rows_in)
+                breakdown = self.cost_model.breakdown(decode, kind="decode")
+                pipe.kernel_ms += breakdown.total * 1e3
+                pipe.global_bytes += pipe.wire_bytes + pipe.input_bytes
+                pipe.kernels += 1
         return pipe
+
+    # ------------------------------------------------------------------
+    def _price_lazy(
+        self,
+        pipe: PipelineEstimate,
+        column_objs: dict,
+        scan_candidates: list,
+        rows_in: int,
+        rows_out: int,
+    ) -> None:
+        """Price late materialization (``compression="lazy"``): predicate
+        columns are scanned directly on their wire images when cheaper
+        than the decode round trip, and the remaining columns gather
+        only the selected positions — per-column decisions land in
+        ``pipe.scan_notes`` for EXPLAIN."""
+        from ..compression.codecs import WIRE_HEADER_BYTES
+
+        policy = self.compression
+        meter = TrafficMeter()
+        glob = 0
+        priced = set()
+        for name, column in column_objs.items():
+            if id(column) in priced:
+                continue
+            priced.add(id(column))
+            encoded = policy.encoded(column)
+            codec = encoded.codec
+            if codec == "passthrough":
+                continue  # ships raw; nothing to decode
+            raw = column.nbytes
+            wire = encoded.wire_nbytes
+            packed = max(0, wire - WIRE_HEADER_BYTES)
+            n = max(1, encoded.length)
+            itemsize = max(1, raw // n)
+            decode_side = (wire + raw) * policy.decode_factor(codec)
+            conjuncts = [
+                (conjunct, sel)
+                for cname, conjunct, sel in scan_candidates
+                if column_objs.get(cname) is column
+            ]
+
+            scanned = False
+            if conjuncts:
+                conjunct, sel = conjuncts[0]
+                read, strategy = self._scan_read_estimate(
+                    encoded, packed, n, conjunct, sel
+                )
+                if read < decode_side:
+                    meter.record_read(_GLOBAL, int(read))
+                    if strategy == "dict-lookup":
+                        meter.record_read(_ONCHIP, n)
+                    glob += int(read)
+                    pipe.scan_notes.append(
+                        f"{name}: compressed scan ({strategy}, {codec}) "
+                        f"~{read / 1e3:.1f}KB vs decode "
+                        f"{decode_side / 1e3:.1f}KB"
+                    )
+                    scanned = True
+                else:
+                    pipe.scan_notes.append(
+                        f"{name}: decode-then-scan ({codec}; scan "
+                        f"~{read / 1e3:.1f}KB not under decode "
+                        f"{decode_side / 1e3:.1f}KB)"
+                    )
+            if scanned:
+                continue
+
+            # Downstream (or unprofitable-scan) column: gather only the
+            # selected rows unless that would exceed the full decode.
+            sel_rows = min(rows_out, n)
+            if codec != "delta" and 2 * sel_rows <= n:
+                read, write = packed, sel_rows * itemsize
+                if not conjuncts:
+                    pipe.scan_notes.append(
+                        f"{name}: gather-decode {sel_rows} rows ({codec})"
+                    )
+            else:
+                read, write = wire, raw
+                if not conjuncts:
+                    pipe.scan_notes.append(f"{name}: full decode ({codec})")
+            meter.record_read(_GLOBAL, int(read))
+            meter.record_write(_GLOBAL, int(write))
+            glob += int(read) + int(write)
+
+        if glob:
+            meter.record_instructions(2 * rows_in)
+            breakdown = self.cost_model.breakdown(meter, kind="decode")
+            pipe.kernel_ms += breakdown.total * 1e3
+            pipe.global_bytes += int(glob)
+            pipe.onchip_bytes += meter.bytes_at(_ONCHIP)
+            pipe.kernels += 1
+
+    @staticmethod
+    def _scan_read_estimate(encoded, packed, n, conjunct, sel):
+        """Modeled GLOBAL read bytes of the compressed-scan strategy
+        :func:`repro.compression.lazy.plan_scan` would pick (estimated
+        analytically — block survivor counts come from selectivity, not
+        from evaluating the predicate)."""
+        from ..compression.lazy import (
+            BLOCK_META_BYTES,
+            LAZY_BLOCK,
+            MAX_LUT_DOMAIN,
+            interval_analyzer,
+        )
+
+        codec = encoded.codec
+        if codec == "rle":
+            return (
+                encoded.parts["values"].nbytes
+                + encoded.parts["lengths"].nbytes,
+                "rle-runs",
+            )
+        if codec == "dictionary":
+            width = int(encoded.meta.get("width", 0))
+            if (1 << width) <= MAX_LUT_DOMAIN:
+                return packed, "dict-lookup"
+            return packed, "unpack-scan"
+        if codec in ("forpack", "cascade") and interval_analyzer(conjunct) is not None:
+            blocks = max(1, -(-n // LAZY_BLOCK))
+            mixed = min(1.0, 2.0 * min(sel, 1.0 - sel) + 0.05)
+            return int(blocks * BLOCK_META_BYTES + packed * mixed), "block-skip"
+        return packed, "unpack-scan"
 
     def _output_bytes(self, pipeline: Pipeline, rows_out: int, groups: int) -> int:
         sink = pipeline.sink

@@ -730,17 +730,66 @@ class ScaleOutExecutor:
                     continue
                 run.failed[piece.index] = kind
                 return False
-            gather_bytes = sum(
-                np.asarray(array).nbytes for array in produced.values()
-            )
-            device.record_stream_transfer(
-                gather_bytes, "d2h", label=f"gather.p{piece.index}"
+            gather_bytes = self._gather_partial(
+                produced, piece.index, runtime, device
             )
             run.partials[piece.index] = produced
             run.share.morsels += 1
             run.share.rows += piece.rows
             run.share.gather_bytes += gather_bytes
             return True
+
+    # ------------------------------------------------------------------
+    def _gather_partial(
+        self, produced: dict, index: int, runtime: QueryRuntime, device
+    ) -> int:
+        """Ship one morsel's partial columns d2h.
+
+        With a compression policy each column that clears the wire-ratio
+        gate travels as a wire image: a device-side encode kernel pays
+        for the packing, and the decode is charged to the host merge
+        (``host_decode_bytes``) — the device never re-reads the partial.
+        Returns the bytes that crossed the link.
+        """
+        policy = runtime.compression
+        if policy is None:
+            gather_bytes = sum(
+                np.asarray(array).nbytes for array in produced.values()
+            )
+            device.record_stream_transfer(
+                gather_bytes, "d2h", label=f"gather.p{index}"
+            )
+            return gather_bytes
+        stats = runtime.compression_stats()
+        gather_bytes = 0
+        for name, array in produced.items():
+            arr = np.asarray(array)
+            encoded = policy.encode_array(arr)
+            if (
+                encoded is not None
+                and encoded.codec != "passthrough"
+                and encoded.wire_nbytes < arr.nbytes
+            ):
+                runtime._charge_encode(encoded, f"gather.p{index}.{name}")
+                device.record_stream_transfer(
+                    encoded.wire_nbytes,
+                    "d2h",
+                    label=f"gather.p{index}.{name}",
+                    raw_nbytes=arr.nbytes,
+                    codec=encoded.codec,
+                )
+                gather_bytes += encoded.wire_nbytes
+                if stats is not None:
+                    stats.record(arr.nbytes, encoded.wire_nbytes, encoded.codec)
+                    stats.host_decode_bytes += arr.nbytes
+            else:
+                device.record_stream_transfer(
+                    arr.nbytes, "d2h", label=f"gather.p{index}.{name}"
+                )
+                gather_bytes += arr.nbytes
+                if stats is not None:
+                    stats.record(arr.nbytes, arr.nbytes, "passthrough")
+        return gather_bytes
 
     # ------------------------------------------------------------------
     def _execute_fallback(

@@ -147,6 +147,18 @@ def _measure_all(config: dict) -> dict:
             seed=config["seed"],
             compression="auto",
         )
+        # Late-materialization twin: compression="lazy" fingerprints the
+        # compressed-scan/gather-decode path — strategy or block-skip
+        # drift shifts global bytes and launch counts exactly.
+        fingerprints[f"{workload}:{name}:lazy"] = measure_fingerprint(
+            workload,
+            name,
+            databases[workload],
+            profile,
+            engine_name=config["engine"],
+            seed=config["seed"],
+            compression="lazy",
+        )
     return fingerprints
 
 

@@ -133,6 +133,11 @@ def _footer_lines(result, trace) -> list[str]:
         host_ops.append(f"finalize {finalize[0].duration_us / 1e3:.3f} ms")
     if host_ops:
         lines.append("host post-processing: " + ", ".join(host_ops))
+    compression = result.compression
+    if compression is not None:
+        lines.append(f"compression: {compression.summary()}")
+        for note in compression.scans:
+            lines.append(f"  scan {note}")
     optimizer = getattr(result, "optimizer", None)
     if optimizer is not None:
         lines.append("optimizer:")

@@ -324,22 +324,25 @@ class QueryTrace:
             )
         # Each lane's simulated clock starts where its subtree starts
         # (device clocks run concurrently); the default lane starts at
-        # the query root.
-        cursors: dict[int | None, float] = {None: self.root.start_us}
+        # the query root.  The cursor advances by the *rounded* duration
+        # so consecutive exported events abut exactly — rounding ts and
+        # dur independently of the cursor can make neighbours appear to
+        # overlap by more than the export precision.
+        cursors: dict[int | None, float] = {None: round(self.root.start_us, 3)}
         for span, lane in placed:
             if span.category not in ("kernel", "transfer"):
                 continue
             if lane not in cursors:
-                cursors[lane] = span.start_us
+                cursors[lane] = round(span.start_us, 3)
             _, sim_tid = lane_tids(lane)
-            dur_us = span.sim_ms * 1e3
+            dur_us = round(span.sim_ms * 1e3, 3)
             events.append(
                 {
                     "name": span.name,
                     "cat": f"sim_{span.category}",
                     "ph": "X",
                     "ts": round(cursors[lane], 3),
-                    "dur": round(dur_us, 3),
+                    "dur": dur_us,
                     "pid": _PID,
                     "tid": sim_tid,
                     "args": {k: _jsonable(v) for k, v in span.attrs.items()},

@@ -36,10 +36,13 @@ class TestRecord:
     def test_store_shape(self, store):
         path, data = store
         assert data["version"] == 1
-        # Every query is fingerprinted twice: raw, and under
-        # compression="auto" (the ":compressed" twin).
+        # Every query is fingerprinted three times: raw, under
+        # compression="auto" (":compressed"), and under
+        # compression="lazy" (":lazy", late materialization).
         expected = {f"{workload}:{name}" for workload, name in BASELINE_QUERIES}
-        expected |= {f"{key}:compressed" for key in expected}
+        expected |= {f"{key}:compressed" for key in expected} | {
+            f"{key}:lazy" for key in expected
+        }
         assert set(data["queries"]) == expected
         for fingerprint in data["queries"].values():
             assert set(fingerprint) == set(METRIC_TOLERANCES)
@@ -132,7 +135,7 @@ class TestCli:
     def test_record_then_check(self, tmp_path, capsys):
         path = str(tmp_path / "bl.json")
         assert main(["baseline", "record", "--baseline", path]) == 0
-        assert "recorded 12 query baselines" in capsys.readouterr().out
+        assert "recorded 18 query baselines" in capsys.readouterr().out
         assert main(["baseline", "check", "--baseline", path]) == 0
         assert "PASS" in capsys.readouterr().out
 

@@ -52,7 +52,7 @@ _FLOAT_DTYPES = (np.float32, np.float64)
 @given(
     data=st.data(),
     dtype=st.sampled_from(_INT_DTYPES + _UINT_DTYPES),
-    codec=st.sampled_from(("rle", "forpack", "delta", "passthrough")),
+    codec=st.sampled_from(("rle", "forpack", "delta", "cascade", "passthrough")),
 )
 def test_integer_roundtrip_property(data, dtype, codec):
     info = np.iinfo(dtype)
@@ -88,7 +88,10 @@ def test_float_roundtrip_property(data, dtype, codec):
 
 
 @settings(max_examples=40, deadline=None)
-@given(data=st.data(), codec=st.sampled_from(("rle", "forpack", "passthrough")))
+@given(
+    data=st.data(),
+    codec=st.sampled_from(("rle", "forpack", "boolpack", "passthrough")),
+)
 def test_bool_roundtrip_property(data, codec):
     values = np.array(
         data.draw(st.lists(st.booleans(), min_size=0, max_size=200)),
@@ -138,6 +141,46 @@ def test_extreme_int64_roundtrip():
         # reference deltas would overflow 63 bits); they must decline
         # rather than corrupt.
         _assert_roundtrip(values, codec)
+
+
+def test_extreme_int64_cascade_declines_or_roundtrips():
+    # Full-span int64 breaks the FOR reference subtraction inside the
+    # cascade; it must decline (return None) rather than corrupt.
+    info = np.iinfo(np.int64)
+    values = np.array([info.min, -1, 0, 1, info.max], dtype=np.int64)
+    _assert_roundtrip(values, "cascade")
+
+
+def test_cascade_beats_forpack_on_runny_narrow_data():
+    # Long runs of narrow-range values: RLE shrinks the run count, the
+    # FOR stage then packs the run values — the cascade should win
+    # against single-stage forpack.
+    values = np.repeat(np.arange(100, 164, dtype=np.int64), 128)
+    cascade = _assert_roundtrip(values, "cascade")
+    forpack = _assert_roundtrip(values, "forpack")
+    assert cascade is not None and forpack is not None
+    assert cascade.wire_nbytes < forpack.wire_nbytes
+
+
+def test_boolpack_eight_to_one():
+    rng = np.random.default_rng(11)
+    values = rng.integers(0, 2, 8192).astype(np.bool_)
+    encoded = _assert_roundtrip(values, "boolpack")
+    assert encoded is not None
+    # 1 bit per value plus header: ~8x against the 1-byte bool array.
+    assert encoded.wire_nbytes <= values.nbytes // 8 + WIRE_HEADER_BYTES + 8
+
+
+def test_boolpack_declines_non_bool():
+    assert encode(np.arange(16, dtype=np.int32), "boolpack") is None
+    assert encode(np.ones(16, dtype=np.float64), "boolpack") is None
+
+
+def test_boolpack_ragged_tail():
+    # Lengths not divisible by 8 exercise the tail-byte masking.
+    for n in (1, 7, 9, 63, 65):
+        values = (np.arange(n) % 3 == 0).astype(np.bool_)
+        _assert_roundtrip(values, "boolpack")
 
 
 def test_negative_values_not_dictionary_packable():

@@ -1,0 +1,316 @@
+"""Differential suite for late materialization (``compression="lazy"``).
+
+The acceptance bar mirrors the compressed-transfer suite but is
+stricter: executing predicates *directly on the wire images* (RLE run
+values, dictionary-code LUTs, FOR/cascade min-max block skipping) and
+deferring every decode must return tables byte-identical to
+``compression="off"`` — across engines, pinned codecs, device counts,
+and the value edges codecs decline on (NaN, -0.0, extreme int64) —
+while strictly reducing device global-memory traffic on selective
+queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import connect
+from repro.compression import CompressionPolicy
+from repro.compression.lazy import (
+    LAZY_BLOCK,
+    SCANNABLE_CODECS,
+    flatten_conjuncts,
+    interval_analyzer,
+)
+from repro.expressions.expr import col
+from repro.plan.builder import PlanBuilder
+from repro.storage import Column, Database, Table
+from repro.telemetry.recorder import table_checksum
+from repro.workloads import generate_ssb, ssb_plan
+
+SCALE_FACTOR = 0.004
+QUERIES = ("q1.1", "q2.1", "q3.2", "q4.1")
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_ssb(SCALE_FACTOR, seed=7)
+
+
+# ----------------------------------------------------------------------
+# byte identity: compressed scan vs decode-then-scan
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "engine", ["resolution", "multipass", "operator-at-a-time"]
+    )
+    def test_engines_byte_identical(self, database, engine):
+        off = connect(database, engine=engine, compression="off")
+        lazy = connect(database, engine=engine, compression="lazy")
+        for name in QUERIES:
+            plan = ssb_plan(name, database)
+            base = off.execute(plan)
+            deferred = lazy.execute(plan)
+            assert table_checksum(deferred.table) == table_checksum(
+                base.table
+            ), f"{engine}/{name} diverged under lazy materialization"
+            assert deferred.compression is not None
+
+    def test_pipelined_engines_scan_compressed(self, database):
+        """The compound/multipass code paths actually take the lazy
+        path: conjuncts evaluate on wire images, decodes are deferred."""
+        for engine in ("resolution", "multipass"):
+            session = connect(database, engine=engine, compression="lazy")
+            result = session.execute(ssb_plan("q1.1", database))
+            stats = result.compression
+            assert stats.compressed_scans > 0, f"{engine}: no compressed scans"
+            assert stats.deferred_columns > 0
+            assert stats.scans, "no scan notes recorded"
+
+    def test_vectorized_engine_stays_eager(self, database):
+        """operator-at-a-time materializes full columns by design; lazy
+        must degrade to the plain decode path there, not misbehave."""
+        session = connect(
+            database, engine="operator-at-a-time", compression="lazy"
+        )
+        result = session.execute(ssb_plan("q1.1", database))
+        assert result.compression.compressed_scans == 0
+
+    @pytest.mark.parametrize(
+        "codec", ["rle", "forpack", "delta", "dictionary", "cascade"]
+    )
+    def test_pinned_codec_byte_identical(self, database, codec):
+        """Every codec the scanner understands (and delta, which it
+        must gather/decode eagerly) stays byte-identical when pinned."""
+        assert codec in SCANNABLE_CODECS
+        policy = CompressionPolicy(codec)
+        policy.lazy = True
+        base = connect(database, compression="off")
+        lazy = connect(database, compression=policy)
+        for name in ("q1.1", "q2.1"):
+            plan = ssb_plan(name, database)
+            assert table_checksum(lazy.execute(plan).table) == table_checksum(
+                base.execute(plan).table
+            ), f"pinned {codec} diverged"
+
+    @pytest.mark.parametrize("devices", [2, 3])
+    def test_scaleout_byte_identical(self, database, devices):
+        plan = ssb_plan("q2.1", database)
+        base = connect(
+            database, engine="resolution", devices=devices, compression="off"
+        ).execute(plan)
+        lazy = connect(
+            database, engine="resolution", devices=devices, compression="lazy"
+        ).execute(plan)
+        assert table_checksum(lazy.table) == table_checksum(base.table)
+        assert lazy.scaleout is not None
+        # Gathered partials crossed the link as wire images; their
+        # decode is charged host-side, never on the device.
+        assert lazy.compression.host_decode_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# value edges: codecs must decline, never corrupt
+# ----------------------------------------------------------------------
+def _run_both(db, plan):
+    base = connect(db, compression="off").execute(plan)
+    lazy = connect(db, compression="lazy").execute(plan)
+    assert table_checksum(lazy.table) == table_checksum(base.table)
+    return base, lazy
+
+
+class TestValueEdges:
+    def test_nan_and_negative_zero_floats(self):
+        # NaN fails every comparison; -0.0 == 0.0.  Repeat runs make
+        # the column RLE-compressible so the run-value scan really runs.
+        values = np.repeat(
+            np.array([np.nan, -0.0, 0.0, 1.5, -2.5, np.inf, -np.inf]), 800
+        )
+        db = Database(
+            {
+                "t": Table(
+                    {
+                        "x": Column.float64(values),
+                        "y": Column.int32(np.arange(values.size)),
+                    }
+                )
+            }
+        )
+        plan = (
+            PlanBuilder.scan("t").filter(col("x") <= 0.0).project(["x", "y"]).build()
+        )
+        base, _ = _run_both(db, plan)
+        # Ground truth: NaN excluded; both zeros, -2.5, and -inf pass.
+        assert base.table.num_rows == 4 * 800
+
+    def test_extreme_int64_declines_to_passthrough(self):
+        # Full-span int64 defeats forpack/delta/cascade references;
+        # every codec must decline and the lazy path fall back to the
+        # eager evaluation on raw (passthrough) data.
+        info = np.iinfo(np.int64)
+        rng = np.random.default_rng(5)
+        values = rng.integers(info.min, info.max, 4000, dtype=np.int64)
+        values[:4] = (info.min, info.max, -1, 0)
+        db = Database(
+            {
+                "t": Table(
+                    {
+                        "x": Column.int64(values),
+                        "y": Column.int32(np.arange(values.size)),
+                    }
+                )
+            }
+        )
+        plan = PlanBuilder.scan("t").filter(col("x") >= 0).project(["y"]).build()
+        base, lazy = _run_both(db, plan)
+        assert base.table.num_rows == int((values >= 0).sum())
+        assert lazy.compression.compressed_scans == 0
+
+    def test_empty_selection(self, database):
+        # A predicate matching nothing: block-skip should prune every
+        # block, downstream columns must never materialize a row.
+        plan = (
+            PlanBuilder.scan("lineorder")
+            .filter(col("lo_quantity") > 1_000_000)
+            .project(["lo_quantity", "lo_revenue"])
+            .build()
+        )
+        base, lazy = _run_both(database, plan)
+        assert base.table.num_rows == 0
+        stats = lazy.compression
+        if stats.scan_blocks:
+            assert stats.scan_blocks_skipped == stats.scan_blocks
+
+
+# ----------------------------------------------------------------------
+# scan planner internals
+# ----------------------------------------------------------------------
+class TestIntervalAnalyzer:
+    def test_comparison(self):
+        fn = interval_analyzer(col("x") < 10)
+        assert fn(0, 5) == "all"
+        assert fn(10, 20) == "none"
+        assert fn(5, 15) == "mixed"
+
+    def test_between(self):
+        fn = interval_analyzer(col("x").between(3, 7))
+        assert fn(3, 7) == "all"
+        assert fn(8, 20) == "none"
+        assert fn(0, 5) == "mixed"
+
+    def test_inlist(self):
+        fn = interval_analyzer(col("x").isin([4]))
+        assert fn(4, 4) == "all"
+        assert fn(5, 9) == "none"
+        assert fn(0, 9) == "mixed"
+
+    def test_negation_flips(self):
+        fn = interval_analyzer(~(col("x") < 10))
+        assert fn(0, 5) == "none"
+        assert fn(10, 20) == "all"
+
+    def test_flatten_conjuncts(self):
+        conjuncts = flatten_conjuncts(
+            (col("a") < 1) & (col("b") > 2) & (col("c") == 3)
+        )
+        assert len(conjuncts) == 3
+        # Disjunctions are a single opaque conjunct, not splittable.
+        assert len(flatten_conjuncts((col("a") < 1) | (col("b") > 2))) == 1
+
+
+# ----------------------------------------------------------------------
+# accounting: deferral must show up in the meters
+# ----------------------------------------------------------------------
+class TestAccounting:
+    def test_global_bytes_reduced_vs_decode_everything(self, database):
+        plan = ssb_plan("q1.1", database)
+        auto = connect(
+            database, engine="resolution", compression="auto"
+        ).execute(plan)
+        lazy = connect(
+            database, engine="resolution", compression="lazy"
+        ).execute(plan)
+        # Selective q1.1: scanning wire images + gathering survivors
+        # must move far fewer device bytes than decode-everything.
+        assert lazy.global_memory_bytes * 1.5 < auto.global_memory_bytes
+        assert lazy.kernel_ms < auto.kernel_ms
+
+    def test_block_skip_accounting(self, database):
+        result = connect(
+            database, engine="resolution", compression="lazy"
+        ).execute(ssb_plan("q1.1", database))
+        stats = result.compression
+        assert stats.scan_blocks > 0
+        assert 0 <= stats.scan_blocks_skipped <= stats.scan_blocks
+        # q1.1's fact table exceeds one block at this scale.
+        assert database.table("lineorder").num_rows > LAZY_BLOCK
+
+    def test_partial_decode_smaller_than_full(self, database):
+        result = connect(
+            database, engine="resolution", compression="lazy"
+        ).execute(ssb_plan("q1.1", database))
+        stats = result.compression
+        # Gather-decodes materialize only selected positions: the bytes
+        # written must undercut the raw size of the deferred columns.
+        assert stats.partial_decode_bytes > 0
+        assert stats.partial_decode_bytes < stats.raw_bytes
+
+    def test_kernel_sources_include_scan(self, database):
+        result = connect(
+            database, engine="resolution", compression="lazy"
+        ).execute(ssb_plan("q1.1", database))
+        joined = " ".join(result.kernel_sources)
+        assert "compressed_scan" in joined or "scan" in joined
+
+
+# ----------------------------------------------------------------------
+# composition: residency pools + optimizer surface
+# ----------------------------------------------------------------------
+class TestComposition:
+    def test_residency_scans_resident_wire_images(self, database):
+        session = connect(database, residency=True, compression="lazy")
+        plan = ssb_plan("q1.1", database)
+        base = connect(database, compression="off").execute(plan)
+        first = session.execute(plan)
+        second = session.execute(plan)
+        assert table_checksum(first.table) == table_checksum(base.table)
+        assert table_checksum(second.table) == table_checksum(base.table)
+        # Repeat hits the pool (no link bytes) and scans the resident
+        # wire image in place.
+        assert second.input_bytes == 0
+        assert second.compression.compressed_scans > 0
+
+    def test_explain_shows_scan_decisions(self, database):
+        from repro.telemetry import tracing
+        from repro.telemetry.explain import render_explain_analyze
+
+        session = connect(database, engine="auto", compression="lazy")
+        with tracing():
+            result = session.execute(ssb_plan("q1.1", database))
+        text = render_explain_analyze(result)
+        assert "late materialization:" in text
+        assert "compressed scan" in text
+
+    def test_optimizer_estimates_carry_scan_notes(self, database):
+        from repro.hardware import GTX970, PCIE3
+        from repro.optimizer import Advisor
+        from repro.plan.pipelines import extract_pipelines
+
+        policy = CompressionPolicy("lazy")
+        query = extract_pipelines(ssb_plan("q1.1", database), database)
+        advice = Advisor(GTX970, PCIE3, compression=policy).advise(
+            query, database
+        )
+        notes = [
+            note
+            for pipe in advice.estimate.pipelines
+            for note in pipe.scan_notes
+        ]
+        assert any("compressed scan" in note for note in notes)
+        # Lazy estimates strictly undercut decode-everything on global
+        # traffic for this selective query.
+        eager = Advisor(
+            GTX970, PCIE3, compression=CompressionPolicy("auto")
+        ).advise(query, database)
+        assert (
+            advice.estimate.global_bytes < eager.estimate.global_bytes
+        )
